@@ -1,0 +1,293 @@
+(* posetrl — command-line interface to the POSET-RL reproduction.
+
+   Subcommands:
+     opt    apply a standard pipeline or an explicit pass list to a
+            textual MiniIR module and report size/throughput changes
+     run    interpret a textual MiniIR module
+     train  train a DQN phase-ordering model and save its weights
+     eval   evaluate a saved model against the validation suites
+     odg    inspect the Oz Dependence Graph (stats, dot, derived walks)
+     list   list registered passes / benchmark programs *)
+
+open Cmdliner
+open Posetrl_ir
+module P = Posetrl_passes
+module W = Posetrl_workloads
+module C = Posetrl_core
+module O = Posetrl_odg
+module CG = Posetrl_codegen
+
+let read_module path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Parser.parse_module s
+
+let load_program (spec : string) : Modul.t =
+  (* a benchmark name from the suites, or a path to a textual module *)
+  match W.Suites.find_program spec with
+  | Some mk -> mk ()
+  | None ->
+    if Sys.file_exists spec then read_module spec
+    else failwith (Printf.sprintf "unknown program %s (not a benchmark, not a file)" spec)
+
+let target_of_string = function
+  | "x86" | "x86-64" | "x86_64" -> CG.Target.x86_64
+  | "arm" | "aarch64" -> CG.Target.aarch64
+  | t -> failwith ("unknown target " ^ t)
+
+let space_of_string = function
+  | "odg" -> O.Action_space.odg
+  | "manual" -> O.Action_space.manual
+  | s -> failwith ("unknown action space " ^ s)
+
+let report_module (target : CG.Target.t) (label : string) (m : Modul.t) =
+  Printf.printf "%-10s insns=%-5d size=%-6dB text=%-6dB mca-throughput=%.3f\n"
+    label (Modul.insn_count m)
+    (CG.Objfile.size target m)
+    (CG.Objfile.text_size target m)
+    (Posetrl_mca.Mca.throughput target m)
+
+(* --- opt ------------------------------------------------------------------ *)
+
+let opt_cmd =
+  let program =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Benchmark name (e.g. 541.leela, crc32) or path to a textual MiniIR file.")
+  in
+  let level =
+    Arg.(value & opt string "Oz" & info [ "O"; "level" ] ~docv:"LEVEL"
+           ~doc:"Pipeline level: O0 O1 O2 O3 Os Oz.")
+  in
+  let passes =
+    Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"P1,P2,..."
+           ~doc:"Explicit comma-separated pass list (overrides --level).")
+  in
+  let target =
+    Arg.(value & opt string "x86" & info [ "target" ] ~docv:"TARGET"
+           ~doc:"x86 or aarch64.")
+  in
+  let emit =
+    Arg.(value & flag & info [ "emit" ] ~doc:"Print the optimized module.")
+  in
+  let run program level passes target emit =
+    let m = load_program program in
+    let tgt = target_of_string target in
+    report_module tgt "input" m;
+    let m' =
+      match passes with
+      | Some ps ->
+        let names = String.split_on_char ',' ps |> List.map String.trim in
+        List.iter
+          (fun n -> if Option.is_none (P.Registry.find n) then failwith ("unknown pass " ^ n))
+          names;
+        P.Pass_manager.run ~verify:true P.Config.oz names m
+      | None ->
+        (match P.Pipelines.level_of_string level with
+         | Some l -> P.Pass_manager.run_level ~verify:true l m
+         | None -> failwith ("unknown level " ^ level))
+    in
+    report_module tgt "output" m';
+    if emit then print_string (Printer.module_to_string m')
+  in
+  Cmd.v (Cmd.info "opt" ~doc:"Apply an optimization pipeline to a module")
+    Term.(const run $ program $ level $ passes $ target $ emit)
+
+(* --- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let program =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Benchmark name or path to a textual MiniIR file.")
+  in
+  let level =
+    Arg.(value & opt (some string) None & info [ "O"; "level" ]
+           ~doc:"Optimize before running.")
+  in
+  let go program level =
+    let m = load_program program in
+    let m =
+      match level with
+      | Some l ->
+        (match P.Pipelines.level_of_string l with
+         | Some l -> P.Pass_manager.run_level l m
+         | None -> failwith ("unknown level " ^ l))
+      | None -> m
+    in
+    match Posetrl_interp.Interp.run m with
+    | o ->
+      if String.length o.Posetrl_interp.Interp.output > 0 then
+        print_string o.Posetrl_interp.Interp.output;
+      Printf.printf "return: %s\ncycles: %d\ndynamic instructions: %d\n"
+        (match o.Posetrl_interp.Interp.ret with
+         | Posetrl_interp.Interp.VInt v -> Int64.to_string v
+         | Posetrl_interp.Interp.VFloat f -> string_of_float f
+         | Posetrl_interp.Interp.VPtr p -> Printf.sprintf "ptr:%d" p
+         | _ -> "void")
+        o.Posetrl_interp.Interp.cycles o.Posetrl_interp.Interp.dyn_insns
+    | exception Posetrl_interp.Interp.Trap e -> Printf.printf "trap: %s\n" e
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Interpret a module") Term.(const go $ program $ level)
+
+(* --- train ----------------------------------------------------------------- *)
+
+let train_cmd =
+  let out =
+    Arg.(value & opt string "posetrl.weights" & info [ "o"; "output" ]
+           ~docv:"FILE" ~doc:"Where to save the trained weights.")
+  in
+  let space =
+    Arg.(value & opt string "odg" & info [ "space" ] ~doc:"Action space: odg or manual.")
+  in
+  let target =
+    Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
+  in
+  let steps =
+    Arg.(value & opt int 20_100 & info [ "steps" ]
+           ~doc:"Total training timesteps (paper: 20100).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let corpus_size =
+    Arg.(value & opt int 130 & info [ "corpus" ] ~doc:"Training corpus size (paper: 130).")
+  in
+  let go out space target steps seed corpus_size =
+    let actions = space_of_string space in
+    let tgt = target_of_string target in
+    let corpus = W.Suites.training_corpus ~n:corpus_size () in
+    let hp =
+      { C.Trainer.paper with
+        C.Trainer.total_steps = steps;
+        C.Trainer.epsilon =
+          Posetrl_rl.Schedule.create ~start:1.0 ~stop:0.01
+            ~decay_steps:(max 1 (steps - 100)) () }
+    in
+    Printf.printf "training %s/%s for %d steps on %d programs...\n%!" space target
+      steps corpus_size;
+    let res =
+      C.Trainer.train ~hp
+        ~on_progress:(fun p ->
+          Printf.printf
+            "  step %6d  episode %5d  eps %.3f  mean-reward %7.2f  mean-size-gain %6.2f%%  loss %.4f\n%!"
+            p.C.Trainer.step p.C.Trainer.episode p.C.Trainer.epsilon_now
+            p.C.Trainer.mean_reward p.C.Trainer.mean_size_gain p.C.Trainer.loss)
+        ~seed ~corpus ~actions ~target:tgt ()
+    in
+    Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
+    Printf.printf "saved weights to %s (%d episodes)\n" out res.C.Trainer.episodes
+  in
+  Cmd.v (Cmd.info "train" ~doc:"Train a phase-ordering model")
+    Term.(const go $ out $ space $ target $ steps $ seed $ corpus_size)
+
+(* --- eval ------------------------------------------------------------------- *)
+
+let eval_cmd =
+  let weights =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WEIGHTS"
+           ~doc:"Weights file saved by `posetrl train`.")
+  in
+  let space =
+    Arg.(value & opt string "odg" & info [ "space" ] ~doc:"Action space: odg or manual.")
+  in
+  let target =
+    Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
+  in
+  let go weights space target =
+    let actions = space_of_string space in
+    let tgt = target_of_string target in
+    let rng = Posetrl_support.Rng.create 0 in
+    let agent =
+      Posetrl_rl.Dqn.create rng ~state_dim:C.Environment.state_dim
+        ~hidden:[ 128; 64 ] ~n_actions:(O.Action_space.n_actions actions)
+    in
+    Posetrl_rl.Dqn.load_weights agent weights;
+    List.iter
+      (fun suite ->
+        let results =
+          List.map
+            (fun (name, mk) ->
+              C.Evaluate.evaluate_program ~agent ~actions ~target:tgt ~name (mk ()))
+            suite.W.Suites.programs
+        in
+        let s = C.Evaluate.summarize_suite ~suite:suite.W.Suites.suite_name results in
+        Printf.printf "%-10s size reduction vs Oz: min %6.2f%%  avg %6.2f%%  max %6.2f%%"
+          s.C.Evaluate.suite s.C.Evaluate.min_red s.C.Evaluate.avg_red s.C.Evaluate.max_red;
+        (match s.C.Evaluate.avg_time_impr with
+         | Some t -> Printf.printf "  time improvement: %6.2f%%\n" t
+         | None -> print_newline ());
+        List.iter
+          (fun r ->
+            Printf.printf "    %-16s oz=%6dB model=%6dB (%+.2f%%) seq=%s\n"
+              r.C.Evaluate.prog_name r.C.Evaluate.size_oz r.C.Evaluate.size_model
+              (C.Evaluate.size_reduction_pct r)
+              (String.concat "->" (List.map string_of_int r.C.Evaluate.predicted)))
+          results)
+      W.Suites.validation_suites
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate a trained model on the validation suites")
+    Term.(const go $ weights $ space $ target)
+
+(* --- odg -------------------------------------------------------------------- *)
+
+let odg_cmd =
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write a graphviz rendering to FILE.")
+  in
+  let k = Arg.(value & opt int 8 & info [ "k" ] ~doc:"Critical-node degree threshold.") in
+  let walks = Arg.(value & flag & info [ "walks" ] ~doc:"Print the derived sub-sequences.") in
+  let go dot k walks =
+    let g = Lazy.force O.Graph.default in
+    Printf.printf "ODG: %d nodes, %d edges\n" (O.Graph.node_count g) (O.Graph.edge_count g);
+    Printf.printf "critical nodes (k >= %d):\n" k;
+    List.iter (fun (n, d) -> Printf.printf "  %-16s degree %d\n" n d)
+      (O.Graph.critical_nodes ~k g);
+    if walks then begin
+      let ws = O.Walks.derive ~k g in
+      Printf.printf "%d derived sub-sequences:\n" (List.length ws);
+      List.iteri
+        (fun i w -> Printf.printf "%2d | %s\n" (i + 1) (String.concat " " w))
+        ws
+    end;
+    match dot with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (O.Graph.to_dot ~k g);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "odg" ~doc:"Inspect the Oz Dependence Graph")
+    Term.(const go $ dot $ k $ walks)
+
+(* --- list ------------------------------------------------------------------- *)
+
+let list_cmd =
+  let what =
+    Arg.(value & pos 0 string "passes" & info [] ~docv:"WHAT"
+           ~doc:"What to list: passes, benchmarks, oz.")
+  in
+  let go what =
+    match what with
+    | "passes" ->
+      List.iter
+        (fun (p : P.Pass.t) -> Printf.printf "%-28s %s\n" p.P.Pass.name p.P.Pass.description)
+        P.Registry.all
+    | "benchmarks" ->
+      List.iter
+        (fun s ->
+          Printf.printf "%s:\n" s.W.Suites.suite_name;
+          List.iter (fun (n, _) -> Printf.printf "  %s\n" n) s.W.Suites.programs)
+        W.Suites.validation_suites
+    | "oz" ->
+      List.iter (fun p -> Printf.printf "-%s " p) P.Pipelines.oz_sequence;
+      print_newline ()
+    | w -> failwith ("unknown listing " ^ w)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List passes, benchmarks or the Oz sequence")
+    Term.(const go $ what)
+
+let () =
+  let doc = "POSET-RL: phase ordering for size and execution time with RL" in
+  let info = Cmd.info "posetrl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ opt_cmd; run_cmd; train_cmd; eval_cmd; odg_cmd; list_cmd ]))

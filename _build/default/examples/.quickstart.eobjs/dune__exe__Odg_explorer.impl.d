@@ -1,0 +1,1 @@
+examples/odg_explorer.ml: Lazy List Modul Posetrl_interp Posetrl_ir Posetrl_odg Posetrl_passes Posetrl_workloads Printf String

@@ -1,0 +1,1 @@
+examples/odg_explorer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Func List Modul Posetrl_codegen Posetrl_core Posetrl_interp Posetrl_ir Posetrl_odg Posetrl_passes Posetrl_workloads Printf String Types Verifier

@@ -1,0 +1,60 @@
+(* Embedded firmware size tuning (the paper's motivating scenario).
+
+     dune exec examples/embedded_size_tuning.exe
+
+   An embedded team targets an AArch64-class microcontroller with a tight
+   flash budget. They already build with -Oz; this example trains a
+   POSET-RL model for the AArch64 size model and checks whether learned
+   phase orderings buy additional bytes on MiBench-style firmware
+   kernels — exactly the Table IV (AArch64) experiment, scoped down. *)
+
+module P = Posetrl_passes
+module C = Posetrl_core
+module O = Posetrl_odg
+module CG = Posetrl_codegen
+module W = Posetrl_workloads
+
+let arm = CG.Target.aarch64
+
+let () =
+  print_endline "== embedded size tuning (AArch64) ==";
+  let flash_budget = 12_000 in
+
+  (* the firmware image: all MiBench-like kernels linked together *)
+  let firmware = W.Suites.mibench.W.Suites.programs in
+  let total level =
+    List.fold_left
+      (fun acc (_, mk) ->
+        acc + CG.Objfile.size arm (P.Pass_manager.run_level level (mk ())))
+      0 firmware
+  in
+  let base = total P.Pipelines.O0 in
+  let oz = total P.Pipelines.Oz in
+  Printf.printf "firmware at -O0: %d bytes\nfirmware at -Oz: %d bytes (budget %d)\n"
+    base oz flash_budget;
+
+  print_endline "\ntraining a size-focused model (alpha=10, beta=5, as in the paper)...";
+  let corpus = W.Suites.training_corpus ~n:60 () in
+  let hp = { C.Trainer.fast with C.Trainer.total_steps = 4000 } in
+  let res = C.Trainer.train ~hp ~seed:11 ~corpus ~actions:O.Action_space.odg ~target:arm () in
+
+  print_endline "\nper-kernel flash cost, -Oz vs learned ordering:";
+  let model_total = ref 0 in
+  List.iter
+    (fun (name, mk) ->
+      let m = mk () in
+      let r =
+        C.Evaluate.evaluate_program ~measure_time:false ~agent:res.C.Trainer.agent
+          ~actions:O.Action_space.odg ~target:arm ~name m
+      in
+      model_total := !model_total + r.C.Evaluate.size_model;
+      Printf.printf "  %-14s oz=%6dB  model=%6dB  (%+.2f%%)\n" name
+        r.C.Evaluate.size_oz r.C.Evaluate.size_model
+        (C.Evaluate.size_reduction_pct r))
+    firmware;
+  Printf.printf "\nfirmware with learned orderings: %d bytes (%+.2f%% vs -Oz)\n"
+    !model_total
+    (100.0 *. float_of_int (oz - !model_total) /. float_of_int oz);
+  Printf.printf "flash budget %d bytes: -Oz %s, learned %s\n" flash_budget
+    (if oz <= flash_budget then "FITS" else "OVER")
+    (if !model_total <= flash_budget then "FITS" else "OVER")

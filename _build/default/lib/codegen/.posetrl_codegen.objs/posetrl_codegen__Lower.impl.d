@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Block Func Hashtbl Instr Int64 List Posetrl_ir Target Types Value

@@ -1,0 +1,1 @@
+lib/codegen/objfile.ml: Func Global List Lower Modul Posetrl_ir String Target

@@ -1,0 +1,1 @@
+lib/core/environment.ml: Modul Posetrl_codegen Posetrl_ir Posetrl_ir2vec Posetrl_odg Posetrl_passes Reward

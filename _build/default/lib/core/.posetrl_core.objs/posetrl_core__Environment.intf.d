@@ -1,0 +1,1 @@
+lib/core/environment.mli: Posetrl_codegen Posetrl_ir Posetrl_odg Posetrl_passes Reward

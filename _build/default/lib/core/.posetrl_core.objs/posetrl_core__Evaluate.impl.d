@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Inference List Modul Posetrl_codegen Posetrl_interp Posetrl_ir Posetrl_odg Posetrl_passes Posetrl_rl Posetrl_support

@@ -1,0 +1,1 @@
+lib/core/inference.ml: Environment Fmt List Modul Posetrl_codegen Posetrl_ir Posetrl_odg Posetrl_passes Posetrl_rl

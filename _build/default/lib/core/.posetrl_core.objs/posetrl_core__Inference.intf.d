@@ -1,0 +1,1 @@
+lib/core/inference.mli: Format Posetrl_codegen Posetrl_ir Posetrl_odg Posetrl_passes Posetrl_rl

@@ -1,0 +1,1 @@
+lib/core/reward.ml: Posetrl_codegen Posetrl_ir Posetrl_mca

@@ -1,0 +1,1 @@
+lib/core/reward.mli: Posetrl_codegen Posetrl_ir

@@ -1,0 +1,1 @@
+lib/core/trainer.ml: Array Environment Modul Posetrl_codegen Posetrl_ir Posetrl_nn Posetrl_odg Posetrl_rl Posetrl_support Queue Rng

@@ -1,0 +1,1 @@
+lib/core/trainer.mli: Posetrl_codegen Posetrl_ir Posetrl_odg Posetrl_rl

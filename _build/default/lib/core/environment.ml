@@ -1,0 +1,98 @@
+(* The RL environment (paper §III-A, Fig. 3).
+
+   State: the IR2Vec embedding of the current module (300-dim, squashed
+   into the unit ball for network conditioning). Action: an index into
+   the chosen sub-sequence action space; applying it runs those passes
+   through the LLVM-style pass manager (the "opt" box of Fig. 3).
+   Reward: Eqns 1-3 against the per-episode unoptimized baseline.
+   Episodes run a fixed number of steps (15, matching the predicted
+   sequences of Table VI). *)
+
+open Posetrl_ir
+module Odg = Posetrl_odg
+
+type t = {
+  target : Posetrl_codegen.Target.t;
+  actions : Odg.Action_space.t;
+  pass_cfg : Posetrl_passes.Config.t;
+  weights : Reward.weights;
+  max_steps : int;
+  (* episode state *)
+  mutable current : Modul.t option;
+  mutable base : Reward.baseline;
+  mutable last : Reward.measurement;
+  mutable step_idx : int;
+}
+
+let default_max_steps = 15
+
+let create ?(weights = Reward.paper_weights) ?(max_steps = default_max_steps)
+    ?(pass_cfg = Posetrl_passes.Config.oz) ~(target : Posetrl_codegen.Target.t)
+    ~(actions : Odg.Action_space.t) () : t =
+  { target;
+    actions;
+    pass_cfg;
+    weights;
+    max_steps;
+    current = None;
+    base = { Reward.bin_size = 0.0; Reward.throughput = 0.0 };
+    last = { Reward.bin_size = 0.0; Reward.throughput = 0.0 };
+    step_idx = 0 }
+
+let n_actions (t : t) = Odg.Action_space.n_actions t.actions
+
+let state_dim = Posetrl_ir2vec.Vocabulary.dimension
+
+let observe (m : Modul.t) : float array = Posetrl_ir2vec.Encoder.embed_program_state m
+
+(* Begin an episode on (a copy of) the unoptimized module. *)
+let reset (t : t) (m : Modul.t) : float array =
+  let meas = Reward.measure t.target m in
+  t.current <- Some m;
+  t.base <- meas;
+  t.last <- meas;
+  t.step_idx <- 0;
+  observe m
+
+type step_result = {
+  state : float array;
+  reward : float;
+  terminal : bool;
+}
+
+let step (t : t) (action : int) : step_result =
+  match t.current with
+  | None -> invalid_arg "Environment.step: reset first"
+  | Some m ->
+    let names = Odg.Action_space.action t.actions action in
+    let m' = Posetrl_passes.Pass_manager.run t.pass_cfg names m in
+    let curr = Reward.measure t.target m' in
+    let reward =
+      Reward.compute ~weights:t.weights ~base:t.base ~last:t.last ~curr ()
+    in
+    t.current <- Some m';
+    t.last <- curr;
+    t.step_idx <- t.step_idx + 1;
+    { state = observe m'; reward; terminal = t.step_idx >= t.max_steps }
+
+let current_module (t : t) : Modul.t =
+  match t.current with
+  | Some m -> m
+  | None -> invalid_arg "Environment.current_module: reset first"
+
+(* Cumulative size/throughput improvement of the episode so far, relative
+   to the unoptimized baseline; used for monitoring. *)
+let episode_gain (t : t) : float * float =
+  let size_gain =
+    if t.base.Reward.bin_size <= 0.0 then 0.0
+    else
+      100.0 *. (t.base.Reward.bin_size -. t.last.Reward.bin_size)
+      /. t.base.Reward.bin_size
+  in
+  let thr_gain =
+    if t.base.Reward.throughput <= 0.0 then 0.0
+    else
+      100.0 *. (t.last.Reward.throughput -. t.base.Reward.throughput)
+      /. t.base.Reward.throughput
+  in
+  (size_gain, thr_gain)

@@ -1,0 +1,47 @@
+(** The phase-ordering RL environment (paper §III-A, Fig. 3).
+
+    State: IR2Vec program embedding of the current module. Action: a
+    sub-sequence of Oz passes from the chosen action space. Reward:
+    Eqns 1–3 against the per-episode unoptimized baseline. Episodes run
+    a fixed number of steps (15, as in the paper's Table VI). *)
+
+type t
+
+val default_max_steps : int
+(** 15. *)
+
+val create :
+  ?weights:Reward.weights ->
+  ?max_steps:int ->
+  ?pass_cfg:Posetrl_passes.Config.t ->
+  target:Posetrl_codegen.Target.t ->
+  actions:Posetrl_odg.Action_space.t ->
+  unit -> t
+
+val n_actions : t -> int
+
+val state_dim : int
+(** 300 — the IR2Vec embedding dimensionality. *)
+
+val observe : Posetrl_ir.Modul.t -> float array
+(** The state encoding of a module (embedding squashed into the unit
+    ball). *)
+
+val reset : t -> Posetrl_ir.Modul.t -> float array
+(** Begin an episode on an unoptimized module; returns the initial state. *)
+
+type step_result = {
+  state : float array;
+  reward : float;
+  terminal : bool;
+}
+
+val step : t -> int -> step_result
+(** Apply the action's pass sub-sequence and re-measure.
+    @raise Invalid_argument if called before {!reset}. *)
+
+val current_module : t -> Posetrl_ir.Modul.t
+(** The module as transformed so far in this episode. *)
+
+val episode_gain : t -> float * float
+(** Cumulative (size gain %, throughput gain %) vs the episode baseline. *)

@@ -1,0 +1,76 @@
+(* Evaluation harness: the model-vs-Oz comparisons behind Table IV,
+   Table V and Fig. 5.
+
+   For each validation program we compile three ways — unoptimized, -Oz,
+   and with the trained model's predicted sequence — then compare object
+   sizes (codegen model) and execution time (interpreter cycles on the
+   x86 cost model), exactly the two axes the paper reports. *)
+
+open Posetrl_ir
+module Rl = Posetrl_rl
+
+type program_result = {
+  prog_name : string;
+  size_unopt : int;
+  size_oz : int;
+  size_model : int;
+  time_oz : int option;    (* interpreter cycles; None if not executed *)
+  time_model : int option;
+  predicted : int list;
+}
+
+(* percentage of size reduction of the model binary vs the Oz binary;
+   positive = model smaller (paper Table IV) *)
+let size_reduction_pct (r : program_result) : float =
+  if r.size_oz = 0 then 0.0
+  else 100.0 *. float_of_int (r.size_oz - r.size_model) /. float_of_int r.size_oz
+
+(* percentage decrease of execution time vs Oz; positive = model faster
+   (paper Table V) *)
+let time_improvement_pct (r : program_result) : float option =
+  match r.time_oz, r.time_model with
+  | Some toz, Some tm when toz > 0 ->
+    Some (100.0 *. float_of_int (toz - tm) /. float_of_int toz)
+  | _ -> None
+
+let run_time (m : Modul.t) : int option =
+  match Posetrl_interp.Interp.run m with
+  | { Posetrl_interp.Interp.cycles; _ } -> Some cycles
+  | exception Posetrl_interp.Interp.Trap _ -> None
+
+let evaluate_program ?(measure_time = true) ~(agent : Rl.Dqn.t)
+    ~(actions : Posetrl_odg.Action_space.t)
+    ~(target : Posetrl_codegen.Target.t) ~(name : string) (m : Modul.t) :
+    program_result =
+  let size_of m = Posetrl_codegen.Objfile.size target m in
+  let m_oz = Posetrl_passes.Pass_manager.run_level Posetrl_passes.Pipelines.Oz m in
+  let rollout = Inference.predict ~agent ~actions ~target m in
+  let m_model = rollout.Inference.optimized in
+  { prog_name = name;
+    size_unopt = size_of m;
+    size_oz = size_of m_oz;
+    size_model = size_of m_model;
+    time_oz = (if measure_time then run_time m_oz else None);
+    time_model = (if measure_time then run_time m_model else None);
+    predicted = rollout.Inference.actions }
+
+type suite_summary = {
+  suite : string;
+  n : int;
+  min_red : float;
+  avg_red : float;
+  max_red : float;
+  avg_time_impr : float option;
+}
+
+let summarize_suite ~(suite : string) (results : program_result list) :
+    suite_summary =
+  let reds = List.map size_reduction_pct results in
+  let times = List.filter_map time_improvement_pct results in
+  { suite;
+    n = List.length results;
+    min_red = Posetrl_support.Stats.minimum reds;
+    avg_red = Posetrl_support.Stats.mean reds;
+    max_red = Posetrl_support.Stats.maximum reds;
+    avg_time_impr =
+      (if times = [] then None else Some (Posetrl_support.Stats.mean times)) }

@@ -1,0 +1,42 @@
+(** Model-vs-Oz evaluation (paper Tables IV & V, Fig. 5). *)
+
+type program_result = {
+  prog_name : string;
+  size_unopt : int;
+  size_oz : int;
+  size_model : int;
+  time_oz : int option;    (** interpreter cycles; [None] if not executed *)
+  time_model : int option;
+  predicted : int list;    (** the rollout's action indices *)
+}
+
+val size_reduction_pct : program_result -> float
+(** % size reduction of the model binary vs the Oz binary (positive =
+    model smaller), the metric of Table IV. *)
+
+val time_improvement_pct : program_result -> float option
+(** % execution-time decrease vs Oz (positive = model faster), the
+    metric of Table V. *)
+
+val run_time : Posetrl_ir.Modul.t -> int option
+(** Interpreter cycles of a module's main, or [None] on a trap. *)
+
+val evaluate_program :
+  ?measure_time:bool ->
+  agent:Posetrl_rl.Dqn.t ->
+  actions:Posetrl_odg.Action_space.t ->
+  target:Posetrl_codegen.Target.t ->
+  name:string ->
+  Posetrl_ir.Modul.t -> program_result
+
+type suite_summary = {
+  suite : string;
+  n : int;
+  min_red : float;
+  avg_red : float;
+  max_red : float;
+  avg_time_impr : float option;
+}
+
+val summarize_suite : suite:string -> program_result list -> suite_summary
+(** The min/avg/max aggregation of Table IV plus the Table V average. *)

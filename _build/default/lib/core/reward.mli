@@ -1,0 +1,32 @@
+(** Reward computation (paper §III-C, Eqns 1–3).
+
+    [R = α·R_BinSize + β·R_Throughput] where [R_BinSize] is the per-step
+    object-size delta and [R_Throughput] the per-step static-throughput
+    delta, both normalized by the unoptimized module's measurement. *)
+
+type weights = { alpha : float; beta : float }
+
+val paper_weights : weights
+(** α = 10, β = 5 (paper §V-A). *)
+
+type measurement = {
+  bin_size : float;    (** object-file bytes *)
+  throughput : float;  (** MCA static throughput; higher = faster *)
+}
+
+type baseline = measurement
+(** The unoptimized module's measurement, fixed per episode. *)
+
+val r_binsize : base:baseline -> last:measurement -> curr:measurement -> float
+(** Eqn 2: [(last − curr) / base] on sizes. *)
+
+val r_throughput : base:baseline -> last:measurement -> curr:measurement -> float
+(** Eqn 3: [(curr − last) / base] on throughputs. *)
+
+val compute :
+  ?weights:weights -> base:baseline -> last:measurement -> curr:measurement ->
+  unit -> float
+(** Eqn 1. *)
+
+val measure : Posetrl_codegen.Target.t -> Posetrl_ir.Modul.t -> measurement
+(** Object size (codegen model) and MCA throughput of a module. *)

@@ -1,0 +1,52 @@
+(** DDQN training loop (paper §V-A). *)
+
+type hyperparams = {
+  total_steps : int;
+  epsilon : Posetrl_rl.Schedule.t;
+  batch_size : int;
+  train_every : int;         (** µ — train on a sampled batch every µ steps *)
+  target_sync_every : int;
+  replay_capacity : int;
+  warmup_steps : int;
+  gamma : float;
+  lr : float;
+  hidden : int list;
+  max_episode_steps : int;
+  double : bool;             (** Double DQN (paper) vs vanilla target *)
+  reward_scale : float;      (** learner-side reward factor; 1.0 default *)
+  snapshot_every : int;      (** best-snapshot probe period; 0 disables *)
+}
+
+val paper : hyperparams
+(** The paper's schedule: 20 100 steps, ε 1.0 → 0.01 over 20 000, lr 1e-4,
+    episodes of 15 steps, replay 10k, Double DQN. *)
+
+val fast : hyperparams
+(** A scaled-down schedule for quick experiments and the bench harness. *)
+
+type progress = {
+  step : int;
+  episode : int;
+  epsilon_now : float;
+  mean_reward : float;
+  mean_size_gain : float;
+  loss : float;
+}
+
+type result = {
+  agent : Posetrl_rl.Dqn.t;
+  episodes : int;
+  final_mean_reward : float;
+}
+
+val train :
+  ?hp:hyperparams ->
+  ?on_progress:(progress -> unit) ->
+  seed:int ->
+  corpus:Posetrl_ir.Modul.t array ->
+  actions:Posetrl_odg.Action_space.t ->
+  target:Posetrl_codegen.Target.t ->
+  unit -> result
+(** Train a phase-ordering agent. Deterministic per seed. Returns the
+    best-probe-score snapshot when [hp.snapshot_every > 0], otherwise the
+    final weights. *)

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Block Buffer Bytes Char Float Fold Func Global Hashtbl Instr Int64 List Modul Option Posetrl_ir Printf String Types Value

@@ -1,0 +1,1 @@
+lib/ir/attrs.ml: Fmt Set String

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Attrs Block Func Instr List Printf Types Value

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Block Func Hashtbl List Map Option Set String

@@ -1,0 +1,1 @@
+lib/ir/fold.ml: Float Instr Int64 List Option String Types Value

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Attrs Block Hashtbl Instr List Map Option Printf String Types Value

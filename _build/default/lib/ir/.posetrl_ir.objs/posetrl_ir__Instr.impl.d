@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Int64 List String Types Value

@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Block Cfg Dom Func Hashtbl List Map Option Set String

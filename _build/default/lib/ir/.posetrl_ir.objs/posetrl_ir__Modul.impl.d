@@ -1,0 +1,1 @@
+lib/ir/modul.ml: Func Global Instr List Printf String

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Attrs Block Buffer Char Float Func Global Instr Int64 List Modul Option Printf String Types Value

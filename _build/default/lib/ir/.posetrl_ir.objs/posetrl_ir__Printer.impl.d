@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attrs Block Fmt Func Global Instr List Modul Types Value

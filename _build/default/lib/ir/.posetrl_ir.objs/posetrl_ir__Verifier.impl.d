@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Block Cfg Func Hashtbl Instr List Modul Option Printf Set String Types Value

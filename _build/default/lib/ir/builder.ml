@@ -1,0 +1,111 @@
+(* Imperative construction API for MiniIR functions.
+
+   Workload programs and tests build IR through this module rather than by
+   assembling records by hand. A builder accumulates blocks; each
+   instruction helper returns the [Value.t] of the defined register. *)
+
+type t = {
+  name : string;
+  params : (int * Types.t) list;
+  ret : Types.t;
+  attrs : Attrs.t;
+  linkage : Func.linkage;
+  mutable next_id : int;
+  mutable done_blocks : Block.t list; (* reverse order *)
+  mutable cur_label : string option;
+  mutable cur_insns : Instr.t list;   (* reverse order *)
+}
+
+let create ?(attrs = Attrs.empty) ?(linkage = Func.Internal) ~name ~params ~ret () =
+  let params = List.mapi (fun i ty -> (i, ty)) params in
+  { name; params; ret; attrs; linkage;
+    next_id = List.length params;
+    done_blocks = []; cur_label = None; cur_insns = [] }
+
+let param t i = Value.Reg (fst (List.nth t.params i))
+
+let fresh t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+(* Open a new block; the previous block must have been terminated. *)
+let block t label =
+  (match t.cur_label with
+   | Some l ->
+     invalid_arg (Printf.sprintf "Builder.block: block %s not terminated before %s" l label)
+   | None -> ());
+  t.cur_label <- Some label;
+  t.cur_insns <- []
+
+let emit t op =
+  match t.cur_label with
+  | None -> invalid_arg "Builder.emit: no open block"
+  | Some _ ->
+    let ty = Instr.result_ty op in
+    let id = if Types.equal ty Types.Void then Instr.no_result else fresh t in
+    t.cur_insns <- Instr.mk id op :: t.cur_insns;
+    if id >= 0 then Value.Reg id else Value.cundef Types.Void
+
+let terminate t term =
+  match t.cur_label with
+  | None -> invalid_arg "Builder.terminate: no open block"
+  | Some label ->
+    t.done_blocks <- Block.mk label (List.rev t.cur_insns) term :: t.done_blocks;
+    t.cur_label <- None;
+    t.cur_insns <- []
+
+let finish t =
+  (match t.cur_label with
+   | Some l -> invalid_arg ("Builder.finish: unterminated block " ^ l)
+   | None -> ());
+  Func.mk ~attrs:t.attrs ~linkage:t.linkage ~name:t.name ~params:t.params
+    ~ret:t.ret ~blocks:(List.rev t.done_blocks) ~next_id:t.next_id ()
+
+(* --- instruction helpers ------------------------------------------------ *)
+
+let binop t b ty x y = emit t (Instr.Binop (b, ty, x, y))
+
+let add t ty x y = binop t Instr.Add ty x y
+let sub t ty x y = binop t Instr.Sub ty x y
+let mul t ty x y = binop t Instr.Mul ty x y
+let sdiv t ty x y = binop t Instr.Sdiv ty x y
+let udiv t ty x y = binop t Instr.Udiv ty x y
+let srem t ty x y = binop t Instr.Srem ty x y
+let and_ t ty x y = binop t Instr.And ty x y
+let or_ t ty x y = binop t Instr.Or ty x y
+let xor t ty x y = binop t Instr.Xor ty x y
+let shl t ty x y = binop t Instr.Shl ty x y
+let lshr t ty x y = binop t Instr.Lshr ty x y
+let ashr t ty x y = binop t Instr.Ashr ty x y
+let fadd t x y = binop t Instr.Fadd Types.F64 x y
+let fsub t x y = binop t Instr.Fsub Types.F64 x y
+let fmul t x y = binop t Instr.Fmul Types.F64 x y
+let fdiv t x y = binop t Instr.Fdiv Types.F64 x y
+
+let icmp t p ty x y = emit t (Instr.Icmp (p, ty, x, y))
+let fcmp t p x y = emit t (Instr.Fcmp (p, x, y))
+let select t ty c x y = emit t (Instr.Select (ty, c, x, y))
+let cast t c ~from_ty ~to_ty v = emit t (Instr.Cast (c, from_ty, to_ty, v))
+let zext t ~from_ty ~to_ty v = cast t Instr.Zext ~from_ty ~to_ty v
+let sext t ~from_ty ~to_ty v = cast t Instr.Sext ~from_ty ~to_ty v
+let trunc t ~from_ty ~to_ty v = cast t Instr.Trunc ~from_ty ~to_ty v
+let alloca t ty n = emit t (Instr.Alloca (ty, n))
+let load t ty p = emit t (Instr.Load (ty, p))
+let store t ty v p = ignore (emit t (Instr.Store (ty, v, p)))
+let gep t ty b i = emit t (Instr.Gep (ty, b, i))
+let call t ty g args = emit t (Instr.Call (ty, g, args))
+let callind t ty f args = emit t (Instr.Callind (ty, f, args))
+let phi t ty incs = emit t (Instr.Phi (ty, incs))
+let memcpy t d s n = ignore (emit t (Instr.Memcpy (d, s, n)))
+let expect t ty v e = emit t (Instr.Expect (ty, v, e))
+let intrinsic t n ty args = emit t (Instr.Intrinsic (n, ty, args))
+
+(* --- terminator helpers ------------------------------------------------- *)
+
+let ret t ty v = terminate t (Instr.Ret (Some (ty, v)))
+let ret_void t = terminate t (Instr.Ret None)
+let br t l = terminate t (Instr.Br l)
+let cbr t c l1 l2 = terminate t (Instr.Cbr (c, l1, l2))
+let switch t ty v cases d = terminate t (Instr.Switch (ty, v, cases, d))
+let unreachable t = terminate t Instr.Unreachable

@@ -1,0 +1,80 @@
+(* Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm. *)
+
+module SMap = Map.Make (String)
+
+type t = {
+  idom : string SMap.t;  (* immediate dominator; entry maps to itself *)
+  entry : string;
+  order : string array;  (* reverse post-order, entry first *)
+  index : int SMap.t;    (* label -> rpo index *)
+}
+
+let compute (cfg : Cfg.t) =
+  let order = Array.of_list (Cfg.rpo cfg) in
+  let n = Array.length order in
+  let index =
+    Array.to_seqi order
+    |> Seq.fold_left (fun m (i, l) -> SMap.add l i m) SMap.empty
+  in
+  (* idoms over rpo indices; -1 = undefined *)
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while !f1 > !f2 do f1 := idom.(!f1) done;
+      while !f2 > !f1 do f2 := idom.(!f2) done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let preds =
+        Cfg.preds cfg order.(i)
+        |> List.filter_map (fun p -> SMap.find_opt p index) (* reachable only *)
+        |> List.filter (fun p -> idom.(p) >= 0 || p = 0)
+      in
+      match preds with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom = List.fold_left (fun acc p -> if idom.(p) >= 0 then intersect acc p else acc) first rest in
+        if idom.(i) <> new_idom then begin
+          idom.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  let idom_map =
+    Array.to_seqi order
+    |> Seq.fold_left
+         (fun m (i, l) ->
+           if idom.(i) >= 0 then SMap.add l order.(idom.(i)) m else m)
+         SMap.empty
+  in
+  { idom = idom_map; entry = cfg.Cfg.entry; order; index }
+
+let of_func f = compute (Cfg.of_func f)
+
+let idom t label = SMap.find_opt label t.idom
+
+(* [dominates t a b]: does [a] dominate [b]? Reflexive. *)
+let dominates t a b =
+  let rec walk l =
+    if String.equal l a then true
+    else
+      match SMap.find_opt l t.idom with
+      | Some p when not (String.equal p l) -> walk p
+      | _ -> false
+  in
+  walk b
+
+let strictly_dominates t a b = (not (String.equal a b)) && dominates t a b
+
+(* Children in the dominator tree. *)
+let children t label =
+  SMap.fold
+    (fun l p acc ->
+      if String.equal p label && not (String.equal l label) then l :: acc else acc)
+    t.idom []

@@ -1,0 +1,140 @@
+(* Constant evaluation of MiniIR operations.
+
+   Shared by the constant-folding passes (instcombine, instsimplify, sccp,
+   ipsccp) and used as the reference semantics by the interpreter tests. *)
+
+open Instr
+
+let bool_to_i1 b = Value.ci1 b
+
+let eval_binop bop ty (a : int64) (b : int64) : int64 option =
+  let open Int64 in
+  let wrap v = Types.wrap ty v in
+  match bop with
+  | Add -> Some (wrap (add a b))
+  | Sub -> Some (wrap (sub a b))
+  | Mul -> Some (wrap (mul a b))
+  | Sdiv -> if equal b 0L then None else Some (wrap (div a b))
+  | Udiv -> if equal b 0L then None else Some (wrap (unsigned_div a b))
+  | Srem -> if equal b 0L then None else Some (wrap (rem a b))
+  | Urem -> if equal b 0L then None else Some (wrap (unsigned_rem a b))
+  | And -> Some (wrap (logand a b))
+  | Or -> Some (wrap (logor a b))
+  | Xor -> Some (wrap (logxor a b))
+  | Shl ->
+    let s = to_int (logand b 63L) in
+    Some (wrap (shift_left a s))
+  | Lshr ->
+    let width = Types.bit_width ty in
+    let s = to_int (logand b 63L) in
+    (* mask to the type width before the logical shift *)
+    let mask = if width >= 64 then minus_one else sub (shift_left 1L width) 1L in
+    Some (wrap (shift_right_logical (logand a mask) s))
+  | Ashr ->
+    let s = to_int (logand b 63L) in
+    Some (wrap (shift_right a s))
+  | Fadd | Fsub | Fmul | Fdiv -> None
+
+let eval_fbinop bop (a : float) (b : float) : float option =
+  match bop with
+  | Fadd -> Some (a +. b)
+  | Fsub -> Some (a -. b)
+  | Fmul -> Some (a *. b)
+  | Fdiv -> Some (a /. b)
+  | _ -> None
+
+let eval_icmp pred (a : int64) (b : int64) : bool =
+  let ucmp x y = Int64.unsigned_compare x y in
+  match pred with
+  | Eq -> Int64.equal a b
+  | Ne -> not (Int64.equal a b)
+  | Slt -> Int64.compare a b < 0
+  | Sle -> Int64.compare a b <= 0
+  | Sgt -> Int64.compare a b > 0
+  | Sge -> Int64.compare a b >= 0
+  | Ult -> ucmp a b < 0
+  | Ule -> ucmp a b <= 0
+  | Ugt -> ucmp a b > 0
+  | Uge -> ucmp a b >= 0
+
+let eval_fcmp pred (a : float) (b : float) : bool =
+  match pred with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Slt | Ult -> a < b
+  | Sle | Ule -> a <= b
+  | Sgt | Ugt -> a > b
+  | Sge | Uge -> a >= b
+
+let eval_cast cop ~from_ty ~to_ty (v : Value.const) : Value.const option =
+  ignore from_ty;
+  match cop, v with
+  (* bitcast folds only between identical types or int-to-int; in
+     particular a scalar-to-vector bitcast (the vectorizer's splat) and
+     int<->float bit reinterpretations must NOT fold to their operand *)
+  | Bitcast, c when Types.equal from_ty to_ty -> Some c
+  | Bitcast, Value.Cint (_, x) when Types.is_integer to_ty ->
+    Some (Value.Cint (to_ty, Types.wrap to_ty x))
+  | Bitcast, _ -> None
+  | (Trunc | Zext | Sext), Value.Cint (src_ty, x) when Types.is_integer to_ty ->
+    (match cop with
+     | Trunc -> Some (Value.Cint (to_ty, Types.wrap to_ty x))
+     | Sext -> Some (Value.Cint (to_ty, Types.wrap to_ty x))
+     | _ ->
+       let width = Types.bit_width src_ty in
+       let mask =
+         if width >= 64 then Int64.minus_one
+         else Int64.sub (Int64.shift_left 1L width) 1L
+       in
+       Some (Value.Cint (to_ty, Types.wrap to_ty (Int64.logand x mask))))
+  | Fptosi, Value.Cfloat f ->
+    if Float.is_nan f then Some (Value.Cundef to_ty)
+    else Some (Value.Cint (to_ty, Types.wrap to_ty (Int64.of_float f)))
+  | Sitofp, Value.Cint (_, x) -> Some (Value.Cfloat (Int64.to_float x))
+  | _ -> None
+
+(* Fold a whole operation if all relevant operands are constant. Returns
+   the resulting value, or [None] if not foldable. *)
+let fold_op (op : op) : Value.t option =
+  match op with
+  | Binop (b, ty, Value.Const (Value.Cint (_, x)), Value.Const (Value.Cint (_, y)))
+    when Types.is_integer ty ->
+    Option.map (fun r -> Value.cint ty r) (eval_binop b ty x y)
+  | Binop (b, Types.F64, Value.Const (Value.Cfloat x), Value.Const (Value.Cfloat y)) ->
+    Option.map Value.cfloat (eval_fbinop b x y)
+  | Icmp (p, ty, Value.Const (Value.Cint (_, x)), Value.Const (Value.Cint (_, y)))
+    when Types.is_integer ty ->
+    Some (bool_to_i1 (eval_icmp p x y))
+  | Icmp (p, Types.Ptr, Value.Const Value.Cnull, Value.Const Value.Cnull) ->
+    (match p with
+     | Eq -> Some (bool_to_i1 true)
+     | Ne -> Some (bool_to_i1 false)
+     | _ -> None)
+  | Icmp (p, Types.Ptr, Value.Global a, Value.Global b) ->
+    (* distinct globals have distinct addresses *)
+    (match p with
+     | Eq -> Some (bool_to_i1 (String.equal a b))
+     | Ne -> Some (bool_to_i1 (not (String.equal a b)))
+     | _ -> None)
+  | Icmp (p, Types.Ptr, Value.Global _, Value.Const Value.Cnull)
+  | Icmp (p, Types.Ptr, Value.Const Value.Cnull, Value.Global _) ->
+    (match p with
+     | Eq -> Some (bool_to_i1 false)
+     | Ne -> Some (bool_to_i1 true)
+     | _ -> None)
+  | Fcmp (p, Value.Const (Value.Cfloat x), Value.Const (Value.Cfloat y)) ->
+    Some (bool_to_i1 (eval_fcmp p x y))
+  | Select (_, Value.Const (Value.Cint (Types.I1, c)), a, b) ->
+    Some (if Int64.equal c 1L then a else b)
+  | Select (_, _, a, b) when Value.equal a b -> Some a
+  | Cast (cop, from_ty, to_ty, Value.Const c) ->
+    Option.map (fun c -> Value.Const c) (eval_cast cop ~from_ty ~to_ty c)
+  | Expect (_, v, _) when Value.is_const v -> Some v
+  | Gep (_, base, Value.Const (Value.Cint (_, 0L))) -> Some base
+  | Phi (_, incs) ->
+    (* all incoming values identical (ignoring self-references is left to
+       the dedicated phi simplification in instcombine) *)
+    (match incs with
+     | (_, v) :: rest when List.for_all (fun (_, v') -> Value.equal v v') rest -> Some v
+     | _ -> None)
+  | _ -> None

@@ -1,0 +1,112 @@
+(* Functions: a parameter list (each parameter owns an SSA register), a
+   return type, a CFG given as an ordered block list (entry first), and a
+   fresh-register counter threaded through passes. *)
+
+module SMap = Map.Make (String)
+
+type linkage = Internal | External
+
+type t = {
+  name : string;
+  params : (int * Types.t) list;
+  ret : Types.t;
+  blocks : Block.t list; (* empty for declarations; entry block first *)
+  next_id : int;
+  attrs : Attrs.t;
+  linkage : linkage;
+}
+
+let mk ?(attrs = Attrs.empty) ?(linkage = Internal) ~name ~params ~ret ~blocks ~next_id () =
+  { name; params; ret; blocks; next_id; attrs; linkage }
+
+let declare ?(attrs = Attrs.empty) ~name ~params ~ret () =
+  let params = List.mapi (fun i ty -> (i, ty)) params in
+  { name; params; ret; blocks = []; next_id = List.length params;
+    attrs; linkage = External }
+
+let is_declaration f = f.blocks = []
+
+let entry f =
+  match f.blocks with
+  | [] -> invalid_arg ("Func.entry: declaration " ^ f.name)
+  | b :: _ -> b
+
+let find_block f label =
+  List.find_opt (fun b -> String.equal b.Block.label label) f.blocks
+
+let find_block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Func.find_block: no block %s in %s" label f.name)
+
+let block_map f =
+  List.fold_left (fun m b -> SMap.add b.Block.label b m) SMap.empty f.blocks
+
+let with_blocks ?next_id f blocks =
+  { f with blocks; next_id = Option.value next_id ~default:f.next_id }
+
+let map_blocks fn f = { f with blocks = List.map fn f.blocks }
+
+(* Rewrite every operand in the function body. *)
+let map_operands fn f = map_blocks (Block.map_operands fn) f
+
+(* Substitute register [r] by value [v] everywhere. *)
+let replace_reg r v f =
+  let subst = function Value.Reg r' when r' = r -> v | x -> x in
+  map_operands subst f
+
+let iter_insns fn f =
+  List.iter (fun b -> List.iter (fn b) b.Block.insns) f.blocks
+
+let fold_insns fn acc f =
+  List.fold_left
+    (fun acc b -> List.fold_left (fun acc i -> fn acc b i) acc b.Block.insns)
+    acc f.blocks
+
+let insn_count f =
+  fold_insns (fun n _ _ -> n + 1) 0 f + List.length f.blocks (* + terminators *)
+
+(* Map from defining register to (block label, instruction). *)
+let def_map f =
+  fold_insns
+    (fun m b i -> if i.Instr.id >= 0 then (i.Instr.id, (b.Block.label, i)) :: m else m)
+    [] f
+  |> List.to_seq |> Hashtbl.of_seq
+
+(* Number of uses of each register across the body (terminators included). *)
+let use_counts f =
+  let tbl = Hashtbl.create 64 in
+  let bump = function
+    | Value.Reg r -> Hashtbl.replace tbl r (1 + Option.value (Hashtbl.find_opt tbl r) ~default:0)
+    | _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter (fun i -> List.iter bump (Instr.operands i.Instr.op)) b.Block.insns;
+      List.iter bump (Instr.term_operands b.Block.term))
+    f.blocks;
+  tbl
+
+(* Allocate [n] fresh registers; returns the first id and the updated
+   function. Passes typically use the mutable [fresh_counter] instead. *)
+let alloc_regs f n = (f.next_id, { f with next_id = f.next_id + n })
+
+(* Mutable fresh-id source for use inside a pass body. *)
+type counter = { mutable next : int }
+
+let fresh_counter f = { next = f.next_id }
+
+let fresh c =
+  let id = c.next in
+  c.next <- id + 1;
+  id
+
+let commit_counter f c = { f with next_id = c.next }
+
+let param_regs f = List.map fst f.params
+
+let has_attr a f = Attrs.mem a f.attrs
+
+let add_attr a f = { f with attrs = Attrs.add a f.attrs }
+
+let remove_attr a f = { f with attrs = Attrs.remove a f.attrs }

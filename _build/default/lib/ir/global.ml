@@ -1,0 +1,26 @@
+(* Module-level global variables. *)
+
+type linkage = Internal | External
+
+type init =
+  | Zeroinit
+  | Ints of int64 array
+  | Floats of float array
+  | Bytes of string
+
+type t = {
+  name : string;
+  elt_ty : Types.t;
+  elems : int;
+  init : init option; (* [None] = external declaration *)
+  is_const : bool;
+  linkage : linkage;
+  align : int;
+}
+
+let mk ?(is_const = false) ?(linkage = Internal) ?(align = 8) ?init name elt_ty elems =
+  { name; elt_ty; elems; init; is_const; linkage; align }
+
+let size_bytes g = g.elems * Types.size_bytes g.elt_ty
+
+let is_definition g = Option.is_some g.init

@@ -1,0 +1,68 @@
+(* MiniIR first-class types.
+
+   A deliberately small lattice: scalar integers of the widths the passes
+   distinguish, double floats, an opaque pointer, void, and fixed-width
+   vectors (produced only by loop-vectorize). *)
+
+type t =
+  | I1
+  | I8
+  | I32
+  | I64
+  | F64
+  | Ptr
+  | Void
+  | Vec of t * int
+
+let rec size_bytes = function
+  | I1 | I8 -> 1
+  | I32 -> 4
+  | I64 | F64 | Ptr -> 8
+  | Void -> 0
+  | Vec (t, n) -> n * size_bytes t
+
+let is_integer = function I1 | I8 | I32 | I64 -> true | _ -> false
+
+let is_float = function F64 -> true | _ -> false
+
+let is_vector = function Vec _ -> true | _ -> false
+
+let elt_type = function Vec (t, _) -> t | t -> t
+
+let bit_width = function
+  | I1 -> 1
+  | I8 -> 8
+  | I32 -> 32
+  | I64 -> 64
+  | F64 -> 64
+  | Ptr -> 64
+  | Void -> 0
+  | Vec (t, n) -> n * (8 * size_bytes t)
+
+let rec to_string = function
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F64 -> "f64"
+  | Ptr -> "ptr"
+  | Void -> "void"
+  | Vec (t, n) -> Printf.sprintf "<%d x %s>" n (to_string t)
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let equal (a : t) (b : t) = a = b
+
+(* Wrap an int64 to the signed range of an integer type; the semantics of
+   every arithmetic op in the interpreter and constant folder. *)
+let wrap ty (v : int64) =
+  match ty with
+  | I1 -> Int64.logand v 1L
+  | I8 ->
+    let m = Int64.logand v 0xFFL in
+    if Int64.compare m 0x80L >= 0 then Int64.sub m 0x100L else m
+  | I32 ->
+    let m = Int64.logand v 0xFFFFFFFFL in
+    if Int64.compare m 0x80000000L >= 0 then Int64.sub m 0x100000000L else m
+  | I64 -> v
+  | _ -> invalid_arg "Types.wrap: not an integer type"

@@ -1,0 +1,1 @@
+lib/ir2vec/encoder.ml: Block Func Hashtbl Instr List Modul Posetrl_ir Posetrl_support Types Value Vecf Vocabulary

@@ -1,0 +1,1 @@
+lib/ir2vec/vocabulary.ml: Char Hashtbl Int64 Posetrl_support Rng String Vecf

@@ -1,0 +1,111 @@
+(* IR2Vec-style program encoding.
+
+   Follows the published composition: an instruction embedding is a
+   weighted sum of its opcode, type and operand-kind seed vectors
+   (weights 1 / 0.5 / 0.2 as in IR2Vec); a flow-aware refinement then
+   adds a damped contribution from the instructions that define each
+   operand (the use-def information IR2Vec derives from reaching
+   definitions). Function embeddings are sums of their instruction
+   embeddings, and the program embedding is the sum over defined
+   functions — 300-dimensional, as used by the paper. *)
+
+open Posetrl_ir
+open Posetrl_support
+
+let w_opcode = 1.0
+let w_type = 0.5
+let w_arg = 0.2
+let w_flow = 0.25
+
+let operand_kind (v : Value.t) : string =
+  match v with
+  | Value.Const (Value.Cint _) -> "const-int"
+  | Value.Const (Value.Cfloat _) -> "const-float"
+  | Value.Const Value.Cnull -> "const-null"
+  | Value.Const (Value.Cundef _) -> "undef"
+  | Value.Reg _ -> "variable"
+  | Value.Global _ -> "global"
+
+let base_insn_embedding (op : Instr.op) : Vecf.t =
+  let acc = Vecf.create Vocabulary.dimension in
+  Vecf.axpy ~k:w_opcode acc (Vocabulary.opcode (Instr.opcode_name op));
+  let ty = Instr.result_ty op in
+  Vecf.axpy ~k:w_type acc (Vocabulary.ty (Types.to_string ty));
+  List.iter
+    (fun v -> Vecf.axpy ~k:w_arg acc (Vocabulary.operand_kind (operand_kind v)))
+    (Instr.operands op);
+  acc
+
+let base_term_embedding (t : Instr.term) : Vecf.t =
+  let acc = Vecf.create Vocabulary.dimension in
+  Vecf.axpy ~k:w_opcode acc (Vocabulary.opcode (Instr.term_name t));
+  List.iter
+    (fun v -> Vecf.axpy ~k:w_arg acc (Vocabulary.operand_kind (operand_kind v)))
+    (Instr.term_operands t);
+  acc
+
+(* Function-level embedding with one round of use-def flow refinement. *)
+let embed_func (f : Func.t) : Vecf.t =
+  if Func.is_declaration f then Vecf.create Vocabulary.dimension
+  else begin
+    (* base embeddings per defining register *)
+    let base : (int, Vecf.t) Hashtbl.t = Hashtbl.create 64 in
+    Func.iter_insns
+      (fun _ i ->
+        if i.Instr.id >= 0 then
+          Hashtbl.replace base i.Instr.id (base_insn_embedding i.Instr.op))
+      f;
+    let acc = Vecf.create Vocabulary.dimension in
+    let add_refined (op : Instr.op) (self : Vecf.t) =
+      let v = Vecf.copy self in
+      List.iter
+        (fun operand ->
+          match operand with
+          | Value.Reg r ->
+            (match Hashtbl.find_opt base r with
+             | Some def -> Vecf.axpy ~k:w_flow v def
+             | None -> ())
+          | _ -> ())
+        (Instr.operands op);
+      Vecf.add_inplace acc v
+    in
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            let self =
+              if i.Instr.id >= 0 then Hashtbl.find base i.Instr.id
+              else base_insn_embedding i.Instr.op
+            in
+            add_refined i.Instr.op self)
+          b.Block.insns;
+        (* terminators contribute too; flow refinement over their uses *)
+        let tv = base_term_embedding b.Block.term in
+        List.iter
+          (fun operand ->
+            match operand with
+            | Value.Reg r ->
+              (match Hashtbl.find_opt base r with
+               | Some def -> Vecf.axpy ~k:w_flow tv def
+               | None -> ())
+            | _ -> ())
+          (Instr.term_operands b.Block.term);
+        Vecf.add_inplace acc tv)
+      f.Func.blocks;
+    acc
+  end
+
+let embed_program (m : Modul.t) : Vecf.t =
+  let acc = Vecf.create Vocabulary.dimension in
+  List.iter
+    (fun f -> if not (Func.is_declaration f) then Vecf.add_inplace acc (embed_func f))
+    m.Modul.funcs;
+  acc
+
+(* Bounded variant used as the RL state: direction preserved, magnitude
+   squashed into the unit ball so network inputs stay well-scaled across
+   programs of very different sizes. *)
+let embed_program_state (m : Modul.t) : Vecf.t =
+  let e = embed_program m in
+  let n = Vecf.norm2 e in
+  if n < 1e-9 then e else Vecf.scale (1.0 /. (1.0 +. n)) e

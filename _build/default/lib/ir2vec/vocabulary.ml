@@ -1,0 +1,40 @@
+(* IR2Vec-style seed vocabulary.
+
+   IR2Vec learns a seed embedding for each fundamental IR entity — opcode,
+   type, operand kind — and composes higher-level representations from
+   them. Without the authors' trained vocabulary we use deterministic
+   pseudo-random seed vectors (unit-scaled Gaussian, seeded by the entity
+   name), which preserves the properties the downstream model relies on:
+   fixed dimensionality, distinct directions per entity, and stability
+   across runs. *)
+
+open Posetrl_support
+
+let dimension = 300
+
+(* FNV-1a over the entity name gives the per-entity RNG seed. *)
+let hash_name (s : string) : int =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.logand !h (Int64.of_int max_int))
+
+let cache : (string, Vecf.t) Hashtbl.t = Hashtbl.create 128
+
+let embedding (entity : string) : Vecf.t =
+  match Hashtbl.find_opt cache entity with
+  | Some v -> v
+  | None ->
+    let rng = Rng.create (hash_name entity) in
+    let scale = 1.0 /. sqrt (float_of_int dimension) in
+    let v = Vecf.init dimension (fun _ -> Rng.normal rng *. scale) in
+    Hashtbl.replace cache entity v;
+    v
+
+(* entity name spaces *)
+let opcode name = embedding ("opcode:" ^ name)
+let ty name = embedding ("type:" ^ name)
+let operand_kind name = embedding ("arg:" ^ name)

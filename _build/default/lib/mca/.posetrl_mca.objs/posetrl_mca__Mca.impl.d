@@ -1,0 +1,1 @@
+lib/mca/mca.ml: Block Float Func List Loops Lower Modul Option Posetrl_codegen Posetrl_ir Target

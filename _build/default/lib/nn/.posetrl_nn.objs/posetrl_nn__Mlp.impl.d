@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Array Layer Matrix Posetrl_support Rng

@@ -1,0 +1,64 @@
+(* A fully-connected layer with Adam state and optional ReLU. *)
+
+open Posetrl_support
+
+type t = {
+  w : Matrix.t;
+  b : float array;
+  relu : bool;
+  (* gradient accumulators *)
+  gw : Matrix.t;
+  gb : float array;
+  (* Adam moments *)
+  mw : Matrix.t;
+  vw : Matrix.t;
+  mb : float array;
+  vb : float array;
+}
+
+(* He initialization for ReLU layers, Xavier otherwise. *)
+let create (rng : Rng.t) ~in_dim ~out_dim ~relu =
+  let scale =
+    if relu then sqrt (2.0 /. float_of_int in_dim)
+    else sqrt (1.0 /. float_of_int in_dim)
+  in
+  { w = Matrix.init out_dim in_dim (fun _ _ -> Rng.normal rng *. scale);
+    b = Array.make out_dim 0.0;
+    relu;
+    gw = Matrix.create out_dim in_dim;
+    gb = Array.make out_dim 0.0;
+    mw = Matrix.create out_dim in_dim;
+    vw = Matrix.create out_dim in_dim;
+    mb = Array.make out_dim 0.0;
+    vb = Array.make out_dim 0.0 }
+
+type cache = {
+  input : float array;
+  pre : float array; (* pre-activation *)
+}
+
+let forward (l : t) (x : float array) : float array * cache =
+  let pre = Matrix.matvec l.w x in
+  Array.iteri (fun i b -> pre.(i) <- pre.(i) +. b) l.b;
+  let out = if l.relu then Array.map (fun v -> if v > 0.0 then v else 0.0) pre else Array.copy pre in
+  (out, { input = x; pre })
+
+(* Accumulates gradients; returns dL/dinput. *)
+let backward (l : t) (c : cache) (dout : float array) : float array =
+  let dpre =
+    if l.relu then
+      Array.mapi (fun i d -> if c.pre.(i) > 0.0 then d else 0.0) dout
+    else dout
+  in
+  Matrix.outer_add l.gw ~k:1.0 dpre c.input;
+  Array.iteri (fun i d -> l.gb.(i) <- l.gb.(i) +. d) dpre;
+  Matrix.matvec_t l.w dpre
+
+let zero_grad (l : t) =
+  Matrix.fill_zero l.gw;
+  Array.fill l.gb 0 (Array.length l.gb) 0.0
+
+(* Copy parameters from [src] (used for target-network sync). *)
+let copy_params ~(src : t) ~(dst : t) =
+  Array.blit src.w.Matrix.data 0 dst.w.Matrix.data 0 (Array.length src.w.Matrix.data);
+  Array.blit src.b 0 dst.b 0 (Array.length src.b)

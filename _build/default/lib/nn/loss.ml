@@ -1,0 +1,12 @@
+(* Loss functions. The DQN uses Huber (smooth-L1) on TD errors, the
+   standard choice for stability under occasional large rewards. *)
+
+(* Returns (loss value, dloss/dpred). *)
+let huber ?(delta = 1.0) ~(pred : float) ~(target : float) () : float * float =
+  let d = pred -. target in
+  if Float.abs d <= delta then ((0.5 *. d *. d), d)
+  else ((delta *. (Float.abs d -. (0.5 *. delta))), if d > 0.0 then delta else -.delta)
+
+let mse ~(pred : float) ~(target : float) () : float * float =
+  let d = pred -. target in
+  (0.5 *. d *. d, d)

@@ -1,0 +1,69 @@
+(* Dense row-major matrices; just enough linear algebra for the MLPs. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array; (* length rows*cols, row-major *)
+}
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun i -> f (i / cols) (i mod cols)) }
+
+let copy m = { m with data = Array.copy m.data }
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let fill_zero m = Array.fill m.data 0 (Array.length m.data) 0.0
+
+(* y = M x *)
+let matvec (m : t) (x : float array) : float array =
+  if Array.length x <> m.cols then invalid_arg "Matrix.matvec: dimension mismatch";
+  let y = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (m.data.(base + j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+(* y = Mᵀ x *)
+let matvec_t (m : t) (x : float array) : float array =
+  if Array.length x <> m.rows then invalid_arg "Matrix.matvec_t: dimension mismatch";
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (m.data.(base + j) *. xi)
+      done
+  done;
+  y
+
+(* M <- M + k * (a ⊗ b)  (outer product accumulate, used for gradients) *)
+let outer_add (m : t) ~(k : float) (a : float array) (b : float array) =
+  if Array.length a <> m.rows || Array.length b <> m.cols then
+    invalid_arg "Matrix.outer_add: dimension mismatch";
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let ai = k *. a.(i) in
+    if ai <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        m.data.(base + j) <- m.data.(base + j) +. (ai *. b.(j))
+      done
+  done
+
+let map_inplace f m =
+  for i = 0 to Array.length m.data - 1 do
+    m.data.(i) <- f m.data.(i)
+  done
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)

@@ -1,0 +1,55 @@
+(* Multi-layer perceptron: the DQN's Q-function approximator. *)
+
+open Posetrl_support
+
+type t = {
+  layers : Layer.t array;
+  dims : int array; (* in_dim :: hidden... :: out_dim *)
+}
+
+(* [create rng [300;128;64;34]] builds ReLU hidden layers and a linear
+   output layer. *)
+let create (rng : Rng.t) (dims : int list) : t =
+  let dims = Array.of_list dims in
+  if Array.length dims < 2 then invalid_arg "Mlp.create: need at least 2 dims";
+  let n = Array.length dims - 1 in
+  let layers =
+    Array.init n (fun k ->
+        Layer.create rng ~in_dim:dims.(k) ~out_dim:dims.(k + 1) ~relu:(k < n - 1))
+  in
+  { layers; dims }
+
+let forward (net : t) (x : float array) : float array =
+  Array.fold_left (fun x l -> fst (Layer.forward l x)) x net.layers
+
+type caches = Layer.cache array
+
+let forward_cached (net : t) (x : float array) : float array * caches =
+  let caches = Array.make (Array.length net.layers) { Layer.input = x; Layer.pre = x } in
+  let out = ref x in
+  Array.iteri
+    (fun k l ->
+      let o, c = Layer.forward l !out in
+      caches.(k) <- c;
+      out := o)
+    net.layers;
+  (!out, caches)
+
+(* Backpropagate dL/doutput, accumulating parameter gradients. *)
+let backward (net : t) (caches : caches) (dout : float array) : unit =
+  let d = ref dout in
+  for k = Array.length net.layers - 1 downto 0 do
+    d := Layer.backward net.layers.(k) caches.(k) !d
+  done
+
+let zero_grad (net : t) = Array.iter Layer.zero_grad net.layers
+
+let copy_params ~(src : t) ~(dst : t) =
+  Array.iteri (fun k l -> Layer.copy_params ~src:l ~dst:dst.layers.(k)) src.layers
+
+(* parameter count, for reporting *)
+let param_count (net : t) : int =
+  Array.fold_left
+    (fun acc (l : Layer.t) ->
+      acc + Array.length l.Layer.w.Matrix.data + Array.length l.Layer.b)
+    0 net.layers

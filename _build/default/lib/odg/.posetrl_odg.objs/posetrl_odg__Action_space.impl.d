@@ -1,0 +1,1 @@
+lib/odg/action_space.ml: Array Graph Lazy List Option Posetrl_passes Printf String Walks

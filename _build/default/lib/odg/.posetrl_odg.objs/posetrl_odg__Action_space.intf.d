@@ -1,0 +1,1 @@
+lib/odg/action_space.mli:

@@ -1,0 +1,1 @@
+lib/odg/graph.ml: Buffer List Map Option Posetrl_passes Printf Set String

@@ -1,0 +1,1 @@
+lib/odg/graph.mli: Map Set

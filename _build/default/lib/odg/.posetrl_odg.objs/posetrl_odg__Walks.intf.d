@@ -1,0 +1,1 @@
+lib/odg/walks.mli: Graph

@@ -1,0 +1,115 @@
+(* The two action spaces of the paper.
+
+   - [manual]: the 15 manually-grouped sub-sequences (Table II), which are
+     exactly the groups whose concatenation is the Oz pipeline.
+   - [odg]: the 34 ODG-derived sub-sequences (Table III) — kept as
+     canonical data, as in the paper, with [Walks.derive] providing the
+     derivation algorithm itself (tested for the structural properties
+     the paper claims).
+
+   Each action is a list of pass names to run back-to-back. *)
+
+type t = {
+  name : string;
+  actions : string list array;
+}
+
+let manual : t =
+  { name = "manual";
+    actions = Array.of_list Posetrl_passes.Pipelines.manual_groups }
+
+(* Table III, transcribed. The paper's spelling variants
+   ("alignmentfromassumptions") resolve through the registry aliases. *)
+let odg_table : string list list =
+  [ [ "instcombine"; "barrier"; "elim-avail-extern"; "rpo-functionattrs";
+      "globalopt"; "globaldce"; "constmerge" ];
+    [ "instcombine"; "barrier"; "elim-avail-extern"; "rpo-functionattrs";
+      "globalopt"; "globaldce"; "float2int"; "lower-constant-intrinsics" ];
+    [ "instcombine"; "barrier"; "elim-avail-extern"; "rpo-functionattrs";
+      "globalopt"; "mem2reg"; "deadargelim" ];
+    [ "instcombine"; "jump-threading"; "correlated-propagation"; "dse" ];
+    [ "instcombine"; "jump-threading"; "correlated-propagation" ];
+    [ "instcombine" ];
+    [ "instcombine"; "tailcallelim" ];
+    [ "loop-simplify"; "lcssa"; "indvars"; "loop-idiom"; "loop-deletion";
+      "loop-unroll" ];
+    [ "loop-simplify"; "lcssa"; "indvars"; "loop-idiom"; "loop-deletion";
+      "loop-unroll"; "mldst-motion"; "gvn"; "memcpyopt"; "sccp"; "bdce" ];
+    [ "loop-simplify"; "lcssa"; "licm"; "adce" ];
+    [ "loop-simplify"; "lcssa"; "licm"; "alignment-from-assumptions";
+      "strip-dead-prototypes"; "globaldce"; "constmerge" ];
+    [ "loop-simplify"; "lcssa"; "licm"; "alignment-from-assumptions";
+      "strip-dead-prototypes"; "globaldce"; "float2int";
+      "lower-constant-intrinsics" ];
+    [ "loop-simplify"; "lcssa"; "licm"; "loop-unswitch" ];
+    [ "loop-simplify"; "lcssa"; "loop-rotate"; "licm"; "adce" ];
+    [ "loop-simplify"; "lcssa"; "loop-rotate"; "licm";
+      "alignment-from-assumptions"; "strip-dead-prototypes"; "globaldce";
+      "constmerge" ];
+    [ "loop-simplify"; "lcssa"; "loop-rotate"; "licm";
+      "alignment-from-assumptions"; "strip-dead-prototypes"; "globaldce";
+      "float2int"; "lower-constant-intrinsics" ];
+    [ "loop-simplify"; "lcssa"; "loop-rotate"; "licm"; "loop-unswitch" ];
+    [ "loop-simplify"; "lcssa"; "loop-rotate"; "loop-distribute";
+      "loop-vectorize" ];
+    [ "loop-simplify"; "lcssa"; "loop-sink"; "instsimplify"; "div-rem-pairs";
+      "simplifycfg" ];
+    [ "loop-simplify"; "lcssa"; "loop-unroll" ];
+    [ "loop-simplify"; "lcssa"; "loop-unroll"; "mldst-motion"; "gvn";
+      "memcpyopt"; "sccp"; "bdce" ];
+    [ "loop-simplify"; "loop-load-elim" ];
+    [ "simplifycfg" ];
+    [ "simplifycfg"; "prune-eh"; "inline"; "functionattrs"; "sroa";
+      "early-cse"; "lower-expect"; "forceattrs"; "inferattrs"; "ipsccp";
+      "called-value-propagation"; "attributor"; "globalopt"; "globaldce";
+      "constmerge"; "barrier" ];
+    [ "simplifycfg"; "prune-eh"; "inline"; "functionattrs"; "sroa";
+      "early-cse"; "lower-expect"; "forceattrs"; "inferattrs"; "ipsccp";
+      "called-value-propagation"; "attributor"; "globalopt"; "globaldce";
+      "float2int"; "lower-constant-intrinsics"; "barrier" ];
+    [ "simplifycfg"; "prune-eh"; "inline"; "functionattrs"; "sroa";
+      "early-cse"; "lower-expect"; "forceattrs"; "inferattrs"; "ipsccp";
+      "called-value-propagation"; "attributor"; "globalopt"; "mem2reg";
+      "deadargelim"; "barrier" ];
+    [ "simplifycfg"; "prune-eh"; "inline"; "functionattrs"; "sroa";
+      "early-cse-memssa"; "speculative-execution"; "jump-threading";
+      "correlated-propagation"; "dse"; "barrier" ];
+    [ "simplifycfg"; "prune-eh"; "inline"; "functionattrs"; "sroa";
+      "early-cse-memssa"; "speculative-execution"; "jump-threading";
+      "correlated-propagation"; "barrier" ];
+    [ "simplifycfg"; "reassociate" ];
+    [ "simplifycfg"; "sroa"; "early-cse"; "lower-expect"; "forceattrs";
+      "inferattrs"; "ipsccp"; "called-value-propagation"; "attributor";
+      "globalopt"; "globaldce"; "constmerge" ];
+    [ "simplifycfg"; "sroa"; "early-cse"; "lower-expect"; "forceattrs";
+      "inferattrs"; "ipsccp"; "called-value-propagation"; "attributor";
+      "globalopt"; "globaldce"; "float2int"; "lower-constant-intrinsics" ];
+    [ "simplifycfg"; "sroa"; "early-cse"; "lower-expect"; "forceattrs";
+      "inferattrs"; "ipsccp"; "called-value-propagation"; "attributor";
+      "globalopt"; "mem2reg"; "deadargelim" ];
+    [ "simplifycfg"; "sroa"; "early-cse-memssa"; "speculative-execution";
+      "jump-threading"; "correlated-propagation"; "dse" ];
+    [ "simplifycfg"; "sroa"; "early-cse-memssa"; "speculative-execution";
+      "jump-threading"; "correlated-propagation" ] ]
+
+let odg : t = { name = "odg"; actions = Array.of_list odg_table }
+
+(* Action space derived live from the ODG walk enumeration; the canonical
+   [odg] table is what the paper's experiments use. *)
+let derived ?(k = 8) () : t =
+  { name = Printf.sprintf "odg-derived-k%d" k;
+    actions = Array.of_list (Walks.derive ~k (Lazy.force Graph.default)) }
+
+let n_actions (t : t) = Array.length t.actions
+
+let action (t : t) (idx : int) : string list = t.actions.(idx)
+
+(* Every pass named in an action space must resolve in the registry. *)
+let validate (t : t) : (unit, string) result =
+  let missing =
+    Array.to_list t.actions |> List.concat
+    |> List.filter (fun n -> Option.is_none (Posetrl_passes.Registry.find n))
+    |> List.sort_uniq String.compare
+  in
+  if missing = [] then Ok ()
+  else Error (String.concat ", " missing)

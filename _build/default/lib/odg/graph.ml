@@ -1,0 +1,73 @@
+(* Oz Dependence Graph (paper §IV-B, Fig. 4).
+
+   Nodes are the unique passes of the Oz pipeline; a directed edge u → v
+   exists when v immediately follows u somewhere in the Oz sequence.
+   (The paper's prose describes the edge direction both ways; its own
+   example sub-sequences follow successor order, which is what we build —
+   see DESIGN.md.) Nodes whose total degree reaches the threshold k are
+   the *critical nodes* from which sub-sequence walks start and end. *)
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+type t = {
+  nodes : string list;
+  succs : SSet.t SMap.t;
+  preds : SSet.t SMap.t;
+}
+
+let of_sequence (seq : string list) : t =
+  let nodes = List.sort_uniq String.compare seq in
+  let add m k v =
+    let cur = Option.value (SMap.find_opt k m) ~default:SSet.empty in
+    SMap.add k (SSet.add v cur) m
+  in
+  let rec edges succs preds = function
+    | a :: (b :: _ as rest) -> edges (add succs a b) (add preds b a) rest
+    | _ -> (succs, preds)
+  in
+  let succs, preds = edges SMap.empty SMap.empty seq in
+  { nodes; succs; preds }
+
+let default = lazy (of_sequence Posetrl_passes.Pipelines.oz_sequence)
+
+let successors t n = Option.value (SMap.find_opt n t.succs) ~default:SSet.empty
+
+let predecessors t n = Option.value (SMap.find_opt n t.preds) ~default:SSet.empty
+
+(* Degree = distinct in-neighbours + distinct out-neighbours, the measure
+   under which the paper's critical nodes get degrees 11, 10 and 8. *)
+let degree t n = SSet.cardinal (successors t n) + SSet.cardinal (predecessors t n)
+
+let critical_nodes ?(k = 8) (t : t) : (string * int) list =
+  t.nodes
+  |> List.filter_map (fun n ->
+         let d = degree t n in
+         if d >= k then Some (n, d) else None)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let edge_count t =
+  SMap.fold (fun _ s acc -> acc + SSet.cardinal s) t.succs 0
+
+let node_count t = List.length t.nodes
+
+(* Graphviz rendering of Fig. 4. *)
+let to_dot ?(k = 8) (t : t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph odg {\n  rankdir=LR;\n";
+  let crit = SSet.of_list (List.map fst (critical_nodes ~k t)) in
+  List.iter
+    (fun n ->
+      if SSet.mem n crit then
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\" [shape=doublecircle,style=bold];\n" n)
+      else Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" n))
+    t.nodes;
+  SMap.iter
+    (fun u vs ->
+      SSet.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf "  \"%s\" -> \"%s\";\n" u v))
+        vs)
+    t.succs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

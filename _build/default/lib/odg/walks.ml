@@ -1,0 +1,61 @@
+(* Sub-sequence derivation by walking the ODG (paper §IV-B).
+
+   A walk starts at a critical node and follows successor edges; it ends
+   just before reaching another critical node (or at a node with no
+   outgoing edges). Interior nodes are not revisited within one walk, so
+   walks terminate. Every consecutive pair in a walk is an Oz edge, which
+   is the dependency-preservation property the paper claims. *)
+
+module SSet = Graph.SSet
+
+let max_walk_len = 24
+
+(* All maximal walks from [start]; each walk includes [start] and excludes
+   the terminating critical node. *)
+let walks_from (g : Graph.t) ~(critical : SSet.t) (start : string) : string list list =
+  let results = ref [] in
+  let rec extend (path_rev : string list) (visited : SSet.t) (node : string) =
+    if List.length path_rev >= max_walk_len then
+      results := List.rev path_rev :: !results
+    else begin
+      let succs = Graph.successors g node in
+      let continuations =
+        SSet.elements succs
+        |> List.filter (fun s -> not (SSet.mem s visited))
+        |> List.filter (fun s -> not (SSet.mem s critical))
+      in
+      let terminates =
+        SSet.exists (fun s -> SSet.mem s critical) succs
+        || SSet.is_empty succs
+        || continuations = []
+      in
+      if terminates then results := List.rev path_rev :: !results;
+      List.iter
+        (fun s -> extend (s :: path_rev) (SSet.add s visited) s)
+        continuations
+    end
+  in
+  extend [ start ] (SSet.singleton start) start;
+  List.sort_uniq compare !results
+
+let derive ?(k = 8) (g : Graph.t) : string list list =
+  let critical = SSet.of_list (List.map fst (Graph.critical_nodes ~k g)) in
+  SSet.elements critical
+  |> List.concat_map (fun c -> walks_from g ~critical c)
+  |> List.sort_uniq compare
+
+(* Structural validation used by the tests: every consecutive pair in a
+   derived walk must be an edge of the graph, the head must be critical,
+   and interior nodes must be non-critical. *)
+let valid_walk ?(k = 8) (g : Graph.t) (walk : string list) : bool =
+  let critical = SSet.of_list (List.map fst (Graph.critical_nodes ~k g)) in
+  match walk with
+  | [] -> false
+  | head :: rest ->
+    SSet.mem head critical
+    && List.for_all (fun n -> not (SSet.mem n critical)) rest
+    && fst
+         (List.fold_left
+            (fun (ok, prev) n ->
+              (ok && SSet.mem n (Graph.successors g prev), n))
+            (true, head) rest)

@@ -1,0 +1,1 @@
+lib/passes/attr_passes.ml: Attrs Config Func Instr List Loops Map Modul Option Pass Posetrl_ir String Utils

@@ -1,0 +1,1 @@
+lib/passes/clone.ml: Block Func Hashtbl Instr List Posetrl_ir Value

@@ -1,0 +1,1 @@
+lib/passes/config.ml: Fmt

@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Block Config Func Hashtbl Instr Int Int64 List Option Pass Posetrl_ir Queue Set Types Utils Value

@@ -1,0 +1,1 @@
+lib/passes/dse.ml: Block Config Func Hashtbl Instr Int List Pass Posetrl_ir Set Utils Value

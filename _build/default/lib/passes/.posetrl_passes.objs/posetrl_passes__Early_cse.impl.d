@@ -1,0 +1,1 @@
+lib/passes/early_cse.ml: Block Cfg Dom Func Hashtbl Instr List Map Pass Posetrl_ir Stdlib Types Utils Value

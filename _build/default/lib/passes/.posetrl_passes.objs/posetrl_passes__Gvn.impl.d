@@ -1,0 +1,1 @@
+lib/passes/gvn.ml: Block Cfg Config Dom Func Hashtbl Instr List Pass Posetrl_ir Stdlib String Utils Value

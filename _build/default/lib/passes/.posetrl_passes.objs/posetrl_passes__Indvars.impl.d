@@ -1,0 +1,1 @@
+lib/passes/indvars.ml: Block Config Func Instr Int64 List Loop_simplify Loops Pass Posetrl_ir Set String Utils Value

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Attrs Block Clone Config Func Instr List Modul Pass Posetrl_ir Printf String Types Utils Value

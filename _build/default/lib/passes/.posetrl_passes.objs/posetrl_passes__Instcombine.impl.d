@@ -1,0 +1,1 @@
+lib/passes/instcombine.ml: Block Config Fold Func Hashtbl Instr Int64 List Pass Posetrl_ir Types Utils Value

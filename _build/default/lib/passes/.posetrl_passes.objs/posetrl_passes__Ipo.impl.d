@@ -1,0 +1,1 @@
+lib/passes/ipo.ml: Attrs Block Func Global Hashtbl Instr List Modul Option Pass Posetrl_ir Queue Set String Types Value

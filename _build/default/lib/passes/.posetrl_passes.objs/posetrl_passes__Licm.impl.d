@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Block Config Func Instr Int Int64 List Loop_simplify Loops Pass Posetrl_ir Set String Value

@@ -1,0 +1,1 @@
+lib/passes/loop_deletion.ml: Block Clone Config Func Instr Int List Loop_simplify Loops Option Pass Posetrl_ir Set String Utils Value

@@ -1,0 +1,1 @@
+lib/passes/loop_misc.ml: Block Clone Fun Func Hashtbl Instr Int List Loops Option Pass Posetrl_ir Printf Set Stdlib String Types Utils Value

@@ -1,0 +1,1 @@
+lib/passes/loop_simplify.ml: Block Cfg Config Func Hashtbl Instr Int List Loops Option Pass Posetrl_ir Set String Types Utils Value

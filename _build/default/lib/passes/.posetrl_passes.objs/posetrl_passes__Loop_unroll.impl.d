@@ -1,0 +1,1 @@
+lib/passes/loop_unroll.ml: Array Block Clone Config Func Hashtbl Instr Int List Loop_simplify Loops Pass Posetrl_ir Printf Set String Utils Value

@@ -1,0 +1,1 @@
+lib/passes/loop_unswitch.ml: Block Clone Config Func Instr Int List Loop_simplify Loops Pass Posetrl_ir Set String Utils Value

@@ -1,0 +1,1 @@
+lib/passes/loop_vectorize.ml: Block Config Func Hashtbl Instr Int Int64 List Loop_simplify Loops Pass Posetrl_ir Set String Types Utils Value

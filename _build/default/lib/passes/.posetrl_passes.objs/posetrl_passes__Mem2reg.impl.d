@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Block Cfg Config Dom Func Hashtbl Instr Int List Map Option Pass Posetrl_ir Queue Set String Types Utils Value

@@ -1,0 +1,1 @@
+lib/passes/memory_opts.ml: Block Cfg Config Func Instr Int64 List Pass Posetrl_ir Set String Types Value

@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Config List Modul Posetrl_ir Printf String Verifier

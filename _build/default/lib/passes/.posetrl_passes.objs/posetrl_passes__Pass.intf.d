@@ -1,0 +1,1 @@
+lib/passes/pass.mli: Config Func Modul Posetrl_ir

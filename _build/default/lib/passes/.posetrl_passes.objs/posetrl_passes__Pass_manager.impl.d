@@ -1,0 +1,1 @@
+lib/passes/pass_manager.ml: Config List Modul Pass Pipelines Posetrl_ir Registry Unix

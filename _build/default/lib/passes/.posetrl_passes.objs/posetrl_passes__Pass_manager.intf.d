@@ -1,0 +1,1 @@
+lib/passes/pass_manager.mli: Config Modul Pipelines Posetrl_ir

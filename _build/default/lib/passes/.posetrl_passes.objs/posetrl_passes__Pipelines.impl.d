@@ -1,0 +1,1 @@
+lib/passes/pipelines.ml: Config List String

@@ -1,0 +1,1 @@
+lib/passes/registry.mli: Pass

@@ -1,0 +1,1 @@
+lib/passes/scalar_misc.ml: Block Cfg Config Dom Float Fold Func Hashtbl Instr Int64 List Option Pass Posetrl_ir Set String Types Utils Value

@@ -1,0 +1,1 @@
+lib/passes/sccp.ml: Block Fold Func Hashtbl Instr Int64 List Modul Option Pass Posetrl_ir Queue String Utils Value

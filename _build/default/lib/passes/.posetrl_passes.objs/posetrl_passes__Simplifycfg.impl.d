@@ -1,0 +1,1 @@
+lib/passes/simplifycfg.ml: Block Cfg Config Func Instr List Option Pass Posetrl_ir String Utils Value

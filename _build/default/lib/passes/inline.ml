@@ -1,0 +1,144 @@
+(* -inline: bottom-up function inlining.
+
+   Call sites whose callee's estimated cost is under the pipeline
+   threshold are expanded in place: the callee body is cloned into the
+   caller, parameters become the argument values, the call block is split
+   at the call site, and every callee return branches to the continuation
+   block (merging return values through a phi). Inlining is the prime
+   mover of both the speed gains and the size growth the action
+   sub-sequences trade against each other. *)
+
+open Posetrl_ir
+
+let caller_growth_limit = 4000
+
+let never_inline (callee : Func.t) =
+  Func.is_declaration callee || Func.has_attr Attrs.noinline callee
+
+let should_inline (cfg : Config.t) ~(caller : Func.t) (callee : Func.t) =
+  (not (never_inline callee))
+  && (not (String.equal caller.Func.name callee.Func.name))
+  && (Func.has_attr Attrs.always_inline callee
+     ||
+     let cost = Utils.func_cost callee in
+     let bonus = if Func.has_attr Attrs.inline_hint callee then 2 else 1 in
+     cost <= cfg.Config.inline_threshold * bonus)
+
+(* Inline one qualifying call site in [caller]; [None] if there is none. *)
+let inline_one (cfg : Config.t) (m : Modul.t) (caller : Func.t) : Func.t option =
+  if Utils.func_cost caller > caller_growth_limit then None
+  else
+    let site =
+      List.find_map
+        (fun (b : Block.t) ->
+          let rec scan before = function
+            | [] -> None
+            | ({ Instr.op = Instr.Call (ty, g, args); _ } as i) :: after ->
+              (match Modul.find_func m g with
+               | Some callee when should_inline cfg ~caller callee ->
+                 Some (b, List.rev before, i, ty, args, callee, after)
+               | _ -> scan (i :: before) after)
+            | i :: after -> scan (i :: before) after
+          in
+          scan [] b.Block.insns)
+        caller.Func.blocks
+    in
+    match site with
+    | None -> None
+    | Some (blk, before, call_insn, ret_ty, args, callee, after) ->
+      let counter = Func.fresh_counter caller in
+      let cont_lbl = Utils.fresh_label caller (blk.Block.label ^ ".cont") in
+      let prefix = Printf.sprintf "%s.i%d." callee.Func.name counter.Func.next in
+      let callee_label l =
+        List.exists (fun (b : Block.t) -> String.equal b.Block.label l) callee.Func.blocks
+      in
+      let rename l = if callee_label l then prefix ^ l else l in
+      let init_map =
+        List.map2 (fun (p, _) arg -> (p, arg)) callee.Func.params args
+      in
+      let cloned, _find =
+        Clone.clone_blocks ~counter ~rename_label:rename ~init_map callee.Func.blocks
+      in
+      (* redirect callee returns to the continuation block *)
+      let ret_sites = ref [] in
+      let cloned =
+        List.map
+          (fun (b : Block.t) ->
+            match b.Block.term with
+            | Instr.Ret (Some (_, v)) ->
+              ret_sites := (b.Block.label, v) :: !ret_sites;
+              { b with Block.term = Instr.Br cont_lbl }
+            | Instr.Ret None ->
+              ret_sites := (b.Block.label, Value.cundef Types.Void) :: !ret_sites;
+              { b with Block.term = Instr.Br cont_lbl }
+            | _ -> b)
+          cloned
+      in
+      let entry_lbl = rename (Func.entry callee).Block.label in
+      (* if blk was its own predecessor, that backedge now leaves from the
+         continuation block, so blk's own phis must be re-labelled too *)
+      let new_blk =
+        Block.rename_phi_pred ~from:blk.Block.label ~to_:cont_lbl
+          (Block.mk blk.Block.label before (Instr.Br entry_lbl))
+      in
+      let has_result = call_insn.Instr.id >= 0 in
+      let cont_phis =
+        if has_result && !ret_sites <> [] then
+          [ Instr.mk call_insn.Instr.id
+              (Instr.Phi (ret_ty, List.rev !ret_sites)) ]
+        else []
+      in
+      let cont_blk = Block.mk cont_lbl (cont_phis @ after) blk.Block.term in
+      let blocks =
+        List.concat_map
+          (fun (b : Block.t) ->
+            if String.equal b.Block.label blk.Block.label then
+              [ new_blk; cont_blk ] @ cloned
+            else
+              (* successors of the original block now see cont as pred *)
+              [ Block.rename_phi_pred ~from:blk.Block.label ~to_:cont_lbl b ])
+          caller.Func.blocks
+      in
+      let f = Func.with_blocks ~next_id:counter.Func.next caller blocks in
+      (* a never-returning callee leaves the result undefined *)
+      let f =
+        if has_result && !ret_sites = [] then
+          Func.replace_reg call_insn.Instr.id (Value.cundef ret_ty) f
+          |> Utils.remove_unreachable_blocks
+        else f
+      in
+      Some f
+
+let max_sites_per_run = 24
+
+let run (cfg : Config.t) (m : Modul.t) : Modul.t =
+  if cfg.Config.inline_threshold <= 0 then m
+  else begin
+    (* bottom-up: handle callees before callers so costs reflect the final
+       shape; approximate post-order by iterating twice *)
+    let inline_into m (f : Func.t) =
+      if Func.is_declaration f then (m, f)
+      else begin
+        let rec go f n =
+          if n = 0 then f
+          else
+            match inline_one cfg m f with
+            | Some f' -> go f' (n - 1)
+            | None -> f
+        in
+        let f' = go f max_sites_per_run in
+        (Modul.replace_func m f', f')
+      end
+    in
+    List.fold_left
+      (fun m name ->
+        match Modul.find_func m name with
+        | Some f -> fst (inline_into m f)
+        | None -> m)
+      m
+      (List.map (fun f -> f.Func.name) m.Modul.funcs)
+  end
+
+let pass =
+  Pass.mk "inline" ~description:"threshold-based bottom-up function inlining"
+    (fun cfg m -> run cfg m)

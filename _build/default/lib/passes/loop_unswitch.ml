@@ -1,0 +1,155 @@
+(* -loop-unswitch: hoist loop-invariant conditions out of loops.
+
+   When a conditional branch inside a loop tests a loop-invariant value,
+   the loop is duplicated: the preheader tests the condition once and
+   enters a version of the loop specialized to each outcome, in which the
+   branch is folded. Classic speed-for-size trade; gated by a body-size
+   budget that shrinks with the size level. *)
+
+open Posetrl_ir
+module SSet = Set.Make (String)
+module ISet = Set.Make (Int)
+
+let size_budget (cfg : Config.t) =
+  match cfg.Config.size_level with
+  | 0 -> 60
+  | 1 -> 24
+  | _ -> 10
+
+let unswitch_one (cfg : Config.t) (f : Func.t) (loop : Loops.loop) : Func.t * bool =
+  match loop.Loops.preheader with
+  | None -> (f, false)
+  | Some pre ->
+    let in_loop l = SSet.mem l loop.Loops.blocks in
+    let loop_blocks = List.filter (fun (b : Block.t) -> in_loop b.Block.label) f.Func.blocks in
+    let body_size =
+      List.fold_left (fun acc (b : Block.t) -> acc + List.length b.Block.insns) 0 loop_blocks
+    in
+    if body_size > size_budget cfg then (f, false)
+    else begin
+      let loop_defs = ISet.of_list (Clone.region_defs loop_blocks) in
+      let invariant v =
+        match v with Value.Reg r -> not (ISet.mem r loop_defs) | _ -> false
+      in
+      (* find an in-loop cbr on an invariant, non-constant condition whose
+         both targets are inside the loop *)
+      let candidate =
+        List.find_map
+          (fun (b : Block.t) ->
+            match b.Block.term with
+            | Instr.Cbr (c, t, e)
+              when invariant c && in_loop t && in_loop e && not (String.equal t e) ->
+              Some (b.Block.label, c, t, e)
+            | _ -> None)
+          loop_blocks
+      in
+      match candidate with
+      | None -> (f, false)
+      | Some (br_block, cond, t_lbl, e_lbl) ->
+        (* values defined in the loop and used outside must flow through
+           exit phis for the clone's exits to merge; require unique exit
+           with phis or no outside uses at all *)
+        let outside_use = ref false in
+        List.iter
+          (fun (b : Block.t) ->
+            if not (in_loop b.Block.label) then begin
+              let check v =
+                match v with
+                | Value.Reg r when ISet.mem r loop_defs -> outside_use := true
+                | _ -> ()
+              in
+              List.iter
+                (fun (i : Instr.t) ->
+                  match i.Instr.op with
+                  | Instr.Phi _ when List.mem b.Block.label loop.Loops.exits -> ()
+                  | op -> List.iter check (Instr.operands op))
+                b.Block.insns;
+              List.iter check (Instr.term_operands b.Block.term)
+            end)
+          f.Func.blocks;
+        if !outside_use then (f, false)
+        else begin
+          let counter = Func.fresh_counter f in
+          let rename l = if in_loop l then l ^ ".us" else l in
+          let cloned, find = Clone.clone_blocks ~counter ~rename_label:rename ~init_map:[] loop_blocks in
+          (* specialize: original takes the true arm, clone the false arm;
+             the abandoned target in each copy loses the branch block as a
+             predecessor, so its phis must drop that entry *)
+          let orig_blocks =
+            List.map
+              (fun (b : Block.t) ->
+                if String.equal b.Block.label br_block then
+                  { b with Block.term = Instr.Br t_lbl }
+                else if String.equal b.Block.label e_lbl then
+                  Block.remove_phi_pred ~pred:br_block b
+                else b)
+              loop_blocks
+          in
+          let cloned =
+            List.map
+              (fun (b : Block.t) ->
+                if String.equal b.Block.label (rename br_block) then
+                  { b with Block.term = Instr.Br (rename e_lbl) }
+                else if String.equal b.Block.label (rename t_lbl) then
+                  Block.remove_phi_pred ~pred:(rename br_block) b
+                else b)
+              cloned
+          in
+          (* preheader now tests the condition *)
+          let blocks =
+            f.Func.blocks
+            |> List.filter (fun (b : Block.t) -> not (in_loop b.Block.label))
+            |> List.map (fun (b : Block.t) ->
+                   if String.equal b.Block.label pre then
+                     { b with
+                       Block.term = Instr.Cbr (cond, loop.Loops.header, rename loop.Loops.header) }
+                   else if List.mem b.Block.label loop.Loops.exits then
+                     (* exit phis gain entries from the cloned exiting blocks *)
+                     Block.map_insns
+                       (fun (i : Instr.t) ->
+                         match i.Instr.op with
+                         | Instr.Phi (ty, incs) ->
+                           let extra =
+                             List.filter_map
+                               (fun (l, v) ->
+                                 if in_loop l then
+                                   let v' =
+                                     match v with
+                                     | Value.Reg r ->
+                                       (match find r with Some v' -> v' | None -> v)
+                                     | _ -> v
+                                   in
+                                   Some (rename l, v')
+                                 else None)
+                               incs
+                           in
+                           { i with Instr.op = Instr.Phi (ty, incs @ extra) }
+                         | _ -> i)
+                       b
+                   else b)
+          in
+          let f' =
+            Func.with_blocks ~next_id:counter.Func.next f (blocks @ orig_blocks @ cloned)
+          in
+          (Utils.remove_unreachable_blocks f', true)
+        end
+    end
+
+let run_func (cfg : Config.t) (f : Func.t) : Func.t =
+  let f = Loop_simplify.loop_simplify_func cfg f in
+  let li = Loops.compute f in
+  (* one unswitch per pass invocation per function keeps growth bounded *)
+  let f', _ =
+    List.fold_left
+      (fun (f, done_) loop ->
+        if done_ then (f, done_)
+        else
+          let f', c = unswitch_one cfg f loop in
+          (f', c))
+      (f, false) (Loops.leaf_loops li)
+  in
+  f'
+
+let pass =
+  Pass.function_pass "loop-unswitch"
+    ~description:"duplicate loops to hoist invariant conditions" run_func

@@ -1,0 +1,114 @@
+(* Memory optimization passes: -memcpyopt and -mldst-motion. *)
+
+open Posetrl_ir
+module SSet = Set.Make (String)
+
+(* --- memcpyopt ------------------------------------------------------------
+
+   Expands small constant-length memcpys into load/store pairs (letting
+   the scalar pipeline optimize through them), and elides self-copies. *)
+
+let memcpy_expand_limit = 16 (* bytes *)
+
+let run_memcpyopt (_cfg : Config.t) (f : Func.t) : Func.t =
+  let counter = Func.fresh_counter f in
+  let rewrite (i : Instr.t) : Instr.t list =
+    match i.Instr.op with
+    | Instr.Memcpy (d, s, _) when Value.equal d s -> []
+    | Instr.Memcpy (_, _, Value.Const (Value.Cint (_, 0L))) -> []
+    | Instr.Memcpy (d, s, Value.Const (Value.Cint (_, n)))
+      when Int64.compare n (Int64.of_int memcpy_expand_limit) <= 0
+           && Int64.compare n 0L > 0
+           && Int64.rem n 8L = 0L ->
+      (* expand to i64 load/store pairs *)
+      let words = Int64.to_int n / 8 in
+      List.concat
+        (List.init words (fun k ->
+             let sp = Func.fresh counter in
+             let dp = Func.fresh counter in
+             let v = Func.fresh counter in
+             [ Instr.mk sp (Instr.Gep (Types.I64, s, Value.ci64 k));
+               Instr.mk v (Instr.Load (Types.I64, Value.Reg sp));
+               Instr.mk dp (Instr.Gep (Types.I64, d, Value.ci64 k));
+               Instr.mk Instr.no_result (Instr.Store (Types.I64, Value.Reg v, Value.Reg dp)) ]))
+    | _ -> [ i ]
+  in
+  let f =
+    Func.map_blocks
+      (fun b -> { b with Block.insns = List.concat_map rewrite b.Block.insns })
+      f
+  in
+  Func.commit_counter f counter
+
+let memcpyopt_pass =
+  Pass.function_pass "memcpyopt"
+    ~description:"expand and elide memcpy operations" run_memcpyopt
+
+(* --- mldst-motion ----------------------------------------------------------
+
+   Merged load/store motion: when both arms of a diamond store to the same
+   pointer, the store sinks into the join block with a phi selecting the
+   value — removing one store from the encoded program. *)
+
+let run_mldst (_cfg : Config.t) (f : Func.t) : Func.t =
+  let cfg = Cfg.of_func f in
+  let single_pred l = match Cfg.preds cfg l with [ _ ] -> true | _ -> false in
+  let find_diamond () =
+    List.find_map
+      (fun (head : Block.t) ->
+        match head.Block.term with
+        | Instr.Cbr (_, t, e) when not (String.equal t e) ->
+          let tb = Func.find_block_exn f t and eb = Func.find_block_exn f e in
+          (match tb.Block.term, eb.Block.term with
+           | Instr.Br jt, Instr.Br je
+             when String.equal jt je && single_pred t && single_pred e
+                  && (match List.sort String.compare (Cfg.preds cfg jt) with
+                      | [ a; b ] ->
+                        String.equal a (min t e) && String.equal b (max t e)
+                      | _ -> false) ->
+             (* last instruction of each arm is a store to the same ptr *)
+             (match List.rev tb.Block.insns, List.rev eb.Block.insns with
+              | ( { Instr.op = Instr.Store (ty1, v1, p1); _ } :: _,
+                  { Instr.op = Instr.Store (ty2, v2, p2); _ } :: _ )
+                when Types.equal ty1 ty2 && Value.equal p1 p2 ->
+                Some (tb, eb, jt, ty1, v1, v2, p1)
+              | _ -> None)
+           | _ -> None)
+        | _ -> None)
+      f.Func.blocks
+  in
+  match find_diamond () with
+  | None -> f
+  | Some (tb, eb, join, ty, v1, v2, ptr) ->
+    let counter = Func.fresh_counter f in
+    let phi_reg = Func.fresh counter in
+    let drop_last_store (b : Block.t) =
+      match List.rev b.Block.insns with
+      | { Instr.op = Instr.Store _; _ } :: rest -> { b with Block.insns = List.rev rest }
+      | _ -> b
+    in
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          if String.equal b.Block.label tb.Block.label then drop_last_store b
+          else if String.equal b.Block.label eb.Block.label then drop_last_store b
+          else if String.equal b.Block.label join then begin
+            let phis, rest = Block.split_phis b in
+            let phi =
+              Instr.mk phi_reg
+                (Instr.Phi (ty, [ (tb.Block.label, v1); (eb.Block.label, v2) ]))
+            in
+            let store =
+              Instr.mk Instr.no_result (Instr.Store (ty, Value.Reg phi_reg, ptr))
+            in
+            { b with Block.insns = phis @ [ phi; store ] @ rest }
+          end
+          else b)
+        f.Func.blocks
+    in
+    Func.with_blocks ~next_id:counter.Func.next f blocks
+
+let mldst_pass =
+  Pass.function_pass "mldst-motion"
+    ~description:"sink matching stores from diamond arms into the join"
+    run_mldst

@@ -1,0 +1,37 @@
+(* The pass abstraction: a named module-to-module transformation.
+
+   Names follow LLVM's pass flags (e.g. "simplifycfg", "early-cse-memssa")
+   because the ODG, the action spaces and the experiment tables all refer
+   to passes by those names. *)
+
+open Posetrl_ir
+
+type t = {
+  name : string;
+  description : string;
+  run : Config.t -> Modul.t -> Modul.t;
+}
+
+let mk name ~description run = { name; description; run }
+
+(* Lift a per-function transform to a module pass over definitions. *)
+let function_pass name ~description f =
+  mk name ~description (fun cfg m -> Modul.map_defined (f cfg) m)
+
+(* A pass that only has out-of-IR effects in real LLVM (barriers,
+   instrumentation bookkeeping); here it is the identity on the IR. *)
+let no_op_pass name ~description = mk name ~description (fun _ m -> m)
+
+let run ?(verify = false) (p : t) (cfg : Config.t) (m : Modul.t) : Modul.t =
+  let m' = p.run cfg m in
+  if verify then begin
+    match Verifier.verify_module m' with
+    | [] -> ()
+    | errs ->
+      let msg =
+        Printf.sprintf "pass %s produced invalid IR:\n%s" p.name
+          (String.concat "\n" (List.map Verifier.error_to_string errs))
+      in
+      raise (Verifier.Invalid msg)
+  end;
+  m'

@@ -1,0 +1,27 @@
+(** The pass abstraction: a named module-to-module transformation.
+
+    Names follow LLVM's pass flags (e.g. ["simplifycfg"],
+    ["early-cse-memssa"]) because the ODG, the action spaces and the
+    experiment tables refer to passes by those names. *)
+
+open Posetrl_ir
+
+type t = {
+  name : string;
+  description : string;
+  run : Config.t -> Modul.t -> Modul.t;
+}
+
+val mk : string -> description:string -> (Config.t -> Modul.t -> Modul.t) -> t
+
+val function_pass :
+  string -> description:string -> (Config.t -> Func.t -> Func.t) -> t
+(** Lift a per-function transform over every function definition. *)
+
+val no_op_pass : string -> description:string -> t
+(** A pass with no IR effect (pass-manager barriers, instrumentation
+    hooks our programs never request). *)
+
+val run : ?verify:bool -> t -> Config.t -> Modul.t -> Modul.t
+(** Run the pass; with [~verify:true] the output is checked by
+    {!Verifier} and {!Verifier.Invalid} is raised on malformed IR. *)

@@ -1,0 +1,41 @@
+(* Sequencing of passes by name, with optional per-pass IR verification
+   (the test suite's main weapon against miscompiling passes). *)
+
+open Posetrl_ir
+
+type stats = {
+  pass_name : string;
+  insns_before : int;
+  insns_after : int;
+  seconds : float;
+}
+
+let run_names ?(verify = false) ?(collect = false) (cfg : Config.t)
+    (names : string list) (m : Modul.t) : Modul.t * stats list =
+  let stats = ref [] in
+  let m =
+    List.fold_left
+      (fun m name ->
+        let p = Registry.find_exn name in
+        let before = if collect then Modul.insn_count m else 0 in
+        let t0 = if collect then Unix.gettimeofday () else 0.0 in
+        let m' = Pass.run ~verify p cfg m in
+        if collect then
+          stats :=
+            { pass_name = name;
+              insns_before = before;
+              insns_after = Modul.insn_count m';
+              seconds = Unix.gettimeofday () -. t0 }
+            :: !stats;
+        m')
+      m names
+  in
+  (m, List.rev !stats)
+
+let run ?(verify = false) (cfg : Config.t) (names : string list) (m : Modul.t) :
+    Modul.t =
+  fst (run_names ~verify cfg names m)
+
+(* Run a standard -Olevel pipeline. *)
+let run_level ?(verify = false) (level : Pipelines.level) (m : Modul.t) : Modul.t =
+  run ~verify (Pipelines.config_of level) (Pipelines.sequence_of level) m

@@ -1,0 +1,21 @@
+(** Sequencing of passes by name, with optional per-pass IR verification. *)
+
+open Posetrl_ir
+
+type stats = {
+  pass_name : string;
+  insns_before : int;
+  insns_after : int;
+  seconds : float;
+}
+
+val run_names :
+  ?verify:bool -> ?collect:bool -> Config.t -> string list -> Modul.t ->
+  Modul.t * stats list
+(** Run the named passes in order; with [~collect:true] per-pass stats
+    are gathered. Unknown names raise [Invalid_argument]. *)
+
+val run : ?verify:bool -> Config.t -> string list -> Modul.t -> Modul.t
+
+val run_level : ?verify:bool -> Pipelines.level -> Modul.t -> Modul.t
+(** Run a standard -O level pipeline with its matching config. *)

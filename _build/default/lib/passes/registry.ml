@@ -1,0 +1,86 @@
+(* Name-to-pass registry.
+
+   All 54 unique passes of the LLVM-10 -Oz pipeline (paper Table I) are
+   registered under their LLVM flag names; the ODG, the action spaces and
+   the pipelines refer to passes exclusively through this table. *)
+
+let all : Pass.t list =
+  [ Attr_passes.ee_instrument_pass;
+    Simplifycfg.pass;
+    Sroa.pass;
+    Early_cse.pass;
+    Scalar_misc.lower_expect_pass;
+    Attr_passes.forceattrs_pass;
+    Attr_passes.inferattrs_pass;
+    Sccp.ipsccp_pass;
+    Ipo.cvp_pass;
+    Attr_passes.attributor_pass;
+    Ipo.globalopt_pass;
+    Mem2reg.pass;
+    Ipo.deadargelim_pass;
+    Instcombine.pass;
+    Ipo.prune_eh_pass;
+    Inline.pass;
+    Attr_passes.functionattrs_pass;
+    Early_cse.memssa_pass;
+    Scalar_misc.speculative_pass;
+    Scalar_misc.jump_threading_pass;
+    Scalar_misc.correlated_pass;
+    Scalar_misc.tailcallelim_pass;
+    Scalar_misc.reassociate_pass;
+    Loop_simplify.pass;
+    Loop_simplify.lcssa_pass;
+    Loop_rotate.pass;
+    Licm.pass;
+    Loop_unswitch.pass;
+    Indvars.pass;
+    Loop_idiom.pass;
+    Loop_deletion.pass;
+    Loop_unroll.pass;
+    Memory_opts.mldst_pass;
+    Gvn.pass;
+    Memory_opts.memcpyopt_pass;
+    Sccp.pass;
+    Dce.bdce_pass;
+    Dse.pass;
+    Dce.adce_pass;
+    Attr_passes.barrier_pass;
+    Ipo.elim_avail_pass;
+    Attr_passes.rpo_functionattrs_pass;
+    Ipo.globaldce_pass;
+    Scalar_misc.float2int_pass;
+    Scalar_misc.lower_ci_pass;
+    Loop_misc.loop_distribute_pass;
+    Loop_vectorize.pass;
+    Loop_misc.loop_load_elim_pass;
+    Attr_passes.alignment_pass;
+    Ipo.strip_pass;
+    Ipo.constmerge_pass;
+    Loop_misc.loop_sink_pass;
+    Instcombine.instsimplify_pass;
+    Scalar_misc.div_rem_pass ]
+
+let table : (string, Pass.t) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter (fun (p : Pass.t) -> Hashtbl.replace t p.Pass.name p) all;
+  t
+
+(* Spelling variants seen in the paper's tables. *)
+let aliases =
+  [ ("alignmentfromassumptions", "alignment-from-assumptions");
+    ("alignment-from-assumptions", "alignment-from-assumptions") ]
+
+let find (name : string) : Pass.t option =
+  match Hashtbl.find_opt table name with
+  | Some p -> Some p
+  | None ->
+    (match List.assoc_opt name aliases with
+     | Some canonical -> Hashtbl.find_opt table canonical
+     | None -> None)
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Registry.find_exn: unknown pass %s" name)
+
+let names () = List.map (fun (p : Pass.t) -> p.Pass.name) all

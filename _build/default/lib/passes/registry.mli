@@ -1,0 +1,13 @@
+(** Name-to-pass registry: all 54 unique passes of the LLVM-10 -Oz
+    pipeline (paper Table I), registered under their LLVM flag names. *)
+
+val all : Pass.t list
+
+val find : string -> Pass.t option
+(** Lookup by flag name; resolves the paper's spelling variants
+    (e.g. ["alignmentfromassumptions"]). *)
+
+val find_exn : string -> Pass.t
+(** @raise Invalid_argument on unknown names. *)
+
+val names : unit -> string list

@@ -1,0 +1,164 @@
+(* -simplifycfg: CFG cleanup.
+
+   The workhorse cleanup pass, mirroring LLVM's: fold constant branches,
+   delete unreachable blocks, merge straight-line block chains, remove
+   empty forwarding blocks, simplify degenerate phis, and convert simple
+   diamonds/triangles whose arms are side-effect-free into selects
+   (if-conversion), which shrinks code and removes branches. *)
+
+open Posetrl_ir
+
+(* If-conversion of the triangle/diamond shapes:
+
+     head: cbr c, then, else        head: cbr c, then, join
+     then: br join                  then: br join
+     else: br join                  join: x = phi [then: a] [head: b]
+     join: x = phi [then: a] [else: b]
+
+   When the arms contain only a few pure instructions, move them into the
+   head and replace each join phi with a select. *)
+let if_convert (f : Func.t) : Func.t * bool =
+  let cfg = Cfg.of_func f in
+  let changed = ref false in
+  let pure_arm (b : Block.t) =
+    List.length b.Block.insns <= 3
+    && List.for_all (fun (i : Instr.t) -> Instr.is_pure i.Instr.op) b.Block.insns
+  in
+  let single_pred l = match Cfg.preds cfg l with [ _ ] -> true | _ -> false in
+  let candidate =
+    List.find_map
+      (fun (head : Block.t) ->
+        match head.Block.term with
+        | Instr.Cbr (c, t_lbl, e_lbl) when not (String.equal t_lbl e_lbl) ->
+          let t_blk = Func.find_block_exn f t_lbl in
+          let e_blk = Func.find_block_exn f e_lbl in
+          (match t_blk.Block.term, e_blk.Block.term with
+           (* diamond *)
+           | Instr.Br jt, Instr.Br je
+             when String.equal jt je && single_pred t_lbl && single_pred e_lbl
+                  && pure_arm t_blk && pure_arm e_blk
+                  && (not (String.equal jt head.Block.label)) ->
+             Some (`Diamond (head, c, t_blk, e_blk, jt))
+           (* triangle: then -> join, head -> join directly *)
+           | Instr.Br jt, _
+             when String.equal jt e_lbl && single_pred t_lbl && pure_arm t_blk ->
+             Some (`Triangle (head, c, t_blk, e_lbl, true))
+           | _, Instr.Br je
+             when String.equal je t_lbl && single_pred e_lbl && pure_arm e_blk ->
+             Some (`Triangle (head, c, e_blk, t_lbl, false))
+           | _ -> None)
+        | _ -> None)
+      f.Func.blocks
+  in
+  match candidate with
+  | None -> (f, false)
+  | Some shape ->
+    changed := true;
+    let counter = Func.fresh_counter f in
+    (match shape with
+     | `Diamond (head, c, t_blk, e_blk, join_lbl) ->
+       let join = Func.find_block_exn f join_lbl in
+       (* phis in join become selects placed in head *)
+       let selects = ref [] in
+       let phis, rest = Block.split_phis join in
+       let join_has_other_preds =
+         List.exists
+           (fun p ->
+             not (String.equal p t_blk.Block.label || String.equal p e_blk.Block.label))
+           (Cfg.preds cfg join_lbl)
+       in
+       if join_has_other_preds then (f, false)
+       else begin
+         List.iter
+           (fun (i : Instr.t) ->
+             match i.Instr.op with
+             | Instr.Phi (ty, incs) ->
+               let tv = Option.value (List.assoc_opt t_blk.Block.label incs) ~default:(Value.cundef ty) in
+               let ev = Option.value (List.assoc_opt e_blk.Block.label incs) ~default:(Value.cundef ty) in
+               selects := Instr.mk i.Instr.id (Instr.Select (ty, c, tv, ev)) :: !selects
+             | _ -> ())
+           phis;
+         ignore counter;
+         let new_head =
+           Block.mk head.Block.label
+             (head.Block.insns @ t_blk.Block.insns @ e_blk.Block.insns
+             @ List.rev !selects @ rest)
+             join.Block.term
+         in
+         let dead = [ t_blk.Block.label; e_blk.Block.label; join_lbl ] in
+         let blocks =
+           f.Func.blocks
+           |> List.filter (fun b -> not (List.mem b.Block.label dead))
+           |> List.map (fun b ->
+                  if String.equal b.Block.label head.Block.label then new_head else b)
+           |> List.map (Block.rename_phi_pred ~from:join_lbl ~to_:head.Block.label)
+         in
+         (Func.with_blocks f blocks, true)
+       end
+     | `Triangle (head, c, arm_blk, join_lbl, arm_is_then) ->
+       let join = Func.find_block_exn f join_lbl in
+       let phis, rest = Block.split_phis join in
+       let other_preds =
+         List.filter
+           (fun p ->
+             not
+               (String.equal p arm_blk.Block.label
+               || String.equal p head.Block.label))
+           (Cfg.preds cfg join_lbl)
+       in
+       if other_preds <> [] || phis = [] then
+         (* without phis there is nothing to select; still profitable to
+            hoist the arm when tiny, but keep it simple: only phi case *)
+         (f, false)
+       else begin
+         let selects =
+           List.filter_map
+             (fun (i : Instr.t) ->
+               match i.Instr.op with
+               | Instr.Phi (ty, incs) ->
+                 let av = Option.value (List.assoc_opt arm_blk.Block.label incs) ~default:(Value.cundef ty) in
+                 let hv = Option.value (List.assoc_opt head.Block.label incs) ~default:(Value.cundef ty) in
+                 let tv, ev = if arm_is_then then (av, hv) else (hv, av) in
+                 Some (Instr.mk i.Instr.id (Instr.Select (ty, c, tv, ev)))
+               | _ -> None)
+             phis
+         in
+         let new_head =
+           Block.mk head.Block.label
+             (head.Block.insns @ arm_blk.Block.insns @ selects @ rest)
+             join.Block.term
+         in
+         let dead = [ arm_blk.Block.label; join_lbl ] in
+         let blocks =
+           f.Func.blocks
+           |> List.filter (fun b -> not (List.mem b.Block.label dead))
+           |> List.map (fun b ->
+                  if String.equal b.Block.label head.Block.label then new_head else b)
+           |> List.map (Block.rename_phi_pred ~from:join_lbl ~to_:head.Block.label)
+         in
+         (Func.with_blocks f blocks, true)
+       end)
+
+let run_func (_cfg : Config.t) (f : Func.t) : Func.t =
+  let cleanup f =
+    f
+    |> Utils.fold_terminators
+    |> Utils.remove_unreachable_blocks
+    |> Utils.simplify_single_incoming_phis
+    |> Utils.remove_forwarding_blocks
+    |> Utils.merge_blocks
+  in
+  let f = cleanup f in
+  let f =
+    Utils.to_fixed_point
+      (fun f ->
+        let f', changed = if_convert f in
+        ((if changed then cleanup f' else f'), changed))
+      f
+  in
+  Utils.trivial_dce f
+
+let pass =
+  Pass.function_pass "simplifycfg"
+    ~description:"simplify the CFG: fold branches, merge blocks, if-convert"
+    run_func

@@ -1,0 +1,150 @@
+(* -sroa: scalar replacement of aggregates.
+
+   Multi-element allocas whose every access goes through a constant-index
+   gep are split into independent single-element allocas, which mem2reg
+   can then promote to registers. Direct loads/stores on the base pointer
+   access element 0. *)
+
+open Posetrl_ir
+module IMap = Map.Make (Int)
+
+type candidate = {
+  reg : int;
+  ty : Types.t;
+  elems : int;
+}
+
+let find_candidates (f : Func.t) : candidate list =
+  let allocas =
+    Func.fold_insns
+      (fun acc _ i ->
+        match i.Instr.op with
+        | Instr.Alloca (ty, n) when n > 1 && n <= 64 && not (Types.is_vector ty) ->
+          { reg = i.Instr.id; ty; elems = n } :: acc
+        | _ -> acc)
+      [] f
+  in
+  if allocas = [] then []
+  else begin
+    let bad : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let is_cand r = List.exists (fun c -> c.reg = r) allocas in
+    (* geps from candidate allocas with constant in-range index *)
+    let gep_of : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+    Func.iter_insns
+      (fun _ i ->
+        match i.Instr.op with
+        | Instr.Gep (gty, Value.Reg base, idx) when is_cand base ->
+          let c = List.find (fun c -> c.reg = base) allocas in
+          (match idx with
+           | Value.Const (Value.Cint (_, k))
+             when Types.equal gty c.ty
+                  && Int64.compare k 0L >= 0
+                  && Int64.compare k (Int64.of_int c.elems) < 0 ->
+             Hashtbl.replace gep_of i.Instr.id (base, Int64.to_int k)
+           | _ -> Hashtbl.replace bad base ())
+        | _ -> ())
+      f;
+    (* any other use of the alloca or non-load/store use of a gep taints *)
+    let check_use v ~as_ptr_of_load_store =
+      match v with
+      | Value.Reg r ->
+        if is_cand r && not as_ptr_of_load_store then
+          (* direct load/store on the base is fine (element 0); anything
+             else is an escape *)
+          Hashtbl.replace bad r ();
+        (match Hashtbl.find_opt gep_of r with
+         | Some (base, _) when not as_ptr_of_load_store -> Hashtbl.replace bad base ()
+         | _ -> ())
+      | _ -> ()
+    in
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.Instr.op with
+            | Instr.Load (_, p) -> check_use p ~as_ptr_of_load_store:true
+            | Instr.Store (_, v, p) ->
+              check_use v ~as_ptr_of_load_store:false;
+              check_use p ~as_ptr_of_load_store:true
+            | Instr.Gep (_, base, idx) ->
+              (* candidate-based geps with constant index were classified
+                 above; everything else taints via check_use *)
+              (match base with
+               | Value.Reg r when is_cand r ->
+                 if not (Hashtbl.mem gep_of i.Instr.id) then Hashtbl.replace bad r ()
+               | _ -> check_use base ~as_ptr_of_load_store:false);
+              check_use idx ~as_ptr_of_load_store:false
+            | op ->
+              List.iter (fun v -> check_use v ~as_ptr_of_load_store:false) (Instr.operands op))
+          b.Block.insns;
+        List.iter
+          (fun v -> check_use v ~as_ptr_of_load_store:false)
+          (Instr.term_operands b.Block.term))
+      f.Func.blocks;
+    List.filter (fun c -> not (Hashtbl.mem bad c.reg)) allocas
+  end
+
+let split_func (f : Func.t) : Func.t =
+  let cands = find_candidates f in
+  if cands = [] then f
+  else begin
+    let counter = Func.fresh_counter f in
+    (* fresh scalar alloca registers per (candidate, element) *)
+    let scalar : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        for k = 0 to c.elems - 1 do
+          Hashtbl.replace scalar (c.reg, k) (Func.fresh counter)
+        done)
+      cands;
+    let is_cand r = List.exists (fun c -> c.reg = r) cands in
+    let gep_subst : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    Func.iter_insns
+      (fun _ i ->
+        match i.Instr.op with
+        | Instr.Gep (_, Value.Reg base, Value.Const (Value.Cint (_, k)))
+          when is_cand base ->
+          (match Hashtbl.find_opt scalar (base, Int64.to_int k) with
+           | Some s -> Hashtbl.replace gep_subst i.Instr.id s
+           | None -> ())
+        | _ -> ())
+      f;
+    let rewrite (i : Instr.t) : Instr.t list =
+      match i.Instr.op with
+      | Instr.Alloca (ty, _) when is_cand i.Instr.id ->
+        let c = List.find (fun c -> c.reg = i.Instr.id) cands in
+        List.init c.elems (fun k ->
+            Instr.mk (Hashtbl.find scalar (c.reg, k)) (Instr.Alloca (ty, 1)))
+      | Instr.Gep _ when Hashtbl.mem gep_subst i.Instr.id -> []
+      | _ -> [ i ]
+    in
+    let resolve v =
+      match v with
+      | Value.Reg r ->
+        (match Hashtbl.find_opt gep_subst r with
+         | Some s -> Value.Reg s
+         | None ->
+           (* direct base use = element 0 *)
+           (match Hashtbl.find_opt scalar (r, 0) with
+            | Some s when is_cand r -> Value.Reg s
+            | _ -> v))
+      | _ -> v
+    in
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          { b with Block.insns = List.concat_map rewrite b.Block.insns })
+        f.Func.blocks
+    in
+    Func.with_blocks ~next_id:counter.Func.next f blocks
+    |> Func.map_operands resolve
+  end
+
+(* LLVM's sroa also performs the promotion itself; we reuse mem2reg. *)
+let run_func (cfg : Config.t) (f : Func.t) : Func.t =
+  split_func f |> Mem2reg.run_func cfg
+
+let pass =
+  Pass.function_pass "sroa"
+    ~description:"split constant-indexed aggregates into scalars and promote"
+    run_func

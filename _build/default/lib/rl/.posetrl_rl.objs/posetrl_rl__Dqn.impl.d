@@ -1,0 +1,1 @@
+lib/rl/dqn.ml: Array Layer List Loss Matrix Mlp Optim Posetrl_nn Posetrl_support Printf Replay Rng String Vecf

@@ -1,0 +1,1 @@
+lib/rl/schedule.ml:

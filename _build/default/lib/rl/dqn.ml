@@ -1,0 +1,131 @@
+(* Deep Q-Network agent with the Double-DQN target (paper §II-B).
+
+   Two networks: the online network selects actions and is trained every
+   step-batch; the target network scores the action the online network
+   picked for the next state — the van Hasselt fix for Q-value
+   overestimation. Plain DQN (target network both selects and scores) is
+   kept for the ablation bench. *)
+
+open Posetrl_support
+open Posetrl_nn
+
+type t = {
+  online : Mlp.t;
+  target : Mlp.t;
+  optim : Optim.t;
+  gamma : float;
+  n_actions : int;
+  double : bool;
+  mutable train_steps : int;
+}
+
+let create ?(gamma = 0.99) ?(lr = 1e-4) ?(double = true) (rng : Rng.t)
+    ~(state_dim : int) ~(hidden : int list) ~(n_actions : int) : t =
+  let dims = (state_dim :: hidden) @ [ n_actions ] in
+  let online = Mlp.create rng dims in
+  let target = Mlp.create rng dims in
+  Mlp.copy_params ~src:online ~dst:target;
+  { online;
+    target;
+    optim = Optim.create ~lr ();
+    gamma;
+    n_actions;
+    double;
+    train_steps = 0 }
+
+let q_values (t : t) (state : float array) : float array =
+  Mlp.forward t.online state
+
+let greedy_action (t : t) (state : float array) : int =
+  Vecf.argmax (q_values t state)
+
+let select_action (t : t) (rng : Rng.t) ~(epsilon : float) (state : float array) : int =
+  if Rng.float rng < epsilon then Rng.int rng t.n_actions
+  else greedy_action t state
+
+(* TD target for one transition. *)
+let td_target (t : t) (tr : Replay.transition) : float =
+  match tr.Replay.next_state with
+  | None -> tr.Replay.reward
+  | Some s' ->
+    let future =
+      if t.double then begin
+        (* online net picks a'; target net scores it *)
+        let a' = Vecf.argmax (Mlp.forward t.online s') in
+        (Mlp.forward t.target s').(a')
+      end
+      else Vecf.max_elt (Mlp.forward t.target s')
+    in
+    tr.Replay.reward +. (t.gamma *. future)
+
+(* One gradient step over a sampled batch; returns mean Huber loss. *)
+let train_batch (t : t) (batch : Replay.transition array) : float =
+  let n = Array.length batch in
+  if n = 0 then 0.0
+  else begin
+    Mlp.zero_grad t.online;
+    let total = ref 0.0 in
+    Array.iter
+      (fun tr ->
+        let target = td_target t tr in
+        let q, caches = Mlp.forward_cached t.online tr.Replay.state in
+        let loss, dpred = Loss.huber ~pred:q.(tr.Replay.action) ~target () in
+        total := !total +. loss;
+        let dout = Array.make t.n_actions 0.0 in
+        dout.(tr.Replay.action) <- dpred /. float_of_int n;
+        Mlp.backward t.online caches dout)
+      batch;
+    Optim.step t.optim t.online;
+    t.train_steps <- t.train_steps + 1;
+    !total /. float_of_int n
+  end
+
+let sync_target (t : t) = Mlp.copy_params ~src:t.online ~dst:t.target
+
+(* --- persistence ---------------------------------------------------------
+
+   Weights serialize to a plain text format so trained models can be
+   saved from the CLI and reloaded by the bench. *)
+
+let save_weights (t : t) (path : string) : unit =
+  let oc = open_out path in
+  let net = t.online in
+  Printf.fprintf oc "posetrl-dqn %d\n" (Array.length net.Mlp.dims);
+  Array.iter (fun d -> Printf.fprintf oc "%d " d) net.Mlp.dims;
+  output_char oc '\n';
+  Array.iter
+    (fun (l : Layer.t) ->
+      Array.iter (fun w -> Printf.fprintf oc "%h " w) l.Layer.w.Matrix.data;
+      output_char oc '\n';
+      Array.iter (fun b -> Printf.fprintf oc "%h " b) l.Layer.b;
+      output_char oc '\n')
+    net.Mlp.layers;
+  close_out oc
+
+let load_weights (t : t) (path : string) : unit =
+  let ic = open_in path in
+  let header = input_line ic in
+  if not (String.length header > 11 && String.sub header 0 11 = "posetrl-dqn") then
+    failwith "Dqn.load_weights: bad header";
+  let dims_line = input_line ic in
+  let dims =
+    String.split_on_char ' ' (String.trim dims_line) |> List.map int_of_string
+  in
+  if dims <> Array.to_list t.online.Mlp.dims then
+    failwith "Dqn.load_weights: architecture mismatch";
+  Array.iter
+    (fun (l : Layer.t) ->
+      let wline = input_line ic in
+      let ws = String.split_on_char ' ' (String.trim wline) in
+      List.iteri
+        (fun i s -> if i < Array.length l.Layer.w.Matrix.data then
+            l.Layer.w.Matrix.data.(i) <- float_of_string s)
+        ws;
+      let bline = input_line ic in
+      let bs = String.split_on_char ' ' (String.trim bline) in
+      List.iteri
+        (fun i s -> if i < Array.length l.Layer.b then l.Layer.b.(i) <- float_of_string s)
+        bs)
+    t.online.Mlp.layers;
+  close_in ic;
+  sync_target t

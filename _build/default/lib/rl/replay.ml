@@ -1,0 +1,37 @@
+(* Replay memory: a fixed-capacity ring of transitions with uniform
+   sampling (paper §V-A: random batches are sampled from the replay
+   memory every µ steps). *)
+
+open Posetrl_support
+
+type transition = {
+  state : float array;
+  action : int;
+  reward : float;
+  next_state : float array option; (* [None] marks a terminal step *)
+}
+
+type t = {
+  capacity : int;
+  mutable data : transition array;
+  mutable size : int;
+  mutable next : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Replay.create: capacity must be positive";
+  { capacity;
+    data = Array.make capacity { state = [||]; action = 0; reward = 0.0; next_state = None };
+    size = 0;
+    next = 0 }
+
+let size t = t.size
+
+let push t tr =
+  t.data.(t.next) <- tr;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.size < t.capacity then t.size <- t.size + 1
+
+let sample (rng : Rng.t) t n : transition array =
+  if t.size = 0 then invalid_arg "Replay.sample: empty buffer";
+  Array.init n (fun _ -> t.data.(Rng.int rng t.size))

@@ -1,0 +1,19 @@
+(* ε-greedy annealing schedule. The paper anneals ε linearly from 1.0
+   down to 0.01 over 20 000 timesteps. *)
+
+type t = {
+  start : float;
+  stop : float;
+  decay_steps : int;
+}
+
+let create ?(start = 1.0) ?(stop = 0.01) ?(decay_steps = 20_000) () =
+  { start; stop; decay_steps }
+
+let value (t : t) (step : int) : float =
+  if step >= t.decay_steps then t.stop
+  else
+    let frac = float_of_int step /. float_of_int t.decay_steps in
+    t.start +. ((t.stop -. t.start) *. frac)
+
+let paper_default = create ()

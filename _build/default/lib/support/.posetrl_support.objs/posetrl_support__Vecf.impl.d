@@ -1,0 +1,1 @@
+lib/support/vecf.ml: Array Float Fmt List Printf

@@ -1,0 +1,1 @@
+lib/support/vecf.mli: Format

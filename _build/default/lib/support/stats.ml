@@ -1,0 +1,62 @@
+(* Summary statistics over float lists; used by the evaluation harness to
+   produce the min/avg/max columns of the paper's tables. *)
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let minimum = function
+  | [] -> nan
+  | x :: rest -> List.fold_left Float.min x rest
+
+let maximum = function
+  | [] -> nan
+  | x :: rest -> List.fold_left Float.max x rest
+
+let variance l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean l in
+    let n = float_of_int (List.length l) in
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l /. (n -. 1.0)
+
+let stddev l = sqrt (variance l)
+
+(* Geometric mean of strictly positive values. *)
+let geomean l =
+  match l with
+  | [] -> nan
+  | _ ->
+    let logs = List.map (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+        log x) l
+    in
+    exp (mean logs)
+
+let median l =
+  match l with
+  | [] -> nan
+  | _ ->
+    let arr = Array.of_list l in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2)
+    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+type summary = { n : int; min : float; mean : float; max : float; stddev : float }
+
+let summarize l =
+  { n = List.length l;
+    min = minimum l;
+    mean = mean l;
+    max = maximum l;
+    stddev = stddev l }
+
+(* Percentage change of [v] relative to [base]: positive = reduction. *)
+let pct_reduction ~base v =
+  if base = 0.0 then 0.0 else 100.0 *. (base -. v) /. base
+
+(* Percentage improvement (higher-is-better metric). *)
+let pct_improvement ~base v =
+  if base = 0.0 then 0.0 else 100.0 *. (v -. base) /. base

@@ -1,0 +1,27 @@
+(** Summary statistics over float lists; produce the min/avg/max columns
+    of the evaluation tables. Empty-list inputs yield [nan] (except
+    [variance]/[stddev], which are 0 for fewer than two samples). *)
+
+val mean : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+val variance : float list -> float
+(** Sample (n−1) variance. *)
+
+val stddev : float list -> float
+
+val geomean : float list -> float
+(** @raise Invalid_argument on non-positive values. *)
+
+val median : float list -> float
+
+type summary = { n : int; min : float; mean : float; max : float; stddev : float }
+
+val summarize : float list -> summary
+
+val pct_reduction : base:float -> float -> float
+(** [pct_reduction ~base v] = [100 * (base - v) / base]; positive means
+    [v] is a reduction. *)
+
+val pct_improvement : base:float -> float -> float
+(** [100 * (v - base) / base] for higher-is-better metrics. *)

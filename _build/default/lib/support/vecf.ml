@@ -1,0 +1,105 @@
+(* Dense float vectors.
+
+   The embedding and neural-network layers need only a small set of
+   vector primitives; they are collected here so numerical code reads as
+   math rather than loops. All operations are over [float array]. *)
+
+type t = float array
+
+let create n = Array.make n 0.0
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let of_list = Array.of_list
+
+let fill_zero (v : t) = Array.fill v 0 (Array.length v) 0.0
+
+let check_same_dim a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vecf.%s: dimension mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let map = Array.map
+
+let map2 f a b =
+  check_same_dim a b "map2";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let scale k = Array.map (fun x -> k *. x)
+
+(* a <- a + k * b, in place; the inner-loop workhorse. *)
+let axpy ~k a b =
+  check_same_dim a b "axpy";
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) +. (k *. b.(i))
+  done
+
+let add_inplace a b = axpy ~k:1.0 a b
+
+let scale_inplace k a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- k *. a.(i)
+  done
+
+let dot a b =
+  check_same_dim a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm1 a = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 a
+
+let linf a = Array.fold_left (fun acc x -> max acc (abs_float x)) 0.0 a
+
+let normalize a =
+  let n = norm2 a in
+  if n < 1e-12 then copy a else scale (1.0 /. n) a
+
+let cosine a b =
+  let na = norm2 a and nb = norm2 b in
+  if na < 1e-12 || nb < 1e-12 then 0.0 else dot a b /. (na *. nb)
+
+let mean vs =
+  match vs with
+  | [] -> invalid_arg "Vecf.mean: empty list"
+  | v0 :: _ ->
+    let acc = create (dim v0) in
+    List.iter (fun v -> add_inplace acc v) vs;
+    scale_inplace (1.0 /. float_of_int (List.length vs)) acc;
+    acc
+
+let sum vs =
+  match vs with
+  | [] -> invalid_arg "Vecf.sum: empty list"
+  | v0 :: _ ->
+    let acc = create (dim v0) in
+    List.iter (fun v -> add_inplace acc v) vs;
+    acc
+
+let argmax a =
+  if Array.length a = 0 then invalid_arg "Vecf.argmax: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let max_elt a = a.(argmax a)
+
+let clip ~lo ~hi = Array.map (fun x -> Float.min hi (Float.max lo x))
+
+let concat = Array.append
+
+let pp ppf v =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") (float_dfrac 4)) v

@@ -1,0 +1,1 @@
+lib/workloads/dsl.ml: Builder Instr Posetrl_ir Printf Types Value

@@ -1,0 +1,1 @@
+lib/workloads/genprog.ml: Array Builder Dsl Func Instr List Modul Posetrl_ir Posetrl_support Printf Rng Types Value

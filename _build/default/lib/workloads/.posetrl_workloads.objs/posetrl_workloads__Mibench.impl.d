@@ -1,0 +1,1 @@
+lib/workloads/mibench.ml: Array Builder Char Dsl Func Global Instr Int64 Modul Posetrl_ir String Types Value

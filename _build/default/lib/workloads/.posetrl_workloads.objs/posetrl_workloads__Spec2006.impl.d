@@ -1,0 +1,1 @@
+lib/workloads/spec2006.ml: Builder Dsl Func Instr Modul Posetrl_ir Types Value

@@ -1,0 +1,1 @@
+lib/workloads/spec2017.ml: Builder Dsl Func Instr Modul Posetrl_ir Types Value

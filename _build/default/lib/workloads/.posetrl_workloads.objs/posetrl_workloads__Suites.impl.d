@@ -1,0 +1,1 @@
+lib/workloads/suites.ml: Array Genprog List Mibench Modul Posetrl_ir Spec2006 Spec2017 Templates

@@ -1,0 +1,1 @@
+lib/workloads/templates.ml: Array Builder Dsl Func Instr Modul Posetrl_ir Posetrl_support Printf Rng Types Value

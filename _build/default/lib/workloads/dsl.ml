@@ -1,0 +1,93 @@
+(* Statement-level helpers over [Builder] for writing benchmark programs.
+
+   Programs are deliberately built the way clang -O0 emits them: every
+   local variable is an alloca, every statement loads and stores through
+   it, and control flow uses the head-tested while shape. That gives
+   mem2reg, sroa, licm, loop-rotate and friends exactly the raw material
+   they get from a real front end. *)
+
+open Posetrl_ir
+
+type ctx = {
+  b : Builder.t;
+  mutable label_counter : int;
+}
+
+let ctx b = { b; label_counter = 0 }
+
+let fresh_label (c : ctx) (base : string) : string =
+  c.label_counter <- c.label_counter + 1;
+  Printf.sprintf "%s%d" base c.label_counter
+
+(* local variable: alloca + initial store; use [get]/[set] to access *)
+let var (c : ctx) (ty : Types.t) (init : Value.t) : Value.t =
+  let p = Builder.alloca c.b ty 1 in
+  Builder.store c.b ty init p;
+  p
+
+let arr (c : ctx) (ty : Types.t) (n : int) : Value.t = Builder.alloca c.b ty n
+
+let get (c : ctx) (ty : Types.t) (p : Value.t) : Value.t = Builder.load c.b ty p
+
+let set (c : ctx) (ty : Types.t) (p : Value.t) (v : Value.t) : unit =
+  Builder.store c.b ty v p
+
+let idx (c : ctx) (ty : Types.t) (base : Value.t) (i : Value.t) : Value.t =
+  Builder.gep c.b ty base i
+
+let get_at (c : ctx) (ty : Types.t) (base : Value.t) (i : Value.t) : Value.t =
+  get c ty (idx c ty base i)
+
+let set_at (c : ctx) (ty : Types.t) (base : Value.t) (i : Value.t) (v : Value.t) : unit =
+  set c ty (idx c ty base i) v
+
+(* while (cond()) { body() } — head-tested, as clang -O0 emits *)
+let while_ (c : ctx) (cond : unit -> Value.t) (body : unit -> unit) : unit =
+  let head = fresh_label c "while.head" in
+  let bodyl = fresh_label c "while.body" in
+  let endl = fresh_label c "while.end" in
+  Builder.br c.b head;
+  Builder.block c.b head;
+  let cv = cond () in
+  Builder.cbr c.b cv bodyl endl;
+  Builder.block c.b bodyl;
+  body ();
+  Builder.br c.b head;
+  Builder.block c.b endl
+
+(* for (i = from; i < bound; i += step) body(i_ptr) *)
+let for_up (c : ctx) ?(step = 1) ~(from : int) ~(bound : Value.t) (body : Value.t -> unit) : unit =
+  let i = var c Types.I64 (Value.ci64 from) in
+  while_ c
+    (fun () ->
+      let iv = get c Types.I64 i in
+      Builder.icmp c.b Instr.Slt Types.I64 iv bound)
+    (fun () ->
+      body i;
+      let iv = get c Types.I64 i in
+      let iv' = Builder.add c.b Types.I64 iv (Value.ci64 step) in
+      set c Types.I64 i iv')
+
+(* if (cond) then_() else else_() *)
+let if_ (c : ctx) (cond : Value.t) (then_ : unit -> unit) (else_ : unit -> unit) : unit =
+  let tl = fresh_label c "if.then" in
+  let el = fresh_label c "if.else" in
+  let jl = fresh_label c "if.end" in
+  Builder.cbr c.b cond tl el;
+  Builder.block c.b tl;
+  then_ ();
+  Builder.br c.b jl;
+  Builder.block c.b el;
+  else_ ();
+  Builder.br c.b jl;
+  Builder.block c.b jl
+
+let if_then (c : ctx) (cond : Value.t) (then_ : unit -> unit) : unit =
+  if_ c cond then_ (fun () -> ())
+
+(* common int ops through memory, clang -O0 style *)
+let bump (c : ctx) (p : Value.t) (v : Value.t) : unit =
+  let cur = get c Types.I64 p in
+  set c Types.I64 p (Builder.add c.b Types.I64 cur v)
+
+let i64 = Value.ci64

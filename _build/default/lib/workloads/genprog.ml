@@ -1,0 +1,196 @@
+(* Seeded random program generator for the training corpus.
+
+   The paper trains on 130 single-source programs from the llvm-test-suite;
+   we stand those in with structured random programs: a few helper
+   functions plus a main, built from counted loops (guaranteed
+   termination), branches, scalar arithmetic chains and array traffic
+   through masked indices (guaranteed in-bounds). Programs are valid by
+   construction, deterministic per seed, and diverse enough that the DQN
+   sees a spread of embeddings. *)
+
+open Posetrl_ir
+open Posetrl_support
+open Dsl
+
+let array_size = 64 (* power of two so indices mask cheaply *)
+
+type genv = {
+  rng : Rng.t;
+  c : ctx;
+  mutable int_vars : Value.t list; (* alloca pointers of i64 locals *)
+  mutable arrays : Value.t list;
+  helpers : string list;
+  mutable depth : int;
+}
+
+(* random arithmetic expression over current values *)
+let rec gen_expr (g : genv) (budget : int) : Value.t =
+  let b = g.c.b in
+  if budget <= 0 || g.int_vars = [] then
+    match Rng.int g.rng 3 with
+    | 0 when g.int_vars <> [] -> get g.c Types.I64 (Rng.choose_list g.rng g.int_vars)
+    | _ -> i64 (Rng.int g.rng 1000 - 200)
+  else
+    match Rng.int g.rng 10 with
+    | 0 | 1 -> get g.c Types.I64 (Rng.choose_list g.rng g.int_vars)
+    | 2 -> i64 (Rng.int g.rng 5000 - 1000)
+    | 3 ->
+      let x = gen_expr g (budget - 1) and y = gen_expr g (budget - 1) in
+      Builder.add b Types.I64 x y
+    | 4 ->
+      let x = gen_expr g (budget - 1) and y = gen_expr g (budget - 1) in
+      Builder.sub b Types.I64 x y
+    | 5 ->
+      let x = gen_expr g (budget - 1) in
+      Builder.mul b Types.I64 x (i64 (1 + Rng.int g.rng 64))
+    | 6 ->
+      let x = gen_expr g (budget - 1) and y = gen_expr g (budget - 1) in
+      Builder.xor b Types.I64 x y
+    | 7 ->
+      let x = gen_expr g (budget - 1) in
+      Builder.and_ b Types.I64 x (i64 ((1 lsl (1 + Rng.int g.rng 10)) - 1))
+    | 8 ->
+      let x = gen_expr g (budget - 1) in
+      Builder.lshr b Types.I64 x (i64 (Rng.int g.rng 8))
+    | _ ->
+      let x = gen_expr g (budget - 1) in
+      (* non-trapping division by a non-zero constant *)
+      Builder.sdiv b Types.I64 x (i64 (2 + Rng.int g.rng 14))
+
+let masked_index (g : genv) (v : Value.t) : Value.t =
+  Builder.and_ g.c.b Types.I64 v (i64 (array_size - 1))
+
+let gen_cond (g : genv) : Value.t =
+  let x = gen_expr g 2 and y = gen_expr g 2 in
+  let pred =
+    Rng.choose g.rng [| Instr.Slt; Instr.Sle; Instr.Sgt; Instr.Eq; Instr.Ne |]
+  in
+  Builder.icmp g.c.b pred Types.I64 x y
+
+(* one random statement; recursion bounded by [g.depth] *)
+let rec gen_stmt (g : genv) : unit =
+  let choice = Rng.int g.rng 12 in
+  match choice with
+  | 0 | 1 | 2 ->
+    (* assignment to a variable *)
+    if g.int_vars <> [] then begin
+      let v = Rng.choose_list g.rng g.int_vars in
+      set g.c Types.I64 v (gen_expr g 3)
+    end
+  | 3 | 4 ->
+    (* array store *)
+    if g.arrays <> [] then begin
+      let a = Rng.choose_list g.rng g.arrays in
+      let idx = masked_index g (gen_expr g 2) in
+      set_at g.c Types.I64 a idx (gen_expr g 3)
+    end
+  | 5 | 6 ->
+    (* array load into a variable *)
+    if g.arrays <> [] && g.int_vars <> [] then begin
+      let a = Rng.choose_list g.rng g.arrays in
+      let v = Rng.choose_list g.rng g.int_vars in
+      let idx = masked_index g (gen_expr g 2) in
+      set g.c Types.I64 v (get_at g.c Types.I64 a idx)
+    end
+  | 7 | 8 when g.depth < 2 ->
+    (* counted loop *)
+    g.depth <- g.depth + 1;
+    let trips = 2 + Rng.int g.rng 24 in
+    let body_stmts = 1 + Rng.int g.rng 3 in
+    for_up g.c ~from:0 ~bound:(i64 trips) (fun ip ->
+        (* expose the induction variable as a temporary *)
+        if g.int_vars <> [] && Rng.bool g.rng then begin
+          let v = Rng.choose_list g.rng g.int_vars in
+          let iv = get g.c Types.I64 ip in
+          set g.c Types.I64 v (Builder.add g.c.b Types.I64 (get g.c Types.I64 v) iv)
+        end;
+        for _ = 1 to body_stmts do
+          gen_stmt g
+        done);
+    g.depth <- g.depth - 1
+  | 9 when g.depth < 3 ->
+    (* branch *)
+    g.depth <- g.depth + 1;
+    let n_then = 1 + Rng.int g.rng 2 in
+    let n_else = Rng.int g.rng 2 in
+    if_ g.c (gen_cond g)
+      (fun () -> for _ = 1 to n_then do gen_stmt g done)
+      (fun () -> for _ = 1 to n_else do gen_stmt g done);
+    g.depth <- g.depth - 1
+  | 10 when g.helpers <> [] && g.int_vars <> [] ->
+    (* helper call *)
+    let h = Rng.choose_list g.rng g.helpers in
+    let v = Rng.choose_list g.rng g.int_vars in
+    let r = Builder.call g.c.b Types.I64 h [ gen_expr g 2 ] in
+    set g.c Types.I64 v r
+  | _ ->
+    if g.int_vars <> [] then begin
+      let v = Rng.choose_list g.rng g.int_vars in
+      bump g.c v (gen_expr g 2)
+    end
+
+(* a small pure-ish helper function: arithmetic on its argument through a
+   short counted loop *)
+let gen_helper (rng : Rng.t) (name : string) : Func.t =
+  let b = Builder.create ~name ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  let c = ctx b in
+  Builder.block b "entry";
+  let x = var c Types.I64 (Builder.param b 0) in
+  let acc = var c Types.I64 (i64 (Rng.int rng 100)) in
+  let trips = 1 + Rng.int rng 8 in
+  for_up c ~from:0 ~bound:(i64 trips) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let xv = get c Types.I64 x in
+      let t =
+        match Rng.int rng 4 with
+        | 0 -> Builder.mul c.b Types.I64 xv (i64 (3 + Rng.int rng 5))
+        | 1 -> Builder.xor c.b Types.I64 xv (Builder.shl c.b Types.I64 xv (i64 (1 + Rng.int rng 4)))
+        | 2 -> Builder.add c.b Types.I64 xv iv
+        | _ -> Builder.sub c.b Types.I64 (Builder.lshr c.b Types.I64 xv (i64 1)) iv
+      in
+      set c Types.I64 x t;
+      bump c acc (get c Types.I64 x));
+  Builder.ret b Types.I64 (get c Types.I64 acc);
+  Builder.finish b
+
+let generate ~(seed : int) : Modul.t =
+  let rng = Rng.create (seed * 2_000_003 + 17) in
+  let n_helpers = Rng.int rng 3 in
+  let helper_names = List.init n_helpers (fun k -> Printf.sprintf "helper%d" k) in
+  let helpers = List.map (gen_helper rng) helper_names in
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  let c = ctx b in
+  Builder.block b "entry";
+  let g = { rng; c; int_vars = []; arrays = []; helpers = helper_names; depth = 0 } in
+  let n_vars = 2 + Rng.int rng 5 in
+  for k = 0 to n_vars - 1 do
+    g.int_vars <- var c Types.I64 (i64 (k * 7 + Rng.int rng 50)) :: g.int_vars
+  done;
+  let n_arrays = Rng.int rng 3 in
+  for _ = 1 to n_arrays do
+    let a = arr c Types.I64 array_size in
+    (* initialize deterministically *)
+    for_up c ~from:0 ~bound:(i64 array_size) (fun ip ->
+        let iv = get c Types.I64 ip in
+        set_at c Types.I64 a iv (Builder.mul c.b Types.I64 iv (i64 (Rng.int rng 90 + 1))));
+    g.arrays <- a :: g.arrays
+  done;
+  let n_stmts = 4 + Rng.int rng 10 in
+  for _ = 1 to n_stmts do
+    gen_stmt g
+  done;
+  (* checksum everything observable *)
+  let sum = var c Types.I64 (i64 0) in
+  List.iter (fun v -> bump c sum (get c Types.I64 v)) g.int_vars;
+  List.iter
+    (fun a ->
+      for_up c ~from:0 ~bound:(i64 array_size) (fun ip ->
+          let iv = get c Types.I64 ip in
+          bump c sum (get_at c Types.I64 a iv)))
+    g.arrays;
+  Builder.ret b Types.I64 (get c Types.I64 sum);
+  Modul.mk ~name:(Printf.sprintf "gen.seed%d" seed) (helpers @ [ Builder.finish b ])
+
+(* The training corpus: 130 programs, as in the paper. *)
+let corpus ?(n = 130) ?(seed = 7) () : Modul.t array =
+  Array.init n (fun k -> generate ~seed:(seed + k))

@@ -1,0 +1,524 @@
+(* MiBench-like validation suite: small embedded kernels in the spirit of
+   the benchmarks the paper evaluates (bitcount, CRC, dijkstra, sorting,
+   image smoothing, FFT-ish float math, hashing, ADPCM, string search,
+   basic math). Each program returns an i64 checksum from main. *)
+
+open Posetrl_ir
+open Dsl
+
+let finish_main (c : ctx) (result : Value.t) =
+  Builder.ret c.b Types.I64 result
+
+let mk_main () =
+  Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 ()
+
+(* --- bitcount: count set bits of a pseudo-random stream ------------------ *)
+
+let bitcount () : Modul.t =
+  (* helper: popcount by nibble loop *)
+  let bh = Builder.create ~name:"popcount" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  let c = ctx bh in
+  Builder.block bh "entry";
+  let x = var c Types.I64 (Builder.param bh 0) in
+  let n = var c Types.I64 (i64 0) in
+  while_ c
+    (fun () ->
+      let xv = get c Types.I64 x in
+      Builder.icmp c.b Instr.Ne Types.I64 xv (i64 0))
+    (fun () ->
+      let xv = get c Types.I64 x in
+      let bit = Builder.and_ c.b Types.I64 xv (i64 1) in
+      bump c n bit;
+      let sh = Builder.lshr c.b Types.I64 xv (i64 1) in
+      set c Types.I64 x sh);
+  finish_main c (get c Types.I64 n);
+  let popcount = Builder.finish bh in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let seed = var c Types.I64 (i64 0x2545F4914F6CDD1D) in
+  let total = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 4000) (fun _i ->
+      let s = get c Types.I64 seed in
+      let s1 = Builder.xor c.b Types.I64 s (Builder.shl c.b Types.I64 s (i64 13)) in
+      let s2 = Builder.xor c.b Types.I64 s1 (Builder.lshr c.b Types.I64 s1 (i64 7)) in
+      let s3 = Builder.xor c.b Types.I64 s2 (Builder.shl c.b Types.I64 s2 (i64 17)) in
+      set c Types.I64 seed s3;
+      let pc = Builder.call c.b Types.I64 "popcount" [ s3 ] in
+      bump c total pc);
+  finish_main c (get c Types.I64 total);
+  Modul.mk ~name:"mibench.bitcount" [ popcount; Builder.finish bm ]
+
+(* --- crc32: table-free bitwise CRC over a byte buffer --------------------- *)
+
+let crc32 () : Modul.t =
+  let data =
+    Global.mk ~is_const:true ~linkage:Global.Internal
+      ~init:(Global.Bytes (String.init 256 (fun i -> Char.chr ((i * 7 + 13) land 0xFF))))
+      "crc_data" Types.I8 256
+  in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let crc = var c Types.I64 (i64 0xFFFFFFFF) in
+  for_up c ~from:0 ~bound:(i64 256) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let byte = get_at c Types.I8 (Value.global "crc_data") iv in
+      let b64 = Builder.zext c.b ~from_ty:Types.I8 ~to_ty:Types.I64 byte in
+      let cr = get c Types.I64 crc in
+      set c Types.I64 crc (Builder.xor c.b Types.I64 cr b64);
+      for_up c ~from:0 ~bound:(i64 8) (fun _j ->
+          let cv = get c Types.I64 crc in
+          let lsb = Builder.and_ c.b Types.I64 cv (i64 1) in
+          let shifted = Builder.lshr c.b Types.I64 cv (i64 1) in
+          let is_set = Builder.icmp c.b Instr.Ne Types.I64 lsb (i64 0) in
+          if_ c is_set
+            (fun () ->
+              set c Types.I64 crc
+                (Builder.xor c.b Types.I64 shifted (i64 0xEDB88320)))
+            (fun () -> set c Types.I64 crc shifted)));
+  finish_main c (get c Types.I64 crc);
+  Modul.mk ~name:"mibench.crc32" ~globals:[ data ] [ Builder.finish bm ]
+
+(* --- dijkstra: shortest paths on a dense synthetic graph ----------------- *)
+
+let dijkstra () : Modul.t =
+  let n = 48 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let adj = arr c Types.I64 (n * n) in
+  (* synthetic weights: (i*31 + j*17) mod 97 + 1 *)
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      for_up c ~from:0 ~bound:(i64 n) (fun jp ->
+          let iv = get c Types.I64 ip and jv = get c Types.I64 jp in
+          let a = Builder.mul c.b Types.I64 iv (i64 31) in
+          let bq = Builder.mul c.b Types.I64 jv (i64 17) in
+          let s = Builder.add c.b Types.I64 a bq in
+          let w = Builder.srem c.b Types.I64 s (i64 97) in
+          let w1 = Builder.add c.b Types.I64 w (i64 1) in
+          let off = Builder.mul c.b Types.I64 iv (i64 n) in
+          let pos = Builder.add c.b Types.I64 off jv in
+          set_at c Types.I64 adj pos w1));
+  let dist = arr c Types.I64 n in
+  let visited = arr c Types.I64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 dist iv (i64 1_000_000_000);
+      set_at c Types.I64 visited iv (i64 0));
+  set_at c Types.I64 dist (i64 0) (i64 0);
+  for_up c ~from:0 ~bound:(i64 n) (fun _round ->
+      (* find unvisited min *)
+      let best = var c Types.I64 (i64 (-1)) in
+      let bestd = var c Types.I64 (i64 2_000_000_000) in
+      for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+          let iv = get c Types.I64 ip in
+          let vis = get_at c Types.I64 visited iv in
+          let unv = Builder.icmp c.b Instr.Eq Types.I64 vis (i64 0) in
+          if_then c unv (fun () ->
+              let d = get_at c Types.I64 dist iv in
+              let lt = Builder.icmp c.b Instr.Slt Types.I64 d (get c Types.I64 bestd) in
+              if_then c lt (fun () ->
+                  set c Types.I64 bestd d;
+                  set c Types.I64 best iv)));
+      let bv = get c Types.I64 best in
+      let found = Builder.icmp c.b Instr.Sge Types.I64 bv (i64 0) in
+      if_then c found (fun () ->
+          let bv = get c Types.I64 best in
+          set_at c Types.I64 visited bv (i64 1);
+          let bd = get_at c Types.I64 dist bv in
+          for_up c ~from:0 ~bound:(i64 n) (fun jp ->
+              let jv = get c Types.I64 jp in
+              let off = Builder.mul c.b Types.I64 bv (i64 n) in
+              let pos = Builder.add c.b Types.I64 off jv in
+              let w = get_at c Types.I64 adj pos in
+              let cand = Builder.add c.b Types.I64 bd w in
+              let dj = get_at c Types.I64 dist jv in
+              let better = Builder.icmp c.b Instr.Slt Types.I64 cand dj in
+              if_then c better (fun () -> set_at c Types.I64 dist jv cand))));
+  let sum = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      bump c sum (get_at c Types.I64 dist iv));
+  finish_main c (get c Types.I64 sum);
+  Modul.mk ~name:"mibench.dijkstra" [ Builder.finish bm ]
+
+(* --- qsort: shell sort over a generated array ----------------------------- *)
+
+let qsort () : Modul.t =
+  let n = 512 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let a = arr c Types.I64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let x = Builder.mul c.b Types.I64 iv (i64 1103515245) in
+      let x2 = Builder.add c.b Types.I64 x (i64 12345) in
+      let v = Builder.srem c.b Types.I64 x2 (i64 10007) in
+      set_at c Types.I64 a iv v);
+  (* shell sort with gap sequence n/2, n/4, ..., 1 *)
+  let gap = var c Types.I64 (i64 (n / 2)) in
+  while_ c
+    (fun () ->
+      let g = get c Types.I64 gap in
+      Builder.icmp c.b Instr.Sgt Types.I64 g (i64 0))
+    (fun () ->
+      let g = get c Types.I64 gap in
+      for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+          let iv = get c Types.I64 ip in
+          let ge = Builder.icmp c.b Instr.Sge Types.I64 iv g in
+          if_then c ge (fun () ->
+              let iv = get c Types.I64 ip in
+              let tmp = var c Types.I64 (get_at c Types.I64 a iv) in
+              let j = var c Types.I64 iv in
+              while_ c
+                (fun () ->
+                  let jv = get c Types.I64 j in
+                  let jge = Builder.icmp c.b Instr.Sge Types.I64 jv g in
+                  let jg = Builder.sub c.b Types.I64 jv g in
+                  (* guard the load with select to stay in bounds *)
+                  let safe_jg =
+                    Builder.select c.b Types.I64 jge jg (i64 0)
+                  in
+                  let prev = get_at c Types.I64 a safe_jg in
+                  let bigger =
+                    Builder.icmp c.b Instr.Sgt Types.I64 prev (get c Types.I64 tmp)
+                  in
+                  Builder.and_ c.b Types.I1 jge bigger)
+                (fun () ->
+                  let jv = get c Types.I64 j in
+                  let jg = Builder.sub c.b Types.I64 jv g in
+                  let prev = get_at c Types.I64 a jg in
+                  set_at c Types.I64 a jv prev;
+                  set c Types.I64 j jg);
+              set_at c Types.I64 a (get c Types.I64 j) (get c Types.I64 tmp)));
+      let g2 = Builder.sdiv c.b Types.I64 (get c Types.I64 gap) (i64 2) in
+      set c Types.I64 gap g2);
+  (* checksum: weighted sum *)
+  let sum = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = get_at c Types.I64 a iv in
+      let w = Builder.mul c.b Types.I64 v iv in
+      bump c sum w);
+  finish_main c (get c Types.I64 sum);
+  Modul.mk ~name:"mibench.qsort" [ Builder.finish bm ]
+
+(* --- susan: 3x1 smoothing filter over a synthetic image ------------------ *)
+
+let susan () : Modul.t =
+  let w = 64 and h = 32 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let img = arr c Types.I64 (w * h) in
+  let out = arr c Types.I64 (w * h) in
+  for_up c ~from:0 ~bound:(i64 (w * h)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.mul c.b Types.I64 iv (i64 97) in
+      let v2 = Builder.srem c.b Types.I64 v (i64 251) in
+      set_at c Types.I64 img iv v2);
+  for_up c ~from:1 ~bound:(i64 (h - 1)) (fun yp ->
+      for_up c ~from:1 ~bound:(i64 (w - 1)) (fun xp ->
+          let yv = get c Types.I64 yp and xv = get c Types.I64 xp in
+          let row = Builder.mul c.b Types.I64 yv (i64 w) in
+          let pos = Builder.add c.b Types.I64 row xv in
+          let left = Builder.sub c.b Types.I64 pos (i64 1) in
+          let right = Builder.add c.b Types.I64 pos (i64 1) in
+          let up = Builder.sub c.b Types.I64 pos (i64 w) in
+          let down = Builder.add c.b Types.I64 pos (i64 w) in
+          let s0 = get_at c Types.I64 img pos in
+          let s1 = Builder.add c.b Types.I64 s0 (get_at c Types.I64 img left) in
+          let s2 = Builder.add c.b Types.I64 s1 (get_at c Types.I64 img right) in
+          let s3 = Builder.add c.b Types.I64 s2 (get_at c Types.I64 img up) in
+          let s4 = Builder.add c.b Types.I64 s3 (get_at c Types.I64 img down) in
+          let avg = Builder.sdiv c.b Types.I64 s4 (i64 5) in
+          set_at c Types.I64 out pos avg));
+  let sum = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 (w * h)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      bump c sum (get_at c Types.I64 out iv));
+  finish_main c (get c Types.I64 sum);
+  Modul.mk ~name:"mibench.susan" [ Builder.finish bm ]
+
+(* --- fft: butterfly-style float mixing ------------------------------------ *)
+
+let fft () : Modul.t =
+  let n = 256 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let re = arr c Types.F64 n in
+  let im = arr c Types.F64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let fv = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 iv in
+      let s = Builder.fmul c.b fv (Value.cfloat 0.1) in
+      set_at c Types.F64 re iv s;
+      set_at c Types.F64 im iv (Value.cfloat 0.0));
+  (* log2(n) passes of neighbour butterflies with constant twiddles *)
+  let span = var c Types.I64 (i64 1) in
+  while_ c
+    (fun () ->
+      let s = get c Types.I64 span in
+      Builder.icmp c.b Instr.Slt Types.I64 s (i64 n))
+    (fun () ->
+      let s = get c Types.I64 span in
+      for_up c ~from:0 ~bound:(i64 (n / 2)) (fun kp ->
+          let kv = get c Types.I64 kp in
+          let a = Builder.srem c.b Types.I64 kv (i64 n) in
+          let bq = Builder.add c.b Types.I64 a s in
+          let bmod = Builder.srem c.b Types.I64 bq (i64 n) in
+          let ra = get_at c Types.F64 re a in
+          let rb = get_at c Types.F64 re bmod in
+          let ia = get_at c Types.F64 im a in
+          let ib = get_at c Types.F64 im bmod in
+          let tr = Builder.fsub c.b (Builder.fmul c.b rb (Value.cfloat 0.92387953))
+                     (Builder.fmul c.b ib (Value.cfloat 0.38268343)) in
+          let ti = Builder.fadd c.b (Builder.fmul c.b rb (Value.cfloat 0.38268343))
+                     (Builder.fmul c.b ib (Value.cfloat 0.92387953)) in
+          set_at c Types.F64 re a (Builder.fadd c.b ra tr);
+          set_at c Types.F64 im a (Builder.fadd c.b ia ti);
+          set_at c Types.F64 re bmod (Builder.fsub c.b ra tr);
+          set_at c Types.F64 im bmod (Builder.fsub c.b ia ti));
+      set c Types.I64 span (Builder.shl c.b Types.I64 (get c Types.I64 span) (i64 1)));
+  (* checksum: truncate energy to int *)
+  let acc = var c Types.F64 (Value.cfloat 0.0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let r = get_at c Types.F64 re iv in
+      let i = get_at c Types.F64 im iv in
+      let e = Builder.fadd c.b (Builder.fmul c.b r r) (Builder.fmul c.b i i) in
+      let cur = get c Types.F64 acc in
+      set c Types.F64 acc (Builder.fadd c.b cur e));
+  let total = Builder.cast c.b Instr.Fptosi ~from_ty:Types.F64 ~to_ty:Types.I64
+                (get c Types.F64 acc) in
+  finish_main c total;
+  Modul.mk ~name:"mibench.fft" [ Builder.finish bm ]
+
+(* --- sha: rounds of rotate-xor-add mixing --------------------------------- *)
+
+let sha () : Modul.t =
+  (* helper rotl *)
+  let bh = Builder.create ~name:"rotl" ~params:[ Types.I64; Types.I64 ] ~ret:Types.I64 () in
+  Builder.block bh "entry";
+  let x = Builder.param bh 0 and r = Builder.param bh 1 in
+  let left = Builder.shl bh Types.I64 x r in
+  let inv = Builder.sub bh Types.I64 (Value.ci64 64) r in
+  let right = Builder.lshr bh Types.I64 x inv in
+  let rot = Builder.or_ bh Types.I64 left right in
+  Builder.ret bh Types.I64 rot;
+  let rotl = Builder.finish bh in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let h0 = var c Types.I64 (Value.cint Types.I64 0x6A09E667F3BCC908L) in
+  let h1 = var c Types.I64 (Value.cint Types.I64 0xBB67AE8584CAA73BL) in
+  let h2 = var c Types.I64 (i64 0x3C6EF372FE94F82B) in
+  let h3 = var c Types.I64 (Value.cint Types.I64 0xA54FF53A5F1D36F1L) in
+  for_up c ~from:0 ~bound:(i64 2000) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let w = Builder.mul c.b Types.I64 iv (Value.cint Types.I64 0x9E3779B97F4A7C15L) in
+      let a = get c Types.I64 h0 in
+      let b' = get c Types.I64 h1 in
+      let d = get c Types.I64 h3 in
+      let t1 = Builder.call c.b Types.I64 "rotl" [ a; i64 5 ] in
+      let t2 = Builder.xor c.b Types.I64 t1 b' in
+      let t3 = Builder.add c.b Types.I64 t2 w in
+      let t4 = Builder.add c.b Types.I64 t3 d in
+      set c Types.I64 h3 (get c Types.I64 h2);
+      set c Types.I64 h2 (get c Types.I64 h1);
+      set c Types.I64 h1 (get c Types.I64 h0);
+      set c Types.I64 h0 t4);
+  let s1 = Builder.xor c.b Types.I64 (get c Types.I64 h0) (get c Types.I64 h1) in
+  let s2 = Builder.xor c.b Types.I64 s1 (get c Types.I64 h2) in
+  let s3 = Builder.xor c.b Types.I64 s2 (get c Types.I64 h3) in
+  finish_main c s3;
+  Modul.mk ~name:"mibench.sha" [ rotl; Builder.finish bm ]
+
+(* --- adpcm: table-driven decode loop -------------------------------------- *)
+
+let adpcm () : Modul.t =
+  let steps =
+    Global.mk ~is_const:true ~linkage:Global.Internal
+      ~init:(Global.Ints (Array.init 16 (fun i -> Int64.of_int ((i * i * 3) + 7))))
+      "step_table" Types.I64 16
+  in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let pred = var c Types.I64 (i64 0) in
+  let index = var c Types.I64 (i64 0) in
+  let sum = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 3000) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let nib = Builder.and_ c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 2654435761)) (i64 15) in
+      let idx0 = get c Types.I64 index in
+      let step = get_at c Types.I64 (Value.global "step_table") idx0 in
+      let mag = Builder.and_ c.b Types.I64 nib (i64 7) in
+      let delta = Builder.mul c.b Types.I64 step mag in
+      let signbit = Builder.and_ c.b Types.I64 nib (i64 8) in
+      let neg = Builder.icmp c.b Instr.Ne Types.I64 signbit (i64 0) in
+      let pv = get c Types.I64 pred in
+      let minus = Builder.sub c.b Types.I64 pv delta in
+      let plus = Builder.add c.b Types.I64 pv delta in
+      let nv = Builder.select c.b Types.I64 neg minus plus in
+      set c Types.I64 pred nv;
+      (* index update with clamping *)
+      let bigmag = Builder.icmp c.b Instr.Sge Types.I64 mag (i64 4) in
+      let up = Builder.add c.b Types.I64 idx0 (i64 2) in
+      let down = Builder.sub c.b Types.I64 idx0 (i64 1) in
+      let ni = Builder.select c.b Types.I64 bigmag up down in
+      let lo = Builder.icmp c.b Instr.Slt Types.I64 ni (i64 0) in
+      let ni2 = Builder.select c.b Types.I64 lo (i64 0) ni in
+      let hi = Builder.icmp c.b Instr.Sgt Types.I64 ni2 (i64 15) in
+      let ni3 = Builder.select c.b Types.I64 hi (i64 15) ni2 in
+      set c Types.I64 index ni3;
+      bump c sum nv);
+  finish_main c (get c Types.I64 sum);
+  Modul.mk ~name:"mibench.adpcm" ~globals:[ steps ] [ Builder.finish bm ]
+
+(* --- stringsearch: naive substring search over byte data ------------------ *)
+
+let stringsearch () : Modul.t =
+  let hay =
+    Global.mk ~is_const:true ~linkage:Global.Internal
+      ~init:(Global.Bytes (String.init 512 (fun i -> Char.chr (97 + ((i * i + i / 3) mod 17)))))
+      "haystack" Types.I8 512
+  in
+  let needle =
+    Global.mk ~is_const:true ~linkage:Global.Internal
+      ~init:(Global.Bytes "cabbage") "needle" Types.I8 7
+  in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let count = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 (512 - 7)) (fun ip ->
+      let matched = var c Types.I64 (i64 1) in
+      for_up c ~from:0 ~bound:(i64 7) (fun jp ->
+          let iv = get c Types.I64 ip and jv = get c Types.I64 jp in
+          let pos = Builder.add c.b Types.I64 iv jv in
+          let hc = get_at c Types.I8 (Value.global "haystack") pos in
+          let nc = get_at c Types.I8 (Value.global "needle") jv in
+          let ne = Builder.icmp c.b Instr.Ne Types.I8 hc nc in
+          if_then c ne (fun () -> set c Types.I64 matched (i64 0)));
+      let m = get c Types.I64 matched in
+      bump c count m);
+  (* also count character frequency as a second kernel *)
+  let freq = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 512) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let ch = get_at c Types.I8 (Value.global "haystack") iv in
+      let is_a = Builder.icmp c.b Instr.Eq Types.I8 ch (Value.cint Types.I8 97L) in
+      let one = Builder.zext c.b ~from_ty:Types.I1 ~to_ty:Types.I64 is_a in
+      bump c freq one);
+  let r =
+    Builder.add c.b Types.I64
+      (Builder.mul c.b Types.I64 (get c Types.I64 count) (i64 1000))
+      (get c Types.I64 freq)
+  in
+  finish_main c r;
+  Modul.mk ~name:"mibench.stringsearch" ~globals:[ hay; needle ] [ Builder.finish bm ]
+
+(* --- basicmath: integer sqrt and gcd loops --------------------------------- *)
+
+let basicmath () : Modul.t =
+  let bsq = Builder.create ~name:"isqrt" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  let c = ctx bsq in
+  Builder.block bsq "entry";
+  let n = Builder.param bsq 0 in
+  let x = var c Types.I64 n in
+  let y = var c Types.I64 (i64 1) in
+  while_ c
+    (fun () ->
+      let xv = get c Types.I64 x in
+      let yv = get c Types.I64 y in
+      Builder.icmp c.b Instr.Sgt Types.I64 xv yv)
+    (fun () ->
+      let xv = get c Types.I64 x in
+      let yv = get c Types.I64 y in
+      let s = Builder.add c.b Types.I64 xv yv in
+      set c Types.I64 x (Builder.sdiv c.b Types.I64 s (i64 2));
+      let xv2 = get c Types.I64 x in
+      let q = Builder.sdiv c.b Types.I64 n xv2 in
+      set c Types.I64 y q);
+  Builder.ret bsq Types.I64 (get c Types.I64 x);
+  let isqrt = Builder.finish bsq in
+
+  let bg = Builder.create ~name:"gcd" ~params:[ Types.I64; Types.I64 ] ~ret:Types.I64 () in
+  let c = ctx bg in
+  Builder.block bg "entry";
+  let a = var c Types.I64 (Builder.param bg 0) in
+  let b' = var c Types.I64 (Builder.param bg 1) in
+  while_ c
+    (fun () ->
+      let bv = get c Types.I64 b' in
+      Builder.icmp c.b Instr.Ne Types.I64 bv (i64 0))
+    (fun () ->
+      let av = get c Types.I64 a in
+      let bv = get c Types.I64 b' in
+      let r = Builder.srem c.b Types.I64 av bv in
+      set c Types.I64 a bv;
+      set c Types.I64 b' r);
+  Builder.ret bg Types.I64 (get c Types.I64 a);
+  let gcd = Builder.finish bg in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let total = var c Types.I64 (i64 0) in
+  for_up c ~from:1 ~bound:(i64 400) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let sq = Builder.mul c.b Types.I64 iv (i64 37) in
+      let r1 = Builder.call c.b Types.I64 "isqrt" [ sq ] in
+      let r2 = Builder.call c.b Types.I64 "gcd" [ sq; Builder.add c.b Types.I64 iv (i64 60) ] in
+      bump c total (Builder.add c.b Types.I64 r1 r2));
+  finish_main c (get c Types.I64 total);
+  Modul.mk ~name:"mibench.basicmath" [ isqrt; gcd; Builder.finish bm ]
+
+(* --- blowfish-like feistel rounds ------------------------------------------ *)
+
+let blowfish () : Modul.t =
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let sbox = arr c Types.I64 256 in
+  for_up c ~from:0 ~bound:(i64 256) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.mul c.b Types.I64 iv (i64 0x9E3779B9) in
+      let v2 = Builder.xor c.b Types.I64 v (i64 0x243F6A88) in
+      set_at c Types.I64 sbox iv v2);
+  let l = var c Types.I64 (i64 0x0123456789ABCDEF) in
+  let r = var c Types.I64 (i64 0x1133557799BBDDFF) in
+  for_up c ~from:0 ~bound:(i64 4000) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let lv = get c Types.I64 l in
+      let b0 = Builder.and_ c.b Types.I64 lv (i64 255) in
+      let b1 = Builder.and_ c.b Types.I64 (Builder.lshr c.b Types.I64 lv (i64 8)) (i64 255) in
+      let s0 = get_at c Types.I64 sbox b0 in
+      let s1 = get_at c Types.I64 sbox b1 in
+      let f = Builder.add c.b Types.I64 s0 s1 in
+      let f2 = Builder.xor c.b Types.I64 f iv in
+      let rv = get c Types.I64 r in
+      let nr = Builder.xor c.b Types.I64 rv f2 in
+      set c Types.I64 r lv;
+      set c Types.I64 l nr);
+  finish_main c (Builder.xor c.b Types.I64 (get c Types.I64 l) (get c Types.I64 r));
+  Modul.mk ~name:"mibench.blowfish" [ Builder.finish bm ]
+
+let all : (string * (unit -> Modul.t)) list =
+  [ ("bitcount", bitcount);
+    ("crc32", crc32);
+    ("dijkstra", dijkstra);
+    ("qsort", qsort);
+    ("susan", susan);
+    ("fft", fft);
+    ("sha", sha);
+    ("adpcm", adpcm);
+    ("stringsearch", stringsearch);
+    ("basicmath", basicmath);
+    ("blowfish", blowfish) ]

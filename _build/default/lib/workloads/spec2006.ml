@@ -1,0 +1,495 @@
+(* SPEC CPU 2006-like validation suite. Distinct program shapes from the
+   2017 set: DP recurrences (456.hmmer), quantum gate simulation
+   (462.libquantum), board scanning (445.gobmk), compression pipelines
+   (401.bzip2), motion estimation with early exit (464.h264ref), grid
+   pathfinding (473.astar), complex-arithmetic loops (433.milc), hash +
+   dispatch interpreter loops (400.perlbench), move generation (458.sjeng),
+   and dense float updates (450.soplex). *)
+
+open Posetrl_ir
+open Dsl
+
+let mk_main () =
+  Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 ()
+
+let finish_main (c : ctx) (r : Value.t) = Builder.ret c.b Types.I64 r
+
+(* --- hmmer: Viterbi-style dynamic programming ------------------------------- *)
+
+let hmmer () : Modul.t =
+  let states = 24 and seq = 160 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let dp = arr c Types.I64 states in
+  let ndp = arr c Types.I64 states in
+  for_up c ~from:0 ~bound:(i64 states) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 dp iv (Builder.mul c.b Types.I64 iv (i64 3)));
+  for_up c ~from:0 ~bound:(i64 seq) (fun tp ->
+      let tv = get c Types.I64 tp in
+      let emit = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 tv (i64 17)) (i64 31) in
+      for_up c ~from:0 ~bound:(i64 states) (fun sp ->
+          let sv = get c Types.I64 sp in
+          (* best over stay / advance / skip *)
+          let stay = get_at c Types.I64 dp sv in
+          let prev = Builder.sub c.b Types.I64 sv (i64 1) in
+          let prevneg = Builder.icmp c.b Instr.Slt Types.I64 prev (i64 0) in
+          let prev2 = Builder.select c.b Types.I64 prevneg (i64 0) prev in
+          let adv0 = get_at c Types.I64 dp prev2 in
+          let adv = Builder.add c.b Types.I64 adv0 (i64 2) in
+          let skipi = Builder.sub c.b Types.I64 sv (i64 2) in
+          let skipneg = Builder.icmp c.b Instr.Slt Types.I64 skipi (i64 0) in
+          let skipi2 = Builder.select c.b Types.I64 skipneg (i64 0) skipi in
+          let skip0 = get_at c Types.I64 dp skipi2 in
+          let skip = Builder.add c.b Types.I64 skip0 (i64 5) in
+          let m1 = Builder.icmp c.b Instr.Sgt Types.I64 stay adv in
+          let best01 = Builder.select c.b Types.I64 m1 stay adv in
+          let m2 = Builder.icmp c.b Instr.Sgt Types.I64 best01 skip in
+          let best = Builder.select c.b Types.I64 m2 best01 skip in
+          let scored = Builder.add c.b Types.I64 best emit in
+          set_at c Types.I64 ndp sv scored);
+      for_up c ~from:0 ~bound:(i64 states) (fun sp ->
+          let sv = get c Types.I64 sp in
+          set_at c Types.I64 dp sv (get_at c Types.I64 ndp sv)));
+  let best = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 states) (fun sp ->
+      let sv = get c Types.I64 sp in
+      let v = get_at c Types.I64 dp sv in
+      let gt = Builder.icmp c.b Instr.Sgt Types.I64 v (get c Types.I64 best) in
+      if_then c gt (fun () ->
+          let sv = get c Types.I64 sp in
+          set c Types.I64 best (get_at c Types.I64 dp sv)));
+  finish_main c (get c Types.I64 best);
+  Modul.mk ~name:"spec2006.hmmer" [ Builder.finish bm ]
+
+(* --- libquantum: gate operations over a register array ----------------------- *)
+
+let libquantum () : Modul.t =
+  let n = 1024 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let reg = arr c Types.I64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 reg iv iv);
+  (* toffoli-ish conditional bit flips, then a "phase" pass *)
+  for_up c ~from:0 ~bound:(i64 24) (fun gp ->
+      let gv = get c Types.I64 gp in
+      let ctrl = Builder.and_ c.b Types.I64 gv (i64 7) in
+      let targ = Builder.add c.b Types.I64 (Builder.and_ c.b Types.I64 gv (i64 15)) (i64 8) in
+      for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+          let iv = get c Types.I64 ip in
+          let v = get_at c Types.I64 reg iv in
+          let cbit = Builder.and_ c.b Types.I64 (Builder.lshr c.b Types.I64 v ctrl) (i64 1) in
+          let on = Builder.icmp c.b Instr.Ne Types.I64 cbit (i64 0) in
+          if_then c on (fun () ->
+              let iv = get c Types.I64 ip in
+              let v = get_at c Types.I64 reg iv in
+              let mask = Builder.shl c.b Types.I64 (i64 1) targ in
+              set_at c Types.I64 reg iv (Builder.xor c.b Types.I64 v mask))));
+  let sum = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = get_at c Types.I64 reg iv in
+      let rot = Builder.xor c.b Types.I64 v (Builder.lshr c.b Types.I64 v (i64 5)) in
+      bump c sum rot);
+  finish_main c (get c Types.I64 sum);
+  Modul.mk ~name:"spec2006.libquantum" [ Builder.finish bm ]
+
+(* --- gobmk: 2D board scanning with neighbour counting ------------------------ *)
+
+let gobmk () : Modul.t =
+  let n = 19 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let board = arr c Types.I64 (n * n) in
+  for_up c ~from:0 ~bound:(i64 (n * n)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 7)) (i64 3) in
+      set_at c Types.I64 board iv v);
+  let liberties = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 60) (fun _pass ->
+      for_up c ~from:1 ~bound:(i64 (n - 1)) (fun yp ->
+          for_up c ~from:1 ~bound:(i64 (n - 1)) (fun xp ->
+              let yv = get c Types.I64 yp and xv = get c Types.I64 xp in
+              let pos = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 yv (i64 n)) xv in
+              let v = get_at c Types.I64 board pos in
+              let stone = Builder.icmp c.b Instr.Ne Types.I64 v (i64 0) in
+              if_then c stone (fun () ->
+                  let yv = get c Types.I64 yp and xv = get c Types.I64 xp in
+                  let pos = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 yv (i64 n)) xv in
+                  let count = var c Types.I64 (i64 0) in
+                  let check off =
+                    let npos = Builder.add c.b Types.I64 pos (i64 off) in
+                    let nv = get_at c Types.I64 board npos in
+                    let empty = Builder.icmp c.b Instr.Eq Types.I64 nv (i64 0) in
+                    let one = Builder.zext c.b ~from_ty:Types.I1 ~to_ty:Types.I64 empty in
+                    bump c count one
+                  in
+                  check 1;
+                  check (-1);
+                  check n;
+                  check (-n);
+                  bump c liberties (get c Types.I64 count)))));
+  finish_main c (get c Types.I64 liberties);
+  Modul.mk ~name:"spec2006.gobmk" [ Builder.finish bm ]
+
+(* --- bzip2: run-length encode + move-to-front ---------------------------------- *)
+
+let bzip2 () : Modul.t =
+  let len = 800 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let data = arr c Types.I64 len in
+  for_up c ~from:0 ~bound:(i64 len) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.srem c.b Types.I64 (Builder.sdiv c.b Types.I64 iv (i64 7)) (i64 16) in
+      set_at c Types.I64 data iv v);
+  (* RLE *)
+  let out = var c Types.I64 (i64 0) in
+  let run = var c Types.I64 (i64 1) in
+  for_up c ~from:1 ~bound:(i64 len) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let prev = Builder.sub c.b Types.I64 iv (i64 1) in
+      let a = get_at c Types.I64 data iv in
+      let b' = get_at c Types.I64 data prev in
+      let same = Builder.icmp c.b Instr.Eq Types.I64 a b' in
+      if_ c same
+        (fun () -> bump c run (i64 1))
+        (fun () ->
+          let r = get c Types.I64 run in
+          let iv = get c Types.I64 ip in
+          let pv = get_at c Types.I64 data (Builder.sub c.b Types.I64 iv (i64 1)) in
+          let token = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 r (i64 16)) pv in
+          bump c out token;
+          set c Types.I64 run (i64 1)));
+  (* move-to-front over a 16-entry alphabet *)
+  let mtf = arr c Types.I64 16 in
+  for_up c ~from:0 ~bound:(i64 16) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 mtf iv iv);
+  let mtfsum = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 len) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let sym = get_at c Types.I64 data iv in
+      (* find rank *)
+      let rank = var c Types.I64 (i64 0) in
+      for_up c ~from:0 ~bound:(i64 16) (fun kp ->
+          let kv = get c Types.I64 kp in
+          let e = get_at c Types.I64 mtf kv in
+          let eq = Builder.icmp c.b Instr.Eq Types.I64 e sym in
+          if_then c eq (fun () -> set c Types.I64 rank (get c Types.I64 kp)));
+      bump c mtfsum (get c Types.I64 rank);
+      (* shift front *)
+      let rv = get c Types.I64 rank in
+      let j = var c Types.I64 rv in
+      while_ c
+        (fun () ->
+          let jv = get c Types.I64 j in
+          Builder.icmp c.b Instr.Sgt Types.I64 jv (i64 0))
+        (fun () ->
+          let jv = get c Types.I64 j in
+          let pj = Builder.sub c.b Types.I64 jv (i64 1) in
+          set_at c Types.I64 mtf jv (get_at c Types.I64 mtf pj);
+          set c Types.I64 j pj);
+      set_at c Types.I64 mtf (i64 0) sym);
+  let r = Builder.add c.b Types.I64 (get c Types.I64 out) (get c Types.I64 mtfsum) in
+  finish_main c r;
+  Modul.mk ~name:"spec2006.bzip2" [ Builder.finish bm ]
+
+(* --- h264ref: motion search with early termination ------------------------------ *)
+
+let h264ref () : Modul.t =
+  let w = 48 and h = 48 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let frame = arr c Types.I64 (w * h) in
+  for_up c ~from:0 ~bound:(i64 (w * h)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 131)) (i64 256) in
+      set_at c Types.I64 frame iv v);
+  let total = var c Types.I64 (i64 0) in
+  (* for a few blocks, search +-4 displacement for min SAD with early out *)
+  for_up c ~from:1 ~bound:(i64 5) (fun bp ->
+      let bv = get c Types.I64 bp in
+      let base = Builder.mul c.b Types.I64 bv (i64 (4 * w + 8)) in
+      let best = var c Types.I64 (i64 1_000_000) in
+      for_up c ~from:0 ~bound:(i64 9) (fun dp ->
+          let dv = get c Types.I64 dp in
+          let disp = Builder.sub c.b Types.I64 dv (i64 4) in
+          let sad = var c Types.I64 (i64 0) in
+          let abort = var c Types.I64 (i64 0) in
+          for_up c ~from:0 ~bound:(i64 4) (fun yp ->
+              let go = Builder.icmp c.b Instr.Eq Types.I64 (get c Types.I64 abort) (i64 0) in
+              if_then c go (fun () ->
+                  for_up c ~from:0 ~bound:(i64 4) (fun xp ->
+                      let yv = get c Types.I64 yp and xv = get c Types.I64 xp in
+                      let row = Builder.mul c.b Types.I64 yv (i64 w) in
+                      let p0 = Builder.add c.b Types.I64 base (Builder.add c.b Types.I64 row xv) in
+                      let p1 = Builder.add c.b Types.I64 p0
+                          (Builder.add c.b Types.I64 disp (i64 (2 * w))) in
+                      let a = get_at c Types.I64 frame p0 in
+                      let b' = get_at c Types.I64 frame p1 in
+                      let d = Builder.sub c.b Types.I64 a b' in
+                      let dn = Builder.sub c.b Types.I64 (i64 0) d in
+                      let isneg = Builder.icmp c.b Instr.Slt Types.I64 d (i64 0) in
+                      let ad = Builder.select c.b Types.I64 isneg dn d in
+                      bump c sad ad);
+                  let over = Builder.icmp c.b Instr.Sgt Types.I64 (get c Types.I64 sad) (get c Types.I64 best) in
+                  if_then c over (fun () -> set c Types.I64 abort (i64 1))));
+          let s = get c Types.I64 sad in
+          let ok = Builder.icmp c.b Instr.Eq Types.I64 (get c Types.I64 abort) (i64 0) in
+          let lt = Builder.icmp c.b Instr.Slt Types.I64 s (get c Types.I64 best) in
+          let take = Builder.and_ c.b Types.I1 ok lt in
+          if_then c take (fun () -> set c Types.I64 best (get c Types.I64 sad)));
+      bump c total (get c Types.I64 best));
+  finish_main c (get c Types.I64 total);
+  Modul.mk ~name:"spec2006.h264ref" [ Builder.finish bm ]
+
+(* --- astar: greedy best-first walk on a weighted grid --------------------------- *)
+
+let astar () : Modul.t =
+  let n = 32 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let cost = arr c Types.I64 (n * n) in
+  for_up c ~from:0 ~bound:(i64 (n * n)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.add c.b Types.I64
+          (Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 23)) (i64 9)) (i64 1) in
+      set_at c Types.I64 cost iv v);
+  let x = var c Types.I64 (i64 0) in
+  let y = var c Types.I64 (i64 0) in
+  let path = var c Types.I64 (i64 0) in
+  while_ c
+    (fun () ->
+      let xv = get c Types.I64 x and yv = get c Types.I64 y in
+      let fx = Builder.icmp c.b Instr.Slt Types.I64 xv (i64 (n - 1)) in
+      let fy = Builder.icmp c.b Instr.Slt Types.I64 yv (i64 (n - 1)) in
+      Builder.or_ c.b Types.I1 fx fy)
+    (fun () ->
+      let xv = get c Types.I64 x and yv = get c Types.I64 y in
+      let can_x = Builder.icmp c.b Instr.Slt Types.I64 xv (i64 (n - 1)) in
+      let can_y = Builder.icmp c.b Instr.Slt Types.I64 yv (i64 (n - 1)) in
+      let xr = Builder.add c.b Types.I64 xv (i64 1) in
+      let yd = Builder.add c.b Types.I64 yv (i64 1) in
+      let row = Builder.mul c.b Types.I64 yv (i64 n) in
+      let rowd = Builder.mul c.b Types.I64 yd (i64 n) in
+      let cright0 = get_at c Types.I64 cost (Builder.add c.b Types.I64 row xr) in
+      let cdown0 = get_at c Types.I64 cost (Builder.add c.b Types.I64 rowd xv) in
+      (* forbid the impossible direction *)
+      let cright = Builder.select c.b Types.I64 can_x cright0 (i64 1_000_000) in
+      let cdown = Builder.select c.b Types.I64 can_y cdown0 (i64 1_000_000) in
+      let right_better = Builder.icmp c.b Instr.Sle Types.I64 cright cdown in
+      if_ c right_better
+        (fun () ->
+          bump c path cright;
+          set c Types.I64 x xr)
+        (fun () ->
+          bump c path cdown;
+          set c Types.I64 y yd));
+  finish_main c (get c Types.I64 path);
+  Modul.mk ~name:"spec2006.astar" [ Builder.finish bm ]
+
+(* --- milc: complex multiply-accumulate sweeps ------------------------------------ *)
+
+let milc () : Modul.t =
+  let n = 384 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let ar = arr c Types.F64 n and ai = arr c Types.F64 n in
+  let br = arr c Types.F64 n and bi = arr c Types.F64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let f = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 iv in
+      set_at c Types.F64 ar iv (Builder.fmul c.b f (Value.cfloat 0.002));
+      set_at c Types.F64 ai iv (Builder.fmul c.b f (Value.cfloat (-0.003)));
+      set_at c Types.F64 br iv (Builder.fadd c.b f (Value.cfloat 1.0));
+      set_at c Types.F64 bi iv (Builder.fmul c.b f (Value.cfloat 0.001)));
+  let sr = var c Types.F64 (Value.cfloat 0.0) in
+  let si = var c Types.F64 (Value.cfloat 0.0) in
+  for_up c ~from:0 ~bound:(i64 40) (fun _sweep ->
+      for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+          let iv = get c Types.I64 ip in
+          let xr = get_at c Types.F64 ar iv and xi = get_at c Types.F64 ai iv in
+          let yr = get_at c Types.F64 br iv and yi = get_at c Types.F64 bi iv in
+          let pr = Builder.fsub c.b (Builder.fmul c.b xr yr) (Builder.fmul c.b xi yi) in
+          let pi = Builder.fadd c.b (Builder.fmul c.b xr yi) (Builder.fmul c.b xi yr) in
+          set c Types.F64 sr (Builder.fadd c.b (get c Types.F64 sr) pr);
+          set c Types.F64 si (Builder.fadd c.b (get c Types.F64 si) pi)));
+  let mag = Builder.fadd c.b
+      (Builder.fmul c.b (get c Types.F64 sr) (get c Types.F64 sr))
+      (Builder.fmul c.b (get c Types.F64 si) (get c Types.F64 si)) in
+  let r = Builder.cast c.b Instr.Fptosi ~from_ty:Types.F64 ~to_ty:Types.I64 mag in
+  finish_main c r;
+  Modul.mk ~name:"spec2006.milc" [ Builder.finish bm ]
+
+(* --- perlbench: string hashing plus opcode dispatch loop -------------------------- *)
+
+let perlbench () : Modul.t =
+  let bh = Builder.create ~name:"hash_step" ~params:[ Types.I64; Types.I64 ] ~ret:Types.I64 () in
+  Builder.block bh "entry";
+  let h = Builder.param bh 0 and ch = Builder.param bh 1 in
+  let m = Builder.mul bh Types.I64 h (Value.ci64 33) in
+  let r = Builder.xor bh Types.I64 m ch in
+  Builder.ret bh Types.I64 r;
+  let hash_step = Builder.finish bh in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let acc = var c Types.I64 (i64 5381) in
+  let pc = var c Types.I64 (i64 0) in
+  let stack = arr c Types.I64 32 in
+  let sp = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 4000) (fun ip ->
+      let iv = get c Types.I64 ip in
+      (* hash the "source byte" *)
+      let byte = Builder.and_ c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 167)) (i64 127) in
+      let h0 = get c Types.I64 acc in
+      let h1 = Builder.call c.b Types.I64 "hash_step" [ h0; byte ] in
+      set c Types.I64 acc h1;
+      (* tiny stack VM: push / add / dup dispatch *)
+      let opc = Builder.srem c.b Types.I64 byte (i64 3) in
+      let is_push = Builder.icmp c.b Instr.Eq Types.I64 opc (i64 0) in
+      if_ c is_push
+        (fun () ->
+          let s = get c Types.I64 sp in
+          let full = Builder.icmp c.b Instr.Sge Types.I64 s (i64 31) in
+          if_then c (Builder.xor c.b Types.I1 full (Value.ci1 true)) (fun () ->
+              let s = get c Types.I64 sp in
+              set_at c Types.I64 stack s byte;
+              set c Types.I64 sp (Builder.add c.b Types.I64 s (i64 1))))
+        (fun () ->
+          let is_add = Builder.icmp c.b Instr.Eq Types.I64 opc (i64 1) in
+          if_ c is_add
+            (fun () ->
+              let s = get c Types.I64 sp in
+              let has2 = Builder.icmp c.b Instr.Sge Types.I64 s (i64 2) in
+              if_then c has2 (fun () ->
+                  let s = get c Types.I64 sp in
+                  let t1 = Builder.sub c.b Types.I64 s (i64 1) in
+                  let t2 = Builder.sub c.b Types.I64 s (i64 2) in
+                  let a = get_at c Types.I64 stack t1 in
+                  let b' = get_at c Types.I64 stack t2 in
+                  set_at c Types.I64 stack t2 (Builder.add c.b Types.I64 a b');
+                  set c Types.I64 sp t1))
+            (fun () ->
+              let s = get c Types.I64 sp in
+              let nonempty = Builder.icmp c.b Instr.Sge Types.I64 s (i64 1) in
+              let notfull = Builder.icmp c.b Instr.Slt Types.I64 s (i64 31) in
+              let can = Builder.and_ c.b Types.I1 nonempty notfull in
+              if_then c can (fun () ->
+                  let s = get c Types.I64 sp in
+                  let top = get_at c Types.I64 stack (Builder.sub c.b Types.I64 s (i64 1)) in
+                  set_at c Types.I64 stack s top;
+                  set c Types.I64 sp (Builder.add c.b Types.I64 s (i64 1)))));
+      bump c pc (i64 1));
+  (* drain stack into checksum *)
+  let total = var c Types.I64 (get c Types.I64 acc) in
+  for_up c ~from:0 ~bound:(get c Types.I64 sp) (fun kp ->
+      let kv = get c Types.I64 kp in
+      bump c total (get_at c Types.I64 stack kv));
+  finish_main c (Builder.add c.b Types.I64 (get c Types.I64 total) (get c Types.I64 pc));
+  Modul.mk ~name:"spec2006.perlbench" [ hash_step; Builder.finish bm ]
+
+(* --- sjeng: recursive perft-style move counting ------------------------------------ *)
+
+let sjeng () : Modul.t =
+  let bp = Builder.create ~name:"perft" ~params:[ Types.I64; Types.I64 ] ~ret:Types.I64 () in
+  let c = ctx bp in
+  Builder.block bp "entry";
+  let pos = Builder.param bp 0 and depth = Builder.param bp 1 in
+  let count = var c Types.I64 (i64 0) in
+  let leaf = Builder.icmp c.b Instr.Sle Types.I64 depth (i64 0) in
+  if_ c leaf
+    (fun () -> set c Types.I64 count (i64 1))
+    (fun () ->
+      (* branching factor depends on the position hash: 2..4 moves *)
+      let h = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 pos (i64 2654435761)) (i64 3) in
+      let nmoves = Builder.add c.b Types.I64 h (i64 2) in
+      let m = var c Types.I64 (i64 0) in
+      while_ c
+        (fun () ->
+          let mv = get c Types.I64 m in
+          Builder.icmp c.b Instr.Slt Types.I64 mv nmoves)
+        (fun () ->
+          let mv = get c Types.I64 m in
+          let child = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 pos (i64 5)) mv in
+          let child2 = Builder.add c.b Types.I64 child (i64 3) in
+          let d1 = Builder.sub c.b Types.I64 depth (i64 1) in
+          let sub = Builder.call c.b Types.I64 "perft" [ child2; d1 ] in
+          bump c count sub;
+          set c Types.I64 m (Builder.add c.b Types.I64 mv (i64 1))));
+  Builder.ret bp Types.I64 (get c Types.I64 count);
+  let perft = Builder.finish bp in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let n = Builder.call c.b Types.I64 "perft" [ i64 1; i64 8 ] in
+  finish_main c n;
+  Modul.mk ~name:"spec2006.sjeng" [ perft; Builder.finish bm ]
+
+(* --- soplex: dense row reductions ---------------------------------------------------- *)
+
+let soplex () : Modul.t =
+  let rows = 24 and cols = 48 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let mat = arr c Types.F64 (rows * cols) in
+  for_up c ~from:0 ~bound:(i64 (rows * cols)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let f = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 iv in
+      let v = Builder.fadd c.b (Builder.fmul c.b f (Value.cfloat 0.0013)) (Value.cfloat 1.0) in
+      set_at c Types.F64 mat iv v);
+  (* eliminate below each pivot row *)
+  for_up c ~from:0 ~bound:(i64 (rows - 1)) (fun pp ->
+      let pv = get c Types.I64 pp in
+      let prow = Builder.mul c.b Types.I64 pv (i64 cols) in
+      let pivot = get_at c Types.F64 mat (Builder.add c.b Types.I64 prow pv) in
+      for_up c ~from:0 ~bound:(i64 rows) (fun rp ->
+          let rv = get c Types.I64 rp in
+          let below = Builder.icmp c.b Instr.Sgt Types.I64 rv pv in
+          if_then c below (fun () ->
+              let rv = get c Types.I64 rp in
+              let rrow = Builder.mul c.b Types.I64 rv (i64 cols) in
+              let lead = get_at c Types.F64 mat (Builder.add c.b Types.I64 rrow pv) in
+              let factor = Builder.fdiv c.b lead pivot in
+              for_up c ~from:0 ~bound:(i64 cols) (fun cp ->
+                  let cv = get c Types.I64 cp in
+                  let src = get_at c Types.F64 mat (Builder.add c.b Types.I64 prow cv) in
+                  let pos = Builder.add c.b Types.I64 rrow cv in
+                  let cur = get_at c Types.F64 mat pos in
+                  let nv = Builder.fsub c.b cur (Builder.fmul c.b factor src) in
+                  set_at c Types.F64 mat pos nv))));
+  let acc = var c Types.F64 (Value.cfloat 0.0) in
+  for_up c ~from:0 ~bound:(i64 rows) (fun rp ->
+      let rv = get c Types.I64 rp in
+      let diag = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 rv (i64 cols)) rv in
+      let v = get_at c Types.F64 mat diag in
+      set c Types.F64 acc (Builder.fadd c.b (get c Types.F64 acc) v));
+  let r = Builder.cast c.b Instr.Fptosi ~from_ty:Types.F64 ~to_ty:Types.I64
+      (Builder.fmul c.b (get c Types.F64 acc) (Value.cfloat 1000.0)) in
+  finish_main c r;
+  Modul.mk ~name:"spec2006.soplex" [ Builder.finish bm ]
+
+let all : (string * (unit -> Modul.t)) list =
+  [ ("456.hmmer", hmmer);
+    ("462.libquantum", libquantum);
+    ("445.gobmk", gobmk);
+    ("401.bzip2", bzip2);
+    ("464.h264ref", h264ref);
+    ("473.astar", astar);
+    ("433.milc", milc);
+    ("400.perlbench", perlbench);
+    ("458.sjeng", sjeng);
+    ("450.soplex", soplex) ]

@@ -1,0 +1,524 @@
+(* SPEC CPU 2017-like validation suite: larger programs with the
+   qualitative character of the benchmarks the paper reports on —
+   525.x264-like SAD kernels, 541.leela-like recursive tree search,
+   520.omnetpp-like event simulation with indirect calls, 508.namd-like
+   float kernels, 505.mcf-like network relaxation, 557.xz-like match
+   finding, 511.povray-like ray math, 502.gcc-like state machines,
+   519.lbm-like stencils, 531.deepsjeng-like alpha-beta search. *)
+
+open Posetrl_ir
+open Dsl
+
+let mk_main () =
+  Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 ()
+
+let finish_main (c : ctx) (r : Value.t) = Builder.ret c.b Types.I64 r
+
+(* --- x264: sum-of-absolute-differences over macroblocks ------------------- *)
+
+let x264 () : Modul.t =
+  let babs = Builder.create ~name:"iabs" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  Builder.block babs "entry";
+  let x = Builder.param babs 0 in
+  let neg = Builder.sub babs Types.I64 (Value.ci64 0) x in
+  let isneg = Builder.icmp babs Instr.Slt Types.I64 x (Value.ci64 0) in
+  let r = Builder.select babs Types.I64 isneg neg x in
+  Builder.ret babs Types.I64 r;
+  let iabs = Builder.finish babs in
+
+  (* sad over one 8x8 block pair *)
+  let bsad =
+    Builder.create ~name:"sad8x8" ~params:[ Types.Ptr; Types.Ptr; Types.I64 ]
+      ~ret:Types.I64 ()
+  in
+  let c = ctx bsad in
+  Builder.block bsad "entry";
+  let a = Builder.param bsad 0
+  and b' = Builder.param bsad 1
+  and stride = Builder.param bsad 2 in
+  let acc = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 8) (fun yp ->
+      for_up c ~from:0 ~bound:(i64 8) (fun xp ->
+          let yv = get c Types.I64 yp and xv = get c Types.I64 xp in
+          let row = Builder.mul c.b Types.I64 yv stride in
+          let pos = Builder.add c.b Types.I64 row xv in
+          let va = get_at c Types.I64 a pos in
+          let vb = get_at c Types.I64 b' pos in
+          let d = Builder.sub c.b Types.I64 va vb in
+          let ad = Builder.call c.b Types.I64 "iabs" [ d ] in
+          bump c acc ad));
+  Builder.ret bsad Types.I64 (get c Types.I64 acc);
+  let sad = Builder.finish bsad in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let w = 64 and h = 32 in
+  let cur = arr c Types.I64 (w * h) in
+  let ref_ = arr c Types.I64 (w * h) in
+  for_up c ~from:0 ~bound:(i64 (w * h)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 73)) (i64 255) in
+      set_at c Types.I64 cur iv v;
+      let v2 = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 89)) (i64 255) in
+      set_at c Types.I64 ref_ iv v2);
+  let best = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 (h / 8)) (fun byp ->
+      for_up c ~from:0 ~bound:(i64 (w / 8)) (fun bxp ->
+          let by = get c Types.I64 byp and bx = get c Types.I64 bxp in
+          let yoff = Builder.mul c.b Types.I64 by (i64 (8 * w)) in
+          let xoff = Builder.mul c.b Types.I64 bx (i64 8) in
+          let off = Builder.add c.b Types.I64 yoff xoff in
+          let pa = Builder.gep c.b Types.I64 cur off in
+          let pb = Builder.gep c.b Types.I64 ref_ off in
+          let s = Builder.call c.b Types.I64 "sad8x8" [ pa; pb; i64 w ] in
+          bump c best s));
+  finish_main c (get c Types.I64 best);
+  Modul.mk ~name:"spec2017.x264" [ iabs; sad; Builder.finish bm ]
+
+(* --- leela: recursive minimax over a synthetic game tree ------------------- *)
+
+let leela () : Modul.t =
+  (* value(node) = hash mixing; minimax(node, depth) recursive *)
+  let bv = Builder.create ~name:"node_value" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  Builder.block bv "entry";
+  let nde = Builder.param bv 0 in
+  let h1 = Builder.mul bv Types.I64 nde (Value.ci64 2654435761) in
+  let h2 = Builder.xor bv Types.I64 h1 (Builder.lshr bv Types.I64 h1 (Value.ci64 29)) in
+  let h3 = Builder.srem bv Types.I64 h2 (Value.ci64 1000) in
+  Builder.ret bv Types.I64 h3;
+  let node_value = Builder.finish bv in
+
+  let bmm =
+    Builder.create ~name:"minimax" ~params:[ Types.I64; Types.I64; Types.I64 ]
+      ~ret:Types.I64 ()
+  in
+  let c = ctx bmm in
+  Builder.block bmm "entry";
+  let node = Builder.param bmm 0
+  and depth = Builder.param bmm 1
+  and maxing = Builder.param bmm 2 in
+  let leaf = Builder.icmp c.b Instr.Sle Types.I64 depth (i64 0) in
+  let best = var c Types.I64 (i64 0) in
+  if_ c leaf
+    (fun () ->
+      let v = Builder.call c.b Types.I64 "node_value" [ node ] in
+      set c Types.I64 best v)
+    (fun () ->
+      let init = Builder.select c.b Types.I64
+          (Builder.icmp c.b Instr.Ne Types.I64 maxing (i64 0))
+          (i64 (-100000)) (i64 100000)
+      in
+      set c Types.I64 best init;
+      for_up c ~from:0 ~bound:(i64 4) (fun kp ->
+          let kv = get c Types.I64 kp in
+          let child0 = Builder.mul c.b Types.I64 node (i64 4) in
+          let child = Builder.add c.b Types.I64 child0 kv in
+          let child2 = Builder.add c.b Types.I64 child (i64 1) in
+          let d1 = Builder.sub c.b Types.I64 depth (i64 1) in
+          let flip = Builder.sub c.b Types.I64 (i64 1) maxing in
+          let sub = Builder.call c.b Types.I64 "minimax" [ child2; d1; flip ] in
+          let cur = get c Types.I64 best in
+          let is_max = Builder.icmp c.b Instr.Ne Types.I64 maxing (i64 0) in
+          let gt = Builder.icmp c.b Instr.Sgt Types.I64 sub cur in
+          let lt = Builder.icmp c.b Instr.Slt Types.I64 sub cur in
+          let take_max = Builder.and_ c.b Types.I1 is_max gt in
+          let not_max = Builder.xor c.b Types.I1 is_max (Value.ci1 true) in
+          let take_min = Builder.and_ c.b Types.I1 not_max lt in
+          let take = Builder.or_ c.b Types.I1 take_max take_min in
+          let nv = Builder.select c.b Types.I64 take sub cur in
+          set c Types.I64 best nv));
+  Builder.ret bmm Types.I64 (get c Types.I64 best);
+  let minimax = Builder.finish bmm in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let total = var c Types.I64 (i64 0) in
+  for_up c ~from:1 ~bound:(i64 12) (fun rp ->
+      let rv = get c Types.I64 rp in
+      let s = Builder.call c.b Types.I64 "minimax" [ rv; i64 5; i64 1 ] in
+      bump c total s);
+  finish_main c (get c Types.I64 total);
+  Modul.mk ~name:"spec2017.leela" [ node_value; minimax; Builder.finish bm ]
+
+(* --- omnetpp: discrete-event loop with indirect handlers ------------------- *)
+
+let omnetpp () : Modul.t =
+  let mk_handler name mix =
+    let b = Builder.create ~name ~params:[ Types.I64 ] ~ret:Types.I64 () in
+    Builder.block b "entry";
+    let e = Builder.param b 0 in
+    let v = mix b e in
+    Builder.ret b Types.I64 v;
+    Builder.finish b
+  in
+  let h0 =
+    mk_handler "on_arrive" (fun b e ->
+        Builder.add b Types.I64 (Builder.mul b Types.I64 e (Value.ci64 3)) (Value.ci64 11))
+  in
+  let h1 =
+    mk_handler "on_depart" (fun b e ->
+        Builder.xor b Types.I64 e (Builder.lshr b Types.I64 e (Value.ci64 3)))
+  in
+  let h2 =
+    mk_handler "on_timer" (fun b e ->
+        Builder.sub b Types.I64 (Builder.shl b Types.I64 e (Value.ci64 1)) (Value.ci64 7))
+  in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let handlers = arr c Types.Ptr 3 in
+  set_at c Types.Ptr handlers (i64 0) (Value.global "on_arrive");
+  set_at c Types.Ptr handlers (i64 1) (Value.global "on_depart");
+  set_at c Types.Ptr handlers (i64 2) (Value.global "on_timer");
+  let state = var c Types.I64 (i64 42) in
+  let acc = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 5000) (fun _ip ->
+      let s = get c Types.I64 state in
+      let kind = Builder.srem c.b Types.I64 s (i64 3) in
+      let h = get_at c Types.Ptr handlers kind in
+      let r = Builder.callind c.b Types.I64 h [ s ] in
+      bump c acc r;
+      let ns = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 s (Value.cint Types.I64 6364136223846793005L)) (Value.cint Types.I64 1442695040888963407L) in
+      let ns2 = Builder.lshr c.b Types.I64 ns (i64 11) in
+      set c Types.I64 state ns2);
+  finish_main c (get c Types.I64 acc);
+  Modul.mk ~name:"spec2017.omnetpp" [ h0; h1; h2; Builder.finish bm ]
+
+(* --- namd: pairwise force float kernel -------------------------------------- *)
+
+let namd () : Modul.t =
+  let n = 96 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let px = arr c Types.F64 n and py = arr c Types.F64 n in
+  let fx = arr c Types.F64 n and fy = arr c Types.F64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let f = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 iv in
+      set_at c Types.F64 px iv (Builder.fmul c.b f (Value.cfloat 0.37));
+      set_at c Types.F64 py iv (Builder.fmul c.b f (Value.cfloat 0.73));
+      set_at c Types.F64 fx iv (Value.cfloat 0.0);
+      set_at c Types.F64 fy iv (Value.cfloat 0.0));
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      for_up c ~from:0 ~bound:(i64 n) (fun jp ->
+          let iv = get c Types.I64 ip and jv = get c Types.I64 jp in
+          let ne = Builder.icmp c.b Instr.Ne Types.I64 iv jv in
+          if_then c ne (fun () ->
+              let iv = get c Types.I64 ip and jv = get c Types.I64 jp in
+              let xi = get_at c Types.F64 px iv and xj = get_at c Types.F64 px jv in
+              let yi = get_at c Types.F64 py iv and yj = get_at c Types.F64 py jv in
+              let dx = Builder.fsub c.b xi xj in
+              let dy = Builder.fsub c.b yi yj in
+              let r2 = Builder.fadd c.b (Builder.fmul c.b dx dx) (Builder.fmul c.b dy dy) in
+              let r2c = Builder.fadd c.b r2 (Value.cfloat 0.5) in
+              let inv = Builder.fdiv c.b (Value.cfloat 1.0) r2c in
+              let fxi = get_at c Types.F64 fx iv in
+              let fyi = get_at c Types.F64 fy iv in
+              set_at c Types.F64 fx iv (Builder.fadd c.b fxi (Builder.fmul c.b dx inv));
+              set_at c Types.F64 fy iv (Builder.fadd c.b fyi (Builder.fmul c.b dy inv)))));
+  let acc = var c Types.F64 (Value.cfloat 0.0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let vx = get_at c Types.F64 fx iv in
+      let vy = get_at c Types.F64 fy iv in
+      let e = Builder.fadd c.b (Builder.fmul c.b vx vx) (Builder.fmul c.b vy vy) in
+      set c Types.F64 acc (Builder.fadd c.b (get c Types.F64 acc) e));
+  let r = Builder.cast c.b Instr.Fptosi ~from_ty:Types.F64 ~to_ty:Types.I64
+      (Builder.fmul c.b (get c Types.F64 acc) (Value.cfloat 1000.0))
+  in
+  finish_main c r;
+  Modul.mk ~name:"spec2017.namd" [ Builder.finish bm ]
+
+(* --- mcf: Bellman-Ford-style relaxation over an arc list -------------------- *)
+
+let mcf () : Modul.t =
+  let nodes = 64 and arcs = 256 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let src = arr c Types.I64 arcs and dst = arr c Types.I64 arcs in
+  let cost = arr c Types.I64 arcs in
+  for_up c ~from:0 ~bound:(i64 arcs) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let s = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 37)) (i64 nodes) in
+      let d = Builder.srem c.b Types.I64 (Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 53)) (i64 11)) (i64 nodes) in
+      let w = Builder.add c.b Types.I64 (Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 19)) (i64 40)) (i64 1) in
+      set_at c Types.I64 src iv s;
+      set_at c Types.I64 dst iv d;
+      set_at c Types.I64 cost iv w);
+  let dist = arr c Types.I64 nodes in
+  for_up c ~from:0 ~bound:(i64 nodes) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 dist iv (i64 1_000_000));
+  set_at c Types.I64 dist (i64 0) (i64 0);
+  for_up c ~from:0 ~bound:(i64 (nodes - 1)) (fun _round ->
+      for_up c ~from:0 ~bound:(i64 arcs) (fun ap ->
+          let av = get c Types.I64 ap in
+          let s = get_at c Types.I64 src av in
+          let d = get_at c Types.I64 dst av in
+          let w = get_at c Types.I64 cost av in
+          let ds = get_at c Types.I64 dist s in
+          let cand = Builder.add c.b Types.I64 ds w in
+          let dd = get_at c Types.I64 dist d in
+          let lt = Builder.icmp c.b Instr.Slt Types.I64 cand dd in
+          if_then c lt (fun () ->
+              let av = get c Types.I64 ap in
+              let d = get_at c Types.I64 dst av in
+              set_at c Types.I64 dist d cand)));
+  let sum = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 nodes) (fun ip ->
+      let iv = get c Types.I64 ip in
+      bump c sum (get_at c Types.I64 dist iv));
+  finish_main c (get c Types.I64 sum);
+  Modul.mk ~name:"spec2017.mcf" [ Builder.finish bm ]
+
+(* --- xz: LZ77-style longest-match search ------------------------------------ *)
+
+let xz () : Modul.t =
+  let len = 600 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let buf = arr c Types.I64 len in
+  for_up c ~from:0 ~bound:(i64 len) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 11)) (i64 7) in
+      set_at c Types.I64 buf iv v);
+  let total = var c Types.I64 (i64 0) in
+  for_up c ~from:1 ~bound:(i64 len) (fun posp ->
+      let best = var c Types.I64 (i64 0) in
+      let pos = get c Types.I64 posp in
+      let start = Builder.sub c.b Types.I64 pos (i64 32) in
+      let neg = Builder.icmp c.b Instr.Slt Types.I64 start (i64 0) in
+      let start2 = Builder.select c.b Types.I64 neg (i64 0) start in
+      let cand = var c Types.I64 start2 in
+      while_ c
+        (fun () ->
+          let cv = get c Types.I64 cand in
+          Builder.icmp c.b Instr.Slt Types.I64 cv (get c Types.I64 posp))
+        (fun () ->
+          let cv = get c Types.I64 cand in
+          let pv = get c Types.I64 posp in
+          let mlen = var c Types.I64 (i64 0) in
+          let cont = var c Types.I64 (i64 1) in
+          while_ c
+            (fun () ->
+              let ml = get c Types.I64 mlen in
+              let cnt = get c Types.I64 cont in
+              let inb = Builder.icmp c.b Instr.Slt Types.I64
+                  (Builder.add c.b Types.I64 pv ml) (i64 len) in
+              let going = Builder.icmp c.b Instr.Ne Types.I64 cnt (i64 0) in
+              let short = Builder.icmp c.b Instr.Slt Types.I64 ml (i64 16) in
+              Builder.and_ c.b Types.I1 (Builder.and_ c.b Types.I1 inb going) short)
+            (fun () ->
+              let ml = get c Types.I64 mlen in
+              let a = get_at c Types.I64 buf (Builder.add c.b Types.I64 cv ml) in
+              let b' = get_at c Types.I64 buf (Builder.add c.b Types.I64 pv ml) in
+              let eq = Builder.icmp c.b Instr.Eq Types.I64 a b' in
+              if_ c eq
+                (fun () -> set c Types.I64 mlen (Builder.add c.b Types.I64 (get c Types.I64 mlen) (i64 1)))
+                (fun () -> set c Types.I64 cont (i64 0)));
+          let ml = get c Types.I64 mlen in
+          let better = Builder.icmp c.b Instr.Sgt Types.I64 ml (get c Types.I64 best) in
+          if_then c better (fun () -> set c Types.I64 best (get c Types.I64 mlen));
+          set c Types.I64 cand (Builder.add c.b Types.I64 (get c Types.I64 cand) (i64 1)));
+      bump c total (get c Types.I64 best));
+  finish_main c (get c Types.I64 total);
+  Modul.mk ~name:"spec2017.xz" [ Builder.finish bm ]
+
+(* --- povray: sphere-intersection float math ---------------------------------- *)
+
+let povray () : Modul.t =
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let hits = var c Types.I64 (i64 0) in
+  let accum = var c Types.F64 (Value.cfloat 0.0) in
+  for_up c ~from:0 ~bound:(i64 64) (fun yp ->
+      for_up c ~from:0 ~bound:(i64 64) (fun xp ->
+          let yv = get c Types.I64 yp and xv = get c Types.I64 xp in
+          let fx = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 xv in
+          let fy = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 yv in
+          let dx = Builder.fsub c.b (Builder.fmul c.b fx (Value.cfloat 0.03125)) (Value.cfloat 1.0) in
+          let dy = Builder.fsub c.b (Builder.fmul c.b fy (Value.cfloat 0.03125)) (Value.cfloat 1.0) in
+          (* ray-sphere: b = dx*ox + dy*oy; disc = b^2 - (o.o - r^2) *)
+          let b' = Builder.fadd c.b (Builder.fmul c.b dx (Value.cfloat 0.5))
+              (Builder.fmul c.b dy (Value.cfloat (-0.3))) in
+          let oo = Value.cfloat (0.25 +. 0.09) in
+          let disc = Builder.fsub c.b (Builder.fmul c.b b' b')
+              (Builder.fsub c.b oo (Value.cfloat 0.64)) in
+          let pos = Builder.fcmp c.b Instr.Sgt disc (Value.cfloat 0.0) in
+          if_then c pos (fun () ->
+              set c Types.I64 hits (Builder.add c.b Types.I64 (get c Types.I64 hits) (i64 1));
+              let cur = get c Types.F64 accum in
+              set c Types.F64 accum (Builder.fadd c.b cur disc))));
+  let scaled = Builder.fmul c.b (get c Types.F64 accum) (Value.cfloat 100.0) in
+  let si = Builder.cast c.b Instr.Fptosi ~from_ty:Types.F64 ~to_ty:Types.I64 scaled in
+  let r = Builder.add c.b Types.I64 si
+      (Builder.mul c.b Types.I64 (get c Types.I64 hits) (i64 100000)) in
+  finish_main c r;
+  Modul.mk ~name:"spec2017.povray" [ Builder.finish bm ]
+
+(* --- gcc: switch-driven token state machine ----------------------------------- *)
+
+let gcc () : Modul.t =
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let state = var c Types.I64 (i64 0) in
+  let out = var c Types.I64 (i64 0) in
+  let stream = var c Types.I64 (i64 12345) in
+  for_up c ~from:0 ~bound:(i64 6000) (fun _ip ->
+      let s = get c Types.I64 stream in
+      let tok = Builder.srem c.b Types.I64 s (i64 6) in
+      let ns = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 s (i64 1103515245)) (i64 12345) in
+      let ns2 = Builder.and_ c.b Types.I64 ns (Value.cint Types.I64 0x3FFFFFFFL) in
+      set c Types.I64 stream ns2;
+      (* switch over (state*6 + tok) via nested branches *)
+      let st = get c Types.I64 state in
+      let key0 = Builder.mul c.b Types.I64 st (i64 6) in
+      let key = Builder.add c.b Types.I64 key0 tok in
+      let km = Builder.srem c.b Types.I64 key (i64 5) in
+      let is0 = Builder.icmp c.b Instr.Eq Types.I64 km (i64 0) in
+      if_ c is0
+        (fun () ->
+          set c Types.I64 state (i64 1);
+          bump c out (i64 3))
+        (fun () ->
+          let is1 = Builder.icmp c.b Instr.Eq Types.I64 km (i64 1) in
+          if_ c is1
+            (fun () ->
+              set c Types.I64 state (i64 2);
+              bump c out (i64 5))
+            (fun () ->
+              let is2 = Builder.icmp c.b Instr.Eq Types.I64 km (i64 2) in
+              if_ c is2
+                (fun () ->
+                  set c Types.I64 state (i64 3);
+                  bump c out (i64 7))
+                (fun () ->
+                  let is3 = Builder.icmp c.b Instr.Eq Types.I64 km (i64 3) in
+                  if_ c is3
+                    (fun () ->
+                      set c Types.I64 state (i64 0);
+                      bump c out (i64 11))
+                    (fun () ->
+                      set c Types.I64 state (i64 4);
+                      bump c out (i64 13))))));
+  let st = get c Types.I64 state in
+  let r = Builder.add c.b Types.I64 (get c Types.I64 out) st in
+  finish_main c r;
+  Modul.mk ~name:"spec2017.gcc" [ Builder.finish bm ]
+
+(* --- lbm: 1D three-point stencil sweeps ---------------------------------------- *)
+
+let lbm () : Modul.t =
+  let n = 512 in
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let a = arr c Types.F64 n and b' = arr c Types.F64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let f = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 iv in
+      set_at c Types.F64 a iv (Builder.fmul c.b f (Value.cfloat 0.01));
+      set_at c Types.F64 b' iv (Value.cfloat 0.0));
+  for_up c ~from:0 ~bound:(i64 30) (fun _sweep ->
+      for_up c ~from:1 ~bound:(i64 (n - 1)) (fun ip ->
+          let iv = get c Types.I64 ip in
+          let l = Builder.sub c.b Types.I64 iv (i64 1) in
+          let r = Builder.add c.b Types.I64 iv (i64 1) in
+          let vl = get_at c Types.F64 a l in
+          let vc = get_at c Types.F64 a iv in
+          let vr = get_at c Types.F64 a r in
+          let s = Builder.fadd c.b vl (Builder.fadd c.b (Builder.fmul c.b vc (Value.cfloat 2.0)) vr) in
+          set_at c Types.F64 b' iv (Builder.fmul c.b s (Value.cfloat 0.25)));
+      for_up c ~from:1 ~bound:(i64 (n - 1)) (fun ip ->
+          let iv = get c Types.I64 ip in
+          set_at c Types.F64 a iv (get_at c Types.F64 b' iv)));
+  let acc = var c Types.F64 (Value.cfloat 0.0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set c Types.F64 acc (Builder.fadd c.b (get c Types.F64 acc) (get_at c Types.F64 a iv)));
+  let r = Builder.cast c.b Instr.Fptosi ~from_ty:Types.F64 ~to_ty:Types.I64
+      (Builder.fmul c.b (get c Types.F64 acc) (Value.cfloat 100.0)) in
+  finish_main c r;
+  Modul.mk ~name:"spec2017.lbm" [ Builder.finish bm ]
+
+(* --- deepsjeng: alpha-beta with transposition-like memo ------------------------ *)
+
+let deepsjeng () : Modul.t =
+  let beval = Builder.create ~name:"eval_pos" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  Builder.block beval "entry";
+  let p = Builder.param beval 0 in
+  let a = Builder.mul beval Types.I64 p (Value.ci64 48271) in
+  let b' = Builder.srem beval Types.I64 a (Value.ci64 197) in
+  let r = Builder.sub beval Types.I64 b' (Value.ci64 98) in
+  Builder.ret beval Types.I64 r;
+  let eval_pos = Builder.finish beval in
+
+  let bab =
+    Builder.create ~name:"alphabeta"
+      ~params:[ Types.I64; Types.I64; Types.I64; Types.I64 ] ~ret:Types.I64 ()
+  in
+  let c = ctx bab in
+  Builder.block bab "entry";
+  let pos = Builder.param bab 0
+  and depth = Builder.param bab 1
+  and alpha = Builder.param bab 2
+  and beta = Builder.param bab 3 in
+  let result = var c Types.I64 (i64 0) in
+  let leaf = Builder.icmp c.b Instr.Sle Types.I64 depth (i64 0) in
+  if_ c leaf
+    (fun () ->
+      let v = Builder.call c.b Types.I64 "eval_pos" [ pos ] in
+      set c Types.I64 result v)
+    (fun () ->
+      let a' = var c Types.I64 alpha in
+      let done_ = var c Types.I64 (i64 0) in
+      for_up c ~from:0 ~bound:(i64 3) (fun mp ->
+          let not_done = Builder.icmp c.b Instr.Eq Types.I64 (get c Types.I64 done_) (i64 0) in
+          if_then c not_done (fun () ->
+              let mv = get c Types.I64 mp in
+              let child0 = Builder.mul c.b Types.I64 pos (i64 3) in
+              let child = Builder.add c.b Types.I64 child0 mv in
+              let child1 = Builder.add c.b Types.I64 child (i64 7) in
+              let d1 = Builder.sub c.b Types.I64 depth (i64 1) in
+              let nb = Builder.sub c.b Types.I64 (i64 0) (get c Types.I64 a') in
+              let na = Builder.sub c.b Types.I64 (i64 0) beta in
+              let sub = Builder.call c.b Types.I64 "alphabeta" [ child1; d1; na; nb ] in
+              let score = Builder.sub c.b Types.I64 (i64 0) sub in
+              let better = Builder.icmp c.b Instr.Sgt Types.I64 score (get c Types.I64 a') in
+              if_then c better (fun () -> set c Types.I64 a' score);
+              let cutoff = Builder.icmp c.b Instr.Sge Types.I64 (get c Types.I64 a') beta in
+              if_then c cutoff (fun () -> set c Types.I64 done_ (i64 1))));
+      set c Types.I64 result (get c Types.I64 a'));
+  Builder.ret bab Types.I64 (get c Types.I64 result);
+  let alphabeta = Builder.finish bab in
+
+  let bm = mk_main () in
+  let c = ctx bm in
+  Builder.block bm "entry";
+  let total = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 20) (fun rp ->
+      let rv = get c Types.I64 rp in
+      let s = Builder.call c.b Types.I64 "alphabeta"
+          [ rv; i64 6; i64 (-100000); i64 100000 ] in
+      bump c total s);
+  finish_main c (get c Types.I64 total);
+  Modul.mk ~name:"spec2017.deepsjeng" [ eval_pos; alphabeta; Builder.finish bm ]
+
+let all : (string * (unit -> Modul.t)) list =
+  [ ("508.namd", namd);
+    ("505.mcf", mcf);
+    ("525.x264", x264);
+    ("541.leela", leela);
+    ("520.omnetpp", omnetpp);
+    ("557.xz", xz);
+    ("511.povray", povray);
+    ("502.gcc", gcc);
+    ("519.lbm", lbm);
+    ("531.deepsjeng", deepsjeng) ]

@@ -1,0 +1,36 @@
+(* Suite registry: the validation suites (disjoint from the training
+   corpus, as in the paper) and the training corpus itself. *)
+
+open Posetrl_ir
+
+type suite = {
+  suite_name : string;
+  programs : (string * (unit -> Modul.t)) list;
+}
+
+let mibench = { suite_name = "MiBench"; programs = Mibench.all }
+
+let spec2017 = { suite_name = "SPEC-2017"; programs = Spec2017.all }
+
+let spec2006 = { suite_name = "SPEC-2006"; programs = Spec2006.all }
+
+let validation_suites = [ spec2017; spec2006; mibench ]
+
+let find_program (name : string) : (unit -> Modul.t) option =
+  List.find_map
+    (fun s -> List.assoc_opt name s.programs)
+    validation_suites
+
+let all_programs () : (string * Modul.t) list =
+  List.concat_map
+    (fun s -> List.map (fun (n, mk) -> (s.suite_name ^ "/" ^ n, mk ())) s.programs)
+    validation_suites
+
+(* The 130-program training corpus (paper §V-A): half live-output kernel
+   templates in the llvm-test-suite spirit, half random structured
+   programs for coverage of odd shapes. Disjoint from the validation
+   suites. *)
+let training_corpus ?(n = 130) ?(seed = 7) () : Modul.t array =
+  Array.init n (fun k ->
+      if k mod 2 = 0 then Templates.generate ~seed:(seed + k)
+      else Genprog.generate ~seed:(seed + k))

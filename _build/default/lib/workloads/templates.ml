@@ -1,0 +1,247 @@
+(* Parameterized kernel templates for the training corpus.
+
+   The paper trains on the llvm-test-suite single-source programs: small
+   but *real* kernels whose results are live. Purely random programs are
+   a poor stand-in on their own — they contain lots of dead computation,
+   so a reward-greedy policy overfits to dead-code passes that do nothing
+   on real code. These templates generate live-output kernels (reductions,
+   stencils, scans, sorting networks, hashing, string matching, matrix
+   products, histogram, polynomial evaluation) over a seeded parameter
+   space; mixed with the random programs they give the corpus the same
+   flavour as the paper's training set. *)
+
+open Posetrl_ir
+open Posetrl_support
+open Dsl
+
+let mk_main name =
+  Builder.create ~linkage:Func.External ~name:(ignore name; "main") ~params:[] ~ret:Types.I64 ()
+
+(* every template returns main's builder context plus a checksum value *)
+
+let reduction (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let n = 16 + (8 * Rng.int rng 24) in
+  let stride = 1 + Rng.int rng 3 in
+  let a = arr c Types.I64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 a iv (Builder.mul c.b Types.I64 iv (i64 (Rng.int rng 50 + 1))));
+  let acc = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~step:stride ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      bump c acc (get_at c Types.I64 a iv));
+  ignore b;
+  get c Types.I64 acc
+
+let stencil (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let n = 32 + (8 * Rng.int rng 16) in
+  let sweeps = 2 + Rng.int rng 6 in
+  let a = arr c Types.I64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 a iv iv);
+  for_up c ~from:0 ~bound:(i64 sweeps) (fun _s ->
+      for_up c ~from:1 ~bound:(i64 (n - 1)) (fun ip ->
+          let iv = get c Types.I64 ip in
+          let l = get_at c Types.I64 a (Builder.sub c.b Types.I64 iv (i64 1)) in
+          let r = get_at c Types.I64 a (Builder.add c.b Types.I64 iv (i64 1)) in
+          let m = get_at c Types.I64 a iv in
+          let s = Builder.add c.b Types.I64 l (Builder.add c.b Types.I64 m r) in
+          set_at c Types.I64 a iv (Builder.sdiv c.b Types.I64 s (i64 3))));
+  let acc = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      bump c acc (get_at c Types.I64 a iv));
+  ignore b;
+  get c Types.I64 acc
+
+let prefix_scan (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let n = 24 + (8 * Rng.int rng 20) in
+  let a = arr c Types.I64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 a iv
+        (Builder.and_ c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 2654435761)) (i64 255)));
+  let run = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      bump c run (get_at c Types.I64 a iv);
+      set_at c Types.I64 a iv (get c Types.I64 run));
+  ignore b;
+  get_at c Types.I64 a (i64 (Rng.int rng 8))
+
+let hashing (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let rounds = 200 + (100 * Rng.int rng 12) in
+  let mult = [| 31L; 33L; 131L; 1099511628211L |].(Rng.int rng 4) in
+  let h = var c Types.I64 (i64 (5381 + Rng.int rng 100)) in
+  for_up c ~from:0 ~bound:(i64 rounds) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let hv = get c Types.I64 h in
+      let m = Builder.mul c.b Types.I64 hv (Value.cint Types.I64 mult) in
+      let x = Builder.xor c.b Types.I64 m iv in
+      let sh = Builder.lshr c.b Types.I64 x (i64 (1 + Rng.int rng 3)) in
+      set c Types.I64 h (Builder.xor c.b Types.I64 x sh));
+  ignore b;
+  get c Types.I64 h
+
+let matmul (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let n = 4 + Rng.int rng 8 in
+  let a = arr c Types.I64 (n * n) and bq = arr c Types.I64 (n * n) in
+  let out = arr c Types.I64 (n * n) in
+  for_up c ~from:0 ~bound:(i64 (n * n)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 a iv (Builder.srem c.b Types.I64 iv (i64 7));
+      set_at c Types.I64 bq iv (Builder.srem c.b Types.I64 iv (i64 5)));
+  for_up c ~from:0 ~bound:(i64 n) (fun ipi ->
+      for_up c ~from:0 ~bound:(i64 n) (fun ipj ->
+          let acc = var c Types.I64 (i64 0) in
+          for_up c ~from:0 ~bound:(i64 n) (fun ipk ->
+              let iv = get c Types.I64 ipi and jv = get c Types.I64 ipj
+              and kv = get c Types.I64 ipk in
+              let va = get_at c Types.I64 a (Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 n)) kv) in
+              let vb = get_at c Types.I64 bq (Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 kv (i64 n)) jv) in
+              bump c acc (Builder.mul c.b Types.I64 va vb));
+          let iv = get c Types.I64 ipi and jv = get c Types.I64 ipj in
+          set_at c Types.I64 out
+            (Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 n)) jv)
+            (get c Types.I64 acc)));
+  let acc = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 (n * n)) (fun ip ->
+      let iv = get c Types.I64 ip in
+      bump c acc (get_at c Types.I64 out iv));
+  ignore b;
+  get c Types.I64 acc
+
+let histogram (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let n = 200 + (50 * Rng.int rng 8) in
+  let buckets = 8 lsl Rng.int rng 2 in
+  let hist = arr c Types.I64 buckets in
+  for_up c ~from:0 ~bound:(i64 buckets) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 hist iv (i64 0));
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = Builder.mul c.b Types.I64 iv (i64 48271) in
+      let k = Builder.and_ c.b Types.I64 v (i64 (buckets - 1)) in
+      let cur = get_at c Types.I64 hist k in
+      set_at c Types.I64 hist k (Builder.add c.b Types.I64 cur (i64 1)));
+  (* weighted checksum *)
+  let acc = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 buckets) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = get_at c Types.I64 hist iv in
+      bump c acc (Builder.mul c.b Types.I64 v (Builder.add c.b Types.I64 iv (i64 1))));
+  ignore b;
+  get c Types.I64 acc
+
+let polynomial (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  (* Horner evaluation of a degree-d polynomial at many points, through a
+     helper function (inlining fodder) *)
+  ignore b;
+  let d = 3 + Rng.int rng 5 in
+  let pts = 50 + (25 * Rng.int rng 6) in
+  let coeff = arr c Types.I64 d in
+  for_up c ~from:0 ~bound:(i64 d) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 coeff iv (Builder.add c.b Types.I64 iv (i64 (Rng.int rng 9 + 1))));
+  let acc = var c Types.I64 (i64 0) in
+  for_up c ~from:0 ~bound:(i64 pts) (fun ip ->
+      let x = get c Types.I64 ip in
+      let h = var c Types.I64 (i64 0) in
+      for_up c ~from:0 ~bound:(i64 d) (fun kp ->
+          let kv = get c Types.I64 kp in
+          let cv = get_at c Types.I64 coeff kv in
+          let hv = get c Types.I64 h in
+          let m = Builder.mul c.b Types.I64 hv x in
+          let m = Builder.and_ c.b Types.I64 m (Value.cint Types.I64 0xFFFFFFFL) in
+          set c Types.I64 h (Builder.add c.b Types.I64 m cv));
+      bump c acc (get c Types.I64 h));
+  get c Types.I64 acc
+
+let sorting_network (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let n = 16 + (16 * Rng.int rng 3) in
+  let a = arr c Types.I64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      set_at c Types.I64 a iv
+        (Builder.srem c.b Types.I64 (Builder.mul c.b Types.I64 iv (i64 7919)) (i64 1000)));
+  (* odd-even transposition: n rounds of compare-exchange *)
+  for_up c ~from:0 ~bound:(i64 n) (fun rp ->
+      let rv = get c Types.I64 rp in
+      let parity = Builder.and_ c.b Types.I64 rv (i64 1) in
+      for_up c ~from:0 ~bound:(i64 ((n / 2) - 1)) (fun kp ->
+          let kv = get c Types.I64 kp in
+          let base = Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 kv (i64 2)) parity in
+          let nxt = Builder.add c.b Types.I64 base (i64 1) in
+          let x = get_at c Types.I64 a base in
+          let y = get_at c Types.I64 a nxt in
+          let gt = Builder.icmp c.b Instr.Sgt Types.I64 x y in
+          let lo = Builder.select c.b Types.I64 gt y x in
+          let hi = Builder.select c.b Types.I64 gt x y in
+          set_at c Types.I64 a base lo;
+          set_at c Types.I64 a nxt hi));
+  ignore b;
+  (* checksum of a few positions *)
+  let p = Rng.int rng (n / 2) in
+  let x = get_at c Types.I64 a (i64 p) in
+  let y = get_at c Types.I64 a (i64 (n - 1 - p)) in
+  Builder.add c.b Types.I64 (Builder.mul c.b Types.I64 x (i64 1000)) y
+
+let float_kernel (rng : Rng.t) (b : Builder.t) (c : ctx) : Value.t =
+  let n = 64 + (32 * Rng.int rng 6) in
+  let a = arr c Types.F64 n in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let f = Builder.cast c.b Instr.Sitofp ~from_ty:Types.I64 ~to_ty:Types.F64 iv in
+      set_at c Types.F64 a iv (Builder.fmul c.b f (Value.cfloat (0.01 +. Rng.float rng))));
+  let acc = var c Types.F64 (Value.cfloat 0.0) in
+  for_up c ~from:0 ~bound:(i64 n) (fun ip ->
+      let iv = get c Types.I64 ip in
+      let v = get_at c Types.F64 a iv in
+      let sq = Builder.fmul c.b v v in
+      set c Types.F64 acc (Builder.fadd c.b (get c Types.F64 acc) sq));
+  ignore b;
+  Builder.cast c.b Instr.Fptosi ~from_ty:Types.F64 ~to_ty:Types.I64
+    (Builder.fmul c.b (get c Types.F64 acc) (Value.cfloat 100.0))
+
+(* A helper function some templates call, so the inliner has real work. *)
+let mix_helper (rng : Rng.t) : Func.t =
+  let b = Builder.create ~name:"mix" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let x = Builder.param b 0 in
+  let m = Builder.mul b Types.I64 x (Value.ci64 (Rng.int rng 1000 + 3)) in
+  let s = Builder.lshr b Types.I64 m (Value.ci64 (1 + Rng.int rng 5)) in
+  let r = Builder.xor b Types.I64 m s in
+  Builder.ret b Types.I64 r;
+  Builder.finish b
+
+let families =
+  [| ("reduction", reduction); ("stencil", stencil); ("scan", prefix_scan);
+     ("hashing", hashing); ("matmul", matmul); ("histogram", histogram);
+     ("polynomial", polynomial); ("sorting", sorting_network);
+     ("floatkernel", float_kernel) |]
+
+(* Generate one kernel program: 1-2 template instances whose checksums
+   combine, sometimes through the helper. *)
+let generate ~(seed : int) : Modul.t =
+  let rng = Rng.create (seed * 7_368_787 + 5) in
+  let use_helper = Rng.bool rng in
+  let helper = if use_helper then [ mix_helper rng ] else [] in
+  let fam_name, fam = Rng.choose rng families in
+  let b = mk_main fam_name in
+  let c = ctx b in
+  Builder.block b "entry";
+  let v1 = fam rng b c in
+  let v2 =
+    if Rng.int rng 3 = 0 then begin
+      let _, fam2 = Rng.choose rng families in
+      fam2 rng b c
+    end
+    else i64 (Rng.int rng 1000)
+  in
+  let combined = Builder.add c.b Types.I64 v1 v2 in
+  let result =
+    if use_helper then Builder.call c.b Types.I64 "mix" [ combined ] else combined
+  in
+  Builder.ret b Types.I64 result;
+  Modul.mk ~name:(Printf.sprintf "tmpl.%s.%d" fam_name seed) (helper @ [ Builder.finish b ])

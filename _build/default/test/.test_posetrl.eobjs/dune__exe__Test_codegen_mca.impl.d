@@ -1,0 +1,1 @@
+test/test_codegen_mca.ml: Alcotest Array Builder Func Global Instr List Modul Posetrl_codegen Posetrl_ir Posetrl_mca Posetrl_passes Posetrl_workloads Printf Testutil Types Value

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Option Posetrl_codegen Posetrl_core Posetrl_odg Posetrl_rl Posetrl_workloads Testutil

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Fold Func Global Instr Int64 List Modul Posetrl_interp Posetrl_ir Posetrl_workloads QCheck2 QCheck_alcotest Testutil Types Value Verifier

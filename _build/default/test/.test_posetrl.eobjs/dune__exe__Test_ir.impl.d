@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Cfg Dom Float Func Hashtbl Instr List Loops Mibench Modul Parser Posetrl_ir Posetrl_workloads Printer Testutil Types Value Verifier

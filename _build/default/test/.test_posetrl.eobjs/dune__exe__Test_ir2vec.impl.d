@@ -1,0 +1,1 @@
+test/test_ir2vec.ml: Alcotest Builder Func List Modul Posetrl_ir Posetrl_ir2vec Posetrl_passes Posetrl_support Posetrl_workloads QCheck2 QCheck_alcotest Testutil Types Value

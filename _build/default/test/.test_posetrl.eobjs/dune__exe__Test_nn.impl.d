@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Float Layer Loss Matrix Mlp Optim Posetrl_nn Posetrl_support Printf Rng

@@ -1,0 +1,1 @@
+test/test_odg.ml: Alcotest Array Lazy List Posetrl_odg Posetrl_passes Printf String Testutil

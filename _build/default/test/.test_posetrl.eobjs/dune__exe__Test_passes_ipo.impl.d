@@ -1,0 +1,1 @@
+test/test_passes_ipo.ml: Alcotest Attrs Builder Func Global Instr List Modul Posetrl_ir Posetrl_passes Printer Testutil Types Value

@@ -1,0 +1,1 @@
+test/test_passes_loop.ml: Alcotest Block Builder Func Instr List Loops Modul Option Posetrl_ir Posetrl_passes Posetrl_workloads Testutil Types

@@ -1,0 +1,1 @@
+test/test_passes_scalar.ml: Alcotest Builder Func Instr Modul Posetrl_ir Testutil Types Value

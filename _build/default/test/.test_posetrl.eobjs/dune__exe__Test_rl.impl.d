@@ -1,0 +1,1 @@
+test/test_rl.ml: Alcotest Array Filename Float Posetrl_rl Posetrl_support Printf Rng Sys

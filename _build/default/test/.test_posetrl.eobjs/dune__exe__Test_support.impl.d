@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Float Fun Int64 Posetrl_support Rng Stats String Table Vecf

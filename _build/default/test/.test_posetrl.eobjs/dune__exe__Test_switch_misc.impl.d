@@ -1,0 +1,1 @@
+test/test_switch_misc.ml: Alcotest Array Attrs Builder Float Func Instr List Modul Parser Posetrl_ir Posetrl_odg Posetrl_passes Posetrl_workloads Printer Testutil Types Value Verifier

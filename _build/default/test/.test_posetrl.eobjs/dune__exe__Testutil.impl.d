@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Builder Func Instr List Modul Posetrl_interp Posetrl_ir Posetrl_passes Printf Types Value

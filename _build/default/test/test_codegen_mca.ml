@@ -1,0 +1,194 @@
+(* Tests for the codegen size model and the MCA throughput model. *)
+
+open Posetrl_ir
+module CG = Posetrl_codegen
+module Mca = Posetrl_mca.Mca
+module P = Posetrl_passes
+module W = Posetrl_workloads
+
+let x86 = CG.Target.x86_64
+let arm = CG.Target.aarch64
+
+let test_size_positive_on_suites () =
+  List.iter
+    (fun (name, m) ->
+      let sx = CG.Objfile.size x86 m in
+      let sa = CG.Objfile.size arm m in
+      Alcotest.(check bool) (name ^ " x86 size > headers") true
+        (sx > x86.CG.Target.header_bytes);
+      Alcotest.(check bool) (name ^ " arm size > headers") true
+        (sa > arm.CG.Target.header_bytes))
+    (W.Suites.all_programs ())
+
+let test_more_insns_more_bytes () =
+  let m = Testutil.sum_squares_module () in
+  let m_oz = P.Pass_manager.run_level P.Pipelines.Oz m in
+  Alcotest.(check bool) "Oz binary smaller than unoptimized" true
+    (CG.Objfile.size x86 m_oz < CG.Objfile.size x86 m)
+
+let test_o3_bigger_than_oz () =
+  (* O3 unrolls/inlines aggressively: across the suites, total text must be
+     at least as large as Oz's, typically strictly larger *)
+  let total level =
+    List.fold_left
+      (fun acc (_, m) ->
+        acc + CG.Objfile.text_size x86 (P.Pass_manager.run_level level m))
+      0 (W.Suites.all_programs ())
+  in
+  let t3 = total P.Pipelines.O3 and tz = total P.Pipelines.Oz in
+  Alcotest.(check bool)
+    (Printf.sprintf "O3 text (%d) > Oz text (%d)" t3 tz)
+    true (t3 > tz)
+
+let test_aarch64_fixed_width_dominates_encoding () =
+  (* every AArch64 machine instruction is 4 bytes except paired
+     materializations; spot-check per-function size is a multiple of 4 at
+     the granularity of the lowering's instruction list *)
+  let m = Testutil.sum_squares_module () in
+  let f = Testutil.main_func m in
+  let lf = CG.Lower.lower_func arm f in
+  List.iter
+    (fun (lb : CG.Lower.lowered_block) ->
+      List.iter
+        (fun (mi : CG.Target.minst) ->
+          Alcotest.(check bool) "arm encodings 4-byte-ish" true
+            (mi.CG.Target.bytes = 4 || mi.CG.Target.bytes = 8 || mi.CG.Target.bytes = 1))
+        lb.CG.Lower.minsts)
+    lf.CG.Lower.blocks
+
+let test_wide_immediate_costs_more () =
+  let mk v =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 1) p;
+        let x = Builder.load b Types.I64 p in
+        let y = Builder.add b Types.I64 x (Value.ci64 v) in
+        Builder.ret b Types.I64 y)
+  in
+  let small = CG.Objfile.func_size x86 (Testutil.main_func (mk 5)) in
+  let wide = CG.Objfile.func_size x86 (Testutil.main_func (mk 123456789)) in
+  Alcotest.(check bool) "wide immediate bigger" true (wide > small)
+
+let test_bss_free_data_costly () =
+  let mk init =
+    let g = Global.mk ~linkage:Global.Internal ~init "buf" Types.I64 128 in
+    let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+    Builder.block b "entry";
+    let x = Builder.load b Types.I64 (Value.global "buf") in
+    Builder.ret b Types.I64 x;
+    Modul.mk ~name:"t" ~globals:[ g ] [ Builder.finish b ]
+  in
+  let zero = CG.Objfile.size x86 (mk Global.Zeroinit) in
+  let data = CG.Objfile.size x86 (mk (Global.Ints (Array.make 128 7L))) in
+  Alcotest.(check bool) "initialized data larger than bss" true (data > zero + 900)
+
+let test_spill_model_kicks_in () =
+  (* a block with very many live values must cost more than the sum of its
+     plain instructions *)
+  let mk n =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 1) p;
+        let x = Builder.load b Types.I64 p in
+        let vals = ref [ x ] in
+        for k = 1 to n do
+          let v = Builder.mul b Types.I64 (List.hd !vals) (Value.ci64 (k + 1)) in
+          vals := v :: !vals
+        done;
+        (* keep them all live by a final fold *)
+        let sum =
+          List.fold_left (fun acc v -> Builder.add b Types.I64 acc v) (Value.ci64 0) !vals
+        in
+        Builder.ret b Types.I64 sum)
+  in
+  let small = CG.Objfile.func_size x86 (Testutil.main_func (mk 4)) in
+  let big = CG.Objfile.func_size x86 (Testutil.main_func (mk 40)) in
+  (* 10x the values but more than 10x the bytes due to spills *)
+  Alcotest.(check bool) "spills add bytes" true (big > small * 10)
+
+(* --- MCA ----------------------------------------------------------------- *)
+
+let test_mca_positive () =
+  List.iter
+    (fun (name, m) ->
+      let e = Mca.estimate x86 m in
+      Alcotest.(check bool) (name ^ " cycles positive") true (e.Mca.cycles > 0.0);
+      Alcotest.(check bool) (name ^ " throughput positive") true (e.Mca.throughput > 0.0))
+    (W.Suites.all_programs ())
+
+let test_mca_throughput_inverse_cycles () =
+  let m = Testutil.sum_squares_module () in
+  let e = Mca.estimate x86 m in
+  Alcotest.(check (float 1e-6)) "thr = scale/cycles"
+    (Mca.throughput_scale /. e.Mca.cycles) e.Mca.throughput
+
+let test_mca_loop_weighting () =
+  (* the same instructions inside a loop must cost more statically *)
+  let flat =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 1) p;
+        let x = Builder.load b Types.I64 p in
+        let y = Builder.mul b Types.I64 x x in
+        Builder.ret b Types.I64 y)
+  in
+  let loopy =
+    let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+    let c = W.Dsl.ctx b in
+    Builder.block b "entry";
+    let acc = W.Dsl.var c Types.I64 (Value.ci64 1) in
+    W.Dsl.for_up c ~from:0 ~bound:(Value.ci64 4) (fun _ ->
+        let v = W.Dsl.get c Types.I64 acc in
+        W.Dsl.set c Types.I64 acc (Builder.mul c.W.Dsl.b Types.I64 v v));
+    Builder.ret b Types.I64 (W.Dsl.get c Types.I64 acc);
+    Modul.mk ~name:"t" [ Builder.finish b ]
+  in
+  let ef = Mca.estimate x86 flat and el = Mca.estimate x86 loopy in
+  Alcotest.(check bool) "loop weighted heavier" true (el.Mca.cycles > 3.0 *. ef.Mca.cycles)
+
+let test_mca_division_bottleneck () =
+  let mk op =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 100) p;
+        let x = Builder.load b Types.I64 p in
+        let y = Builder.binop b op Types.I64 x (Value.ci64 7) in
+        let z = Builder.binop b op Types.I64 y (Value.ci64 3) in
+        Builder.ret b Types.I64 z)
+  in
+  let div = Mca.estimate x86 (mk Instr.Sdiv) in
+  let add = Mca.estimate x86 (mk Instr.Add) in
+  Alcotest.(check bool) "divisions dominate" true (div.Mca.cycles > add.Mca.cycles)
+
+let test_mca_oz_vs_unopt () =
+  (* Oz-optimized modules should never be estimated slower than 3x the
+     unoptimized static cost; typically they are faster *)
+  let faster = ref 0 and total = ref 0 in
+  List.iter
+    (fun (_, m) ->
+      incr total;
+      let m' = P.Pass_manager.run_level P.Pipelines.Oz m in
+      if Mca.throughput x86 m' > Mca.throughput x86 m then incr faster)
+    (W.Suites.all_programs ());
+  Alcotest.(check bool)
+    (Printf.sprintf "Oz statically faster on most (%d/%d)" !faster !total)
+    true
+    (!faster * 10 >= !total * 7)
+
+let suite =
+  [ Alcotest.test_case "size positive on suites" `Quick test_size_positive_on_suites;
+    Alcotest.test_case "Oz binary smaller" `Quick test_more_insns_more_bytes;
+    Alcotest.test_case "O3 bigger than Oz" `Quick test_o3_bigger_than_oz;
+    Alcotest.test_case "aarch64 encodings" `Quick test_aarch64_fixed_width_dominates_encoding;
+    Alcotest.test_case "wide immediates" `Quick test_wide_immediate_costs_more;
+    Alcotest.test_case "bss vs data" `Quick test_bss_free_data_costly;
+    Alcotest.test_case "spill model" `Quick test_spill_model_kicks_in;
+    Alcotest.test_case "mca positive" `Quick test_mca_positive;
+    Alcotest.test_case "mca inverse cycles" `Quick test_mca_throughput_inverse_cycles;
+    Alcotest.test_case "mca loop weighting" `Quick test_mca_loop_weighting;
+    Alcotest.test_case "mca division bottleneck" `Quick test_mca_division_bottleneck;
+    Alcotest.test_case "mca Oz vs unopt" `Quick test_mca_oz_vs_unopt ]

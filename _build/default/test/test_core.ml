@@ -1,0 +1,203 @@
+(* Tests for the POSET-RL core: reward equations, environment dynamics,
+   trainer smoke runs, inference, evaluation plumbing. *)
+
+module C = Posetrl_core
+module O = Posetrl_odg
+module CG = Posetrl_codegen
+module W = Posetrl_workloads
+module Rl = Posetrl_rl
+
+let x86 = CG.Target.x86_64
+
+let meas size thr = { C.Reward.bin_size = size; C.Reward.throughput = thr }
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- reward (Eqns 1-3) ------------------------------------------------------ *)
+
+let test_reward_weights_default () =
+  check_float "alpha" 10.0 C.Reward.paper_weights.C.Reward.alpha;
+  check_float "beta" 5.0 C.Reward.paper_weights.C.Reward.beta
+
+let test_reward_binsize_component () =
+  (* Eqn 2: (last - curr) / base *)
+  let base = meas 1000.0 10.0 in
+  let r = C.Reward.r_binsize ~base ~last:(meas 900.0 10.0) ~curr:(meas 800.0 10.0) in
+  check_float "R_BinSize" 0.1 r
+
+let test_reward_throughput_component () =
+  (* Eqn 3: (curr - last) / base *)
+  let base = meas 1000.0 10.0 in
+  let r = C.Reward.r_throughput ~base ~last:(meas 900.0 10.0) ~curr:(meas 900.0 12.0) in
+  check_float "R_Throughput" 0.2 r
+
+let test_reward_combined () =
+  let base = meas 1000.0 10.0 in
+  let r =
+    C.Reward.compute ~base ~last:(meas 1000.0 10.0) ~curr:(meas 900.0 11.0) ()
+  in
+  (* 10 * 0.1 + 5 * 0.1 = 1.5 *)
+  check_float "R" 1.5 r
+
+let test_reward_negative_on_growth () =
+  let base = meas 1000.0 10.0 in
+  let r =
+    C.Reward.compute ~base ~last:(meas 1000.0 10.0) ~curr:(meas 1100.0 10.0) ()
+  in
+  Alcotest.(check bool) "size growth punished" true (r < 0.0)
+
+let test_reward_telescopes () =
+  (* the sum of step rewards over an episode equals the end-to-end reward *)
+  let base = meas 1000.0 10.0 in
+  let states = [ meas 1000.0 10.0; meas 950.0 10.5; meas 930.0 10.2; meas 800.0 11.0 ] in
+  let rec steps acc = function
+    | a :: (b :: _ as rest) ->
+      steps (acc +. C.Reward.compute ~base ~last:a ~curr:b ()) rest
+    | _ -> acc
+  in
+  let stepwise = steps 0.0 states in
+  let direct =
+    C.Reward.compute ~base ~last:(List.hd states) ~curr:(List.nth states 3) ()
+  in
+  check_float "telescoping" direct stepwise
+
+(* --- environment --------------------------------------------------------------- *)
+
+let test_environment_episode () =
+  let env = C.Environment.create ~target:x86 ~actions:O.Action_space.odg () in
+  let m = Testutil.sum_squares_module () in
+  let s0 = C.Environment.reset env m in
+  Alcotest.(check int) "state dim" 300 (Array.length s0);
+  let steps = ref 0 in
+  let rec go s =
+    incr steps;
+    let r = C.Environment.step env ((!steps * 7) mod 34) in
+    ignore s;
+    if not r.C.Environment.terminal then go r.C.Environment.state
+  in
+  go s0;
+  Alcotest.(check int) "episode length 15" 15 !steps;
+  (* behaviour is preserved by whatever the episode applied *)
+  Testutil.check_same_behaviour "episode" m (C.Environment.current_module env)
+
+let test_environment_reward_consistency () =
+  let env = C.Environment.create ~target:x86 ~actions:O.Action_space.odg () in
+  let m = Testutil.sum_squares_module () in
+  ignore (C.Environment.reset env m);
+  (* applying the mem2reg-carrying action must yield a positive reward on
+     this allocation-heavy program *)
+  let idx_with_mem2reg =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i a -> if !found < 0 && List.mem "mem2reg" a then found := i)
+      O.Action_space.odg.O.Action_space.actions;
+    !found
+  in
+  let r = C.Environment.step env idx_with_mem2reg in
+  Alcotest.(check bool) "promotion rewarded" true (r.C.Environment.reward > 0.0)
+
+let test_environment_needs_reset () =
+  let env = C.Environment.create ~target:x86 ~actions:O.Action_space.odg () in
+  Alcotest.(check bool) "step before reset raises" true
+    (try ignore (C.Environment.step env 0); false with Invalid_argument _ -> true)
+
+let test_environment_n_actions () =
+  let env = C.Environment.create ~target:x86 ~actions:O.Action_space.manual () in
+  Alcotest.(check int) "manual actions" 15 (C.Environment.n_actions env)
+
+(* --- trainer / inference ----------------------------------------------------------- *)
+
+let tiny_hp =
+  { C.Trainer.fast with
+    C.Trainer.total_steps = 240;
+    C.Trainer.epsilon = Rl.Schedule.create ~start:1.0 ~stop:0.2 ~decay_steps:150 ();
+    C.Trainer.warmup_steps = 32;
+    C.Trainer.target_sync_every = 60 }
+
+let test_trainer_smoke () =
+  let corpus = W.Genprog.corpus ~n:8 () in
+  let res =
+    C.Trainer.train ~hp:tiny_hp ~seed:1 ~corpus ~actions:O.Action_space.odg
+      ~target:x86 ()
+  in
+  Alcotest.(check bool) "episodes ran" true (res.C.Trainer.episodes >= 16);
+  (* the trained agent produces a full-length greedy rollout *)
+  let m = Testutil.sum_squares_module () in
+  let roll = C.Inference.predict ~agent:res.C.Trainer.agent ~actions:O.Action_space.odg ~target:x86 m in
+  Alcotest.(check int) "rollout length" 15 (List.length roll.C.Inference.actions);
+  Testutil.check_same_behaviour "rollout result" m roll.C.Inference.optimized
+
+let test_trainer_deterministic () =
+  let corpus = W.Genprog.corpus ~n:4 () in
+  let train () =
+    let res =
+      C.Trainer.train ~hp:tiny_hp ~seed:99 ~corpus ~actions:O.Action_space.manual
+        ~target:x86 ()
+    in
+    let m = Testutil.sum_squares_module () in
+    (C.Inference.predict ~agent:res.C.Trainer.agent ~actions:O.Action_space.manual ~target:x86 m).C.Inference.actions
+  in
+  Alcotest.(check (list int)) "same seed same policy" (train ()) (train ())
+
+let test_apply_sequence () =
+  let m = Testutil.sum_squares_module () in
+  let m' = C.Inference.apply_sequence ~actions:O.Action_space.odg [ 30; 23; 7 ] m in
+  Testutil.check_same_behaviour "apply sequence" m m'
+
+(* --- evaluation ---------------------------------------------------------------------- *)
+
+let test_evaluate_program_fields () =
+  let corpus = W.Genprog.corpus ~n:4 () in
+  let res =
+    C.Trainer.train ~hp:tiny_hp ~seed:5 ~corpus ~actions:O.Action_space.odg
+      ~target:x86 ()
+  in
+  let m = W.Mibench.crc32 () in
+  let r =
+    C.Evaluate.evaluate_program ~agent:res.C.Trainer.agent ~actions:O.Action_space.odg
+      ~target:x86 ~name:"crc32" m
+  in
+  Alcotest.(check bool) "unopt biggest-ish" true (r.C.Evaluate.size_unopt > 0);
+  Alcotest.(check bool) "oz smaller than unopt" true
+    (r.C.Evaluate.size_oz < r.C.Evaluate.size_unopt);
+  Alcotest.(check bool) "model size positive" true (r.C.Evaluate.size_model > 0);
+  Alcotest.(check bool) "times measured" true
+    (Option.is_some r.C.Evaluate.time_oz && Option.is_some r.C.Evaluate.time_model)
+
+let test_summarize_suite () =
+  let mk name oz model =
+    { C.Evaluate.prog_name = name;
+      size_unopt = 2000;
+      size_oz = oz;
+      size_model = model;
+      time_oz = Some 100;
+      time_model = Some 90;
+      predicted = [] }
+  in
+  let s =
+    C.Evaluate.summarize_suite ~suite:"s"
+      [ mk "a" 1000 900; mk "b" 1000 1100; mk "c" 1000 800 ]
+  in
+  check_float "min" (-10.0) s.C.Evaluate.min_red;
+  check_float "max" 20.0 s.C.Evaluate.max_red;
+  check_float "avg" (20.0 /. 3.0) s.C.Evaluate.avg_red;
+  (match s.C.Evaluate.avg_time_impr with
+   | Some t -> check_float "time" 10.0 t
+   | None -> Alcotest.fail "time expected")
+
+let suite =
+  [ Alcotest.test_case "reward weights" `Quick test_reward_weights_default;
+    Alcotest.test_case "reward binsize (Eqn 2)" `Quick test_reward_binsize_component;
+    Alcotest.test_case "reward throughput (Eqn 3)" `Quick test_reward_throughput_component;
+    Alcotest.test_case "reward combined (Eqn 1)" `Quick test_reward_combined;
+    Alcotest.test_case "reward punishes growth" `Quick test_reward_negative_on_growth;
+    Alcotest.test_case "reward telescopes" `Quick test_reward_telescopes;
+    Alcotest.test_case "environment episode" `Quick test_environment_episode;
+    Alcotest.test_case "environment reward sign" `Quick test_environment_reward_consistency;
+    Alcotest.test_case "environment needs reset" `Quick test_environment_needs_reset;
+    Alcotest.test_case "environment n_actions" `Quick test_environment_n_actions;
+    Alcotest.test_case "trainer smoke" `Slow test_trainer_smoke;
+    Alcotest.test_case "trainer deterministic" `Slow test_trainer_deterministic;
+    Alcotest.test_case "apply sequence" `Quick test_apply_sequence;
+    Alcotest.test_case "evaluate program" `Slow test_evaluate_program_fields;
+    Alcotest.test_case "summarize suite" `Quick test_summarize_suite ]

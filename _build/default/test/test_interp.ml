@@ -1,0 +1,267 @@
+(* Interpreter semantics tests: arithmetic wrapping, memory, phis, calls,
+   intrinsics, traps, and the fold/interp agreement property. *)
+
+open Posetrl_ir
+module I = Posetrl_interp.Interp
+
+let run_main m = I.run m
+
+let ret_i64 m =
+  match (run_main m).I.ret with
+  | I.VInt v -> v
+  | _ -> Alcotest.fail "expected integer return"
+
+let test_arith_wrapping () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        (* i32 overflow must wrap *)
+        let big = Value.cint Types.I32 2147483647L in
+        let x = Builder.add b Types.I32 big (Value.cint Types.I32 1L) in
+        let y = Builder.sext b ~from_ty:Types.I32 ~to_ty:Types.I64 x in
+        Builder.ret b Types.I64 y)
+  in
+  Alcotest.(check int64) "i32 wraps" (-2147483648L) (ret_i64 m)
+
+let test_division_trap () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 0) p;
+        let z = Builder.load b Types.I64 p in
+        let x = Builder.sdiv b Types.I64 (Value.ci64 5) z in
+        Builder.ret b Types.I64 x)
+  in
+  Alcotest.(check bool) "div by zero traps" true
+    (match I.observe m with Error _ -> true | Ok _ -> false)
+
+let test_memory_byte_granularity () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I8 8 in
+        Builder.store b Types.I64 (Value.ci64 0x0102030405060708) p;
+        (* read back byte 0 (little endian => 8) *)
+        let x = Builder.load b Types.I8 p in
+        let y = Builder.zext b ~from_ty:Types.I8 ~to_ty:Types.I64 x in
+        Builder.ret b Types.I64 y)
+  in
+  Alcotest.(check int64) "little endian" 8L (ret_i64 m)
+
+let test_global_init_ints () =
+  let g =
+    Global.mk ~is_const:true ~linkage:Global.Internal
+      ~init:(Global.Ints [| 10L; 20L; 30L |]) "tbl" Types.I64 3
+  in
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let p = Builder.gep b Types.I64 (Value.global "tbl") (Value.ci64 2) in
+  let x = Builder.load b Types.I64 p in
+  Builder.ret b Types.I64 x;
+  let m = Modul.mk ~name:"t" ~globals:[ g ] [ Builder.finish b ] in
+  Alcotest.(check int64) "init read" 30L (ret_i64 m)
+
+let test_global_bytes_and_putchar () =
+  let g =
+    Global.mk ~is_const:true ~linkage:Global.Internal ~init:(Global.Bytes "Hi")
+      "msg" Types.I8 2
+  in
+  let decl = Func.declare ~name:"putchar" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let c0 = Builder.load b Types.I8 (Value.global "msg") in
+  let c0' = Builder.zext b ~from_ty:Types.I8 ~to_ty:Types.I64 c0 in
+  let _ = Builder.call b Types.I64 "putchar" [ c0' ] in
+  let p1 = Builder.gep b Types.I8 (Value.global "msg") (Value.ci64 1) in
+  let c1 = Builder.load b Types.I8 p1 in
+  let c1' = Builder.zext b ~from_ty:Types.I8 ~to_ty:Types.I64 c1 in
+  let _ = Builder.call b Types.I64 "putchar" [ c1' ] in
+  Builder.ret b Types.I64 (Value.ci64 0);
+  let m = Modul.mk ~name:"t" ~globals:[ g ] [ decl; Builder.finish b ] in
+  Alcotest.(check string) "output" "Hi" (run_main m).I.output
+
+let test_phi_simultaneous_swap () =
+  (* the classic swap test: phis must read predecessor values atomically *)
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  Builder.br b "loop";
+  Builder.block b "loop";
+  let x = Builder.phi b Types.I64 [ ("entry", Value.ci64 1); ("loop", Value.Reg 1) ] in
+  let y = Builder.phi b Types.I64 [ ("entry", Value.ci64 2); ("loop", Value.Reg 0) ] in
+  (* note: x is %0, y is %1 — each phi reads the other (swap each iteration) *)
+  let i = Builder.phi b Types.I64 [ ("entry", Value.ci64 0); ("loop", Value.Reg 3) ] in
+  let i' = Builder.add b Types.I64 i (Value.ci64 1) in
+  let c = Builder.icmp b Instr.Slt Types.I64 i' (Value.ci64 3) in
+  Builder.cbr b c "loop" "exit";
+  Builder.block b "exit";
+  (* after 3 iterations (odd number of swaps): x=2, y=1 — value of x on exit *)
+  let r = Builder.mul b Types.I64 x (Value.ci64 10) in
+  let r2 = Builder.add b Types.I64 r y in
+  Builder.ret b Types.I64 r2;
+  let m = Modul.mk ~name:"t" [ Builder.finish b ] in
+  Verifier.check m;
+  (* iteration values: enter (1,2); iter1 -> (2,1); iter2 -> (1,2); iter3 -> (2,1);
+     but the exit reads the CURRENT iteration's phi values, i.e. after the
+     third entry into loop: x=1,y=2 on 3rd entry... compute via interpreter *)
+  let v = ret_i64 m in
+  Alcotest.(check bool) "swap result consistent" true (v = 12L || v = 21L);
+  (* and it must equal the fixed semantic value *)
+  Alcotest.(check int64) "exact" 12L v
+
+let test_call_stack_depth_trap () =
+  let bh = Builder.create ~name:"inf" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  Builder.block bh "entry";
+  let r = Builder.call bh Types.I64 "inf" [ Builder.param bh 0 ] in
+  Builder.ret bh Types.I64 r;
+  let inf = Builder.finish bh in
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let r = Builder.call b Types.I64 "inf" [ Value.ci64 0 ] in
+  Builder.ret b Types.I64 r;
+  let m = Modul.mk ~name:"t" [ inf; Builder.finish b ] in
+  Alcotest.(check bool) "stack overflow trapped" true
+    (match I.observe m with Error _ -> true | Ok _ -> false)
+
+let test_fuel_exhaustion () =
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  Builder.br b "spin";
+  Builder.block b "spin";
+  Builder.br b "spin";
+  let m = Modul.mk ~name:"t" [ Builder.finish b ] in
+  Alcotest.(check bool) "out of fuel" true
+    (match I.observe ~fuel:1000 m with Error e -> e = "out of fuel" | Ok _ -> false)
+
+let test_memset_intrinsic () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let a = Builder.alloca b Types.I64 4 in
+        let _ =
+          Builder.intrinsic b "memset" Types.Void
+            [ a; Value.ci64 9; Value.ci64 4; Value.ci64 8 ]
+        in
+        let p = Builder.gep b Types.I64 a (Value.ci64 3) in
+        let x = Builder.load b Types.I64 p in
+        Builder.ret b Types.I64 x)
+  in
+  Alcotest.(check int64) "memset wrote" 9L (ret_i64 m)
+
+let test_memcpy_op () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let src = Builder.alloca b Types.I64 2 in
+        let dst = Builder.alloca b Types.I64 2 in
+        Builder.store b Types.I64 (Value.ci64 5) src;
+        let s1 = Builder.gep b Types.I64 src (Value.ci64 1) in
+        Builder.store b Types.I64 (Value.ci64 6) s1;
+        Builder.memcpy b dst src (Value.ci64 16);
+        let d1 = Builder.gep b Types.I64 dst (Value.ci64 1) in
+        let x = Builder.load b Types.I64 dst in
+        let y = Builder.load b Types.I64 d1 in
+        let s = Builder.add b Types.I64 x y in
+        Builder.ret b Types.I64 s)
+  in
+  Alcotest.(check int64) "memcpy copied" 11L (ret_i64 m)
+
+let test_vector_ops () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let a = Builder.alloca b Types.I64 4 in
+        (* write 1,2,3,4 *)
+        List.iteri
+          (fun k v ->
+            let p = Builder.gep b Types.I64 a (Value.ci64 k) in
+            Builder.store b Types.I64 (Value.ci64 v) p)
+          [ 1; 2; 3; 4 ];
+        let vec_ty = Types.Vec (Types.I64, 4) in
+        let v = Builder.load b vec_ty a in
+        (* splat 10 and add *)
+        let s = Builder.cast b Instr.Bitcast ~from_ty:Types.I64 ~to_ty:vec_ty (Value.ci64 10) in
+        let sum = Builder.add b vec_ty v s in
+        Builder.store b vec_ty sum a;
+        (* read back element 2 -> 13 *)
+        let p2 = Builder.gep b Types.I64 a (Value.ci64 2) in
+        let x = Builder.load b Types.I64 p2 in
+        Builder.ret b Types.I64 x)
+  in
+  Alcotest.(check int64) "vector lane" 13L (ret_i64 m)
+
+let test_switch_dispatch () =
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let p = Builder.alloca b Types.I64 1 in
+  Builder.store b Types.I64 (Value.ci64 2) p;
+  let x = Builder.load b Types.I64 p in
+  Builder.switch b Types.I64 x [ (1L, "one"); (2L, "two") ] "other";
+  Builder.block b "one";
+  Builder.ret b Types.I64 (Value.ci64 100);
+  Builder.block b "two";
+  Builder.ret b Types.I64 (Value.ci64 200);
+  Builder.block b "other";
+  Builder.ret b Types.I64 (Value.ci64 300);
+  let m = Modul.mk ~name:"t" [ Builder.finish b ] in
+  Alcotest.(check int64) "switch" 200L (ret_i64 m)
+
+let test_cycles_monotone_in_work () =
+  let mk n =
+    let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+    let c = Posetrl_workloads.Dsl.ctx b in
+    Builder.block b "entry";
+    let acc = Posetrl_workloads.Dsl.var c Types.I64 (Value.ci64 0) in
+    Posetrl_workloads.Dsl.for_up c ~from:0 ~bound:(Value.ci64 n) (fun ip ->
+        Posetrl_workloads.Dsl.bump c acc (Posetrl_workloads.Dsl.get c Types.I64 ip));
+    Builder.ret b Types.I64 (Posetrl_workloads.Dsl.get c Types.I64 acc);
+    Modul.mk ~name:"t" [ Builder.finish b ]
+  in
+  let c10 = (run_main (mk 10)).I.cycles in
+  let c100 = (run_main (mk 100)).I.cycles in
+  Alcotest.(check bool) "more work, more cycles" true (c100 > c10 * 5)
+
+(* property: Fold.fold_op agrees with interpreter execution on random
+   integer binops *)
+let prop_fold_matches_interp =
+  QCheck2.Test.make ~count:500 ~name:"fold_op agrees with interpreter"
+    QCheck2.Gen.(triple (int_range 0 12) (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (opidx, a, b) ->
+      let bop =
+        [| Instr.Add; Instr.Sub; Instr.Mul; Instr.Sdiv; Instr.Udiv; Instr.Srem;
+           Instr.Urem; Instr.And; Instr.Or; Instr.Xor; Instr.Shl; Instr.Lshr;
+           Instr.Ashr |].(opidx)
+      in
+      let op = Instr.Binop (bop, Types.I64, Value.ci64 a, Value.ci64 b) in
+      match Fold.fold_op op with
+      | None -> true (* division by zero etc.: nothing to compare *)
+      | Some (Value.Const (Value.Cint (_, folded))) ->
+        let m =
+          Testutil.wrap_main (fun bb ->
+              Builder.block bb "entry";
+              let p = Builder.alloca bb Types.I64 1 in
+              Builder.store bb Types.I64 (Value.ci64 a) p;
+              let x = Builder.load bb Types.I64 p in
+              let r = Builder.binop bb bop Types.I64 x (Value.ci64 b) in
+              Builder.ret bb Types.I64 r)
+        in
+        (match (run_main m).I.ret with
+         | I.VInt v -> Int64.equal v folded
+         | _ -> false)
+      | Some _ -> false)
+
+let suite =
+  [ Alcotest.test_case "arith wrapping" `Quick test_arith_wrapping;
+    Alcotest.test_case "division trap" `Quick test_division_trap;
+    Alcotest.test_case "memory byte granularity" `Quick test_memory_byte_granularity;
+    Alcotest.test_case "global init ints" `Quick test_global_init_ints;
+    Alcotest.test_case "global bytes + putchar" `Quick test_global_bytes_and_putchar;
+    Alcotest.test_case "phi simultaneous swap" `Quick test_phi_simultaneous_swap;
+    Alcotest.test_case "stack depth trap" `Quick test_call_stack_depth_trap;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "memset intrinsic" `Quick test_memset_intrinsic;
+    Alcotest.test_case "memcpy" `Quick test_memcpy_op;
+    Alcotest.test_case "vector ops" `Quick test_vector_ops;
+    Alcotest.test_case "switch dispatch" `Quick test_switch_dispatch;
+    Alcotest.test_case "cycles monotone" `Quick test_cycles_monotone_in_work;
+    QCheck_alcotest.to_alcotest prop_fold_matches_interp ]

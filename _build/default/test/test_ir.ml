@@ -1,0 +1,274 @@
+(* Tests for the MiniIR core: types, values, instructions, builder,
+   verifier, printer/parser round trips, CFG, dominators, loops. *)
+
+open Posetrl_ir
+
+let test_type_sizes () =
+  Alcotest.(check int) "i1" 1 (Types.size_bytes Types.I1);
+  Alcotest.(check int) "i8" 1 (Types.size_bytes Types.I8);
+  Alcotest.(check int) "i32" 4 (Types.size_bytes Types.I32);
+  Alcotest.(check int) "i64" 8 (Types.size_bytes Types.I64);
+  Alcotest.(check int) "f64" 8 (Types.size_bytes Types.F64);
+  Alcotest.(check int) "ptr" 8 (Types.size_bytes Types.Ptr);
+  Alcotest.(check int) "vec" 32 (Types.size_bytes (Types.Vec (Types.I64, 4)))
+
+let test_type_wrap () =
+  Alcotest.(check int64) "i8 wrap 200" (-56L) (Types.wrap Types.I8 200L);
+  Alcotest.(check int64) "i8 wrap -1" (-1L) (Types.wrap Types.I8 (-1L));
+  Alcotest.(check int64) "i32 wrap 2^31" (-2147483648L) (Types.wrap Types.I32 2147483648L);
+  Alcotest.(check int64) "i1 wrap 3" 1L (Types.wrap Types.I1 3L);
+  Alcotest.(check int64) "i64 identity" 123456789L (Types.wrap Types.I64 123456789L)
+
+let test_type_strings () =
+  Alcotest.(check string) "vec" "<4 x i32>" (Types.to_string (Types.Vec (Types.I32, 4)));
+  Alcotest.(check string) "ptr" "ptr" (Types.to_string Types.Ptr)
+
+let test_value_equal () =
+  Alcotest.(check bool) "int eq" true (Value.equal (Value.ci64 5) (Value.ci64 5));
+  Alcotest.(check bool) "nan eq nan (bitwise)" true
+    (Value.equal (Value.cfloat Float.nan) (Value.cfloat Float.nan));
+  Alcotest.(check bool) "reg eq" true (Value.equal (Value.Reg 3) (Value.Reg 3));
+  Alcotest.(check bool) "reg ne" false (Value.equal (Value.Reg 3) (Value.Reg 4))
+
+let test_value_predicates () =
+  Alcotest.(check bool) "zero" true (Value.is_zero (Value.ci64 0));
+  Alcotest.(check bool) "null is zero" true (Value.is_zero Value.cnull);
+  Alcotest.(check bool) "one" true (Value.is_one (Value.ci64 1));
+  Alcotest.(check bool) "all ones" true (Value.is_all_ones (Value.cint Types.I64 (-1L)))
+
+let test_instr_operands () =
+  let op = Instr.Select (Types.I64, Value.Reg 0, Value.Reg 1, Value.ci64 2) in
+  Alcotest.(check int) "select has 3 operands" 3 (List.length (Instr.operands op));
+  let mapped = Instr.map_operands (fun _ -> Value.ci64 9) op in
+  Alcotest.(check int) "mapped all" 3
+    (List.length (List.filter (Value.equal (Value.ci64 9)) (Instr.operands mapped)))
+
+let test_instr_purity () =
+  Alcotest.(check bool) "add pure" true
+    (Instr.is_pure (Instr.Binop (Instr.Add, Types.I64, Value.Reg 0, Value.Reg 1)));
+  Alcotest.(check bool) "div by var impure" false
+    (Instr.is_pure (Instr.Binop (Instr.Sdiv, Types.I64, Value.Reg 0, Value.Reg 1)));
+  Alcotest.(check bool) "div by const pure" true
+    (Instr.is_pure (Instr.Binop (Instr.Sdiv, Types.I64, Value.Reg 0, Value.ci64 3)));
+  Alcotest.(check bool) "store impure" false
+    (Instr.is_pure (Instr.Store (Types.I64, Value.Reg 0, Value.Reg 1)));
+  Alcotest.(check bool) "load reads memory" true
+    (Instr.reads_memory (Instr.Load (Types.I64, Value.Reg 0)))
+
+let test_instr_successors () =
+  Alcotest.(check (list string)) "cbr" [ "a"; "b" ]
+    (Instr.successors (Instr.Cbr (Value.Reg 0, "a", "b")));
+  Alcotest.(check (list string)) "cbr same" [ "a" ]
+    (Instr.successors (Instr.Cbr (Value.Reg 0, "a", "a")));
+  Alcotest.(check (list string)) "switch dedup" [ "a"; "d" ]
+    (Instr.successors (Instr.Switch (Types.I64, Value.Reg 0, [ (1L, "a"); (2L, "a") ], "d")))
+
+let test_icmp_helpers () =
+  Alcotest.(check bool) "swap slt" true (Instr.swap_icmp Instr.Slt = Instr.Sgt);
+  Alcotest.(check bool) "negate sle" true (Instr.negate_icmp Instr.Sle = Instr.Sgt);
+  Alcotest.(check bool) "commutative add" true (Instr.is_commutative Instr.Add);
+  Alcotest.(check bool) "non-commutative sub" false (Instr.is_commutative Instr.Sub)
+
+let test_builder_basic () =
+  let m = Testutil.sum_squares_module () in
+  Alcotest.(check (list string)) "no verifier errors" []
+    (List.map Verifier.error_to_string (Verifier.verify_module m));
+  Alcotest.(check string) "executes" "285" (Testutil.ret_of m)
+
+let test_builder_unterminated () =
+  let b = Builder.create ~name:"f" ~params:[] ~ret:Types.Void () in
+  Builder.block b "entry";
+  Alcotest.(check bool) "finish raises" true
+    (try ignore (Builder.finish b); false with Invalid_argument _ -> true)
+
+let test_verifier_catches_undefined_reg () =
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  Builder.ret b Types.I64 (Value.Reg 99);
+  let m = Modul.mk ~name:"bad" [ Builder.finish b ] in
+  Alcotest.(check bool) "caught" false (Verifier.is_valid m)
+
+let test_verifier_catches_bad_label () =
+  let blk = Block.mk "entry" [] (Instr.Br "nowhere") in
+  let f =
+    Func.mk ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.Void
+      ~blocks:[ blk ] ~next_id:0 ()
+  in
+  Alcotest.(check bool) "caught" false (Verifier.is_valid (Modul.mk ~name:"bad" [ f ]))
+
+let test_verifier_catches_duplicate_def () =
+  let insns =
+    [ Instr.mk 0 (Instr.Binop (Instr.Add, Types.I64, Value.ci64 1, Value.ci64 2));
+      Instr.mk 0 (Instr.Binop (Instr.Add, Types.I64, Value.ci64 1, Value.ci64 2)) ]
+  in
+  let blk = Block.mk "entry" insns (Instr.Ret (Some (Types.I64, Value.Reg 0))) in
+  let f =
+    Func.mk ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64
+      ~blocks:[ blk ] ~next_id:2 ()
+  in
+  Alcotest.(check bool) "caught" false (Verifier.is_valid (Modul.mk ~name:"bad" [ f ]))
+
+let test_verifier_catches_phi_after_insn () =
+  let insns =
+    [ Instr.mk 0 (Instr.Binop (Instr.Add, Types.I64, Value.ci64 1, Value.ci64 2));
+      Instr.mk 1 (Instr.Phi (Types.I64, [])) ]
+  in
+  let blk = Block.mk "entry" insns (Instr.Ret (Some (Types.I64, Value.Reg 0))) in
+  let f =
+    Func.mk ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64
+      ~blocks:[ blk ] ~next_id:2 ()
+  in
+  Alcotest.(check bool) "caught" false (Verifier.is_valid (Modul.mk ~name:"bad" [ f ]))
+
+let test_verifier_ret_type () =
+  let blk = Block.mk "entry" [] (Instr.Ret None) in
+  let f =
+    Func.mk ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64
+      ~blocks:[ blk ] ~next_id:0 ()
+  in
+  Alcotest.(check bool) "caught" false (Verifier.is_valid (Modul.mk ~name:"bad" [ f ]))
+
+let test_verifier_accepts_suites () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check (list string)) (name ^ " verifies") []
+        (List.map Verifier.error_to_string (Verifier.verify_module m)))
+    (Posetrl_workloads.Suites.all_programs ())
+
+let test_roundtrip_sum_squares () =
+  let m = Testutil.sum_squares_module () in
+  let text = Printer.module_to_string m in
+  let m' = Parser.parse_module text in
+  Alcotest.(check string) "reprint equal" text (Printer.module_to_string m');
+  Alcotest.(check string) "same behaviour" (Testutil.ret_of m) (Testutil.ret_of m')
+
+let test_roundtrip_suites () =
+  List.iter
+    (fun (name, m) ->
+      let text = Printer.module_to_string m in
+      let m' = Parser.parse_module text in
+      Alcotest.(check string) (name ^ " roundtrip") text (Printer.module_to_string m'))
+    (Posetrl_workloads.Suites.all_programs ())
+
+let test_parser_rejects_garbage () =
+  Alcotest.(check bool) "parse error" true
+    (try ignore (Parser.parse_module "module x\nfunc oops"); false
+     with Parser.Parse_error _ -> true)
+
+let test_parser_global_forms () =
+  let text =
+    "module g\n\
+     internal const @tbl: i64 x 3 = ints [1, 2, 3]\n\
+     internal global @buf: i8 x 16 = zeroinit\n\
+     internal const @msg: i8 x 3 = bytes \"hi\\n\"\n\
+     func @main(): i64 {\n\
+     entry:\n\
+     \  %0 = load i64, @tbl\n\
+     \  ret i64 %0\n\
+     }\n"
+  in
+  let m = Parser.parse_module text in
+  Alcotest.(check int) "3 globals" 3 (List.length m.Modul.globals);
+  Alcotest.(check string) "runs" "1" (Testutil.ret_of m)
+
+(* --- CFG / dominators / loops ------------------------------------------- *)
+
+let diamond_func () =
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let c = Builder.icmp b Instr.Slt Types.I64 (Value.ci64 1) (Value.ci64 2) in
+  Builder.cbr b c "then" "else";
+  Builder.block b "then";
+  Builder.br b "join";
+  Builder.block b "else";
+  Builder.br b "join";
+  Builder.block b "join";
+  let p = Builder.phi b Types.I64 [ ("then", Value.ci64 1); ("else", Value.ci64 2) ] in
+  Builder.ret b Types.I64 p;
+  Builder.finish b
+
+let test_cfg_preds_succs () =
+  let f = diamond_func () in
+  let cfg = Cfg.of_func f in
+  Alcotest.(check (list string)) "entry succs" [ "then"; "else" ] (Cfg.succs cfg "entry");
+  Alcotest.(check int) "join preds" 2 (List.length (Cfg.preds cfg "join"));
+  Alcotest.(check (list string)) "join succs" [] (Cfg.succs cfg "join")
+
+let test_cfg_rpo () =
+  let f = diamond_func () in
+  let cfg = Cfg.of_func f in
+  let rpo = Cfg.rpo cfg in
+  Alcotest.(check string) "entry first" "entry" (List.hd rpo);
+  Alcotest.(check string) "join last" "join" (List.nth rpo 3);
+  Alcotest.(check int) "all blocks" 4 (List.length rpo)
+
+let test_dominators_diamond () =
+  let f = diamond_func () in
+  let dom = Dom.of_func f in
+  Alcotest.(check bool) "entry dominates join" true (Dom.dominates dom "entry" "join");
+  Alcotest.(check bool) "then does not dominate join" false
+    (Dom.dominates dom "then" "join");
+  Alcotest.(check (option string)) "idom of join" (Some "entry") (Dom.idom dom "join");
+  Alcotest.(check bool) "reflexive" true (Dom.dominates dom "then" "then")
+
+let test_loops_detection () =
+  let m = Testutil.sum_squares_module () in
+  let f = Testutil.main_func m in
+  let li = Loops.compute f in
+  Alcotest.(check int) "one loop" 1 (Loops.loop_count li);
+  let l = List.hd li.Loops.loops in
+  Alcotest.(check string) "header" "loop" l.Loops.header;
+  Alcotest.(check int) "depth of loop" 1 (Loops.depth li "loop");
+  Alcotest.(check int) "depth of entry" 0 (Loops.depth li "entry")
+
+let test_loops_nested_depth () =
+  let open Posetrl_workloads in
+  let m = Mibench.dijkstra () in
+  let f = Testutil.main_func m in
+  let li = Loops.compute f in
+  let max_depth = List.fold_left (fun d l -> max d l.Loops.depth) 0 li.Loops.loops in
+  Alcotest.(check bool) "has nested loops" true (max_depth >= 2)
+
+let test_func_use_counts () =
+  let m = Testutil.sum_squares_module () in
+  let f = Testutil.main_func m in
+  let uses = Func.use_counts f in
+  (* register 2 (alloca i) is loaded and stored: at least 2 uses *)
+  Alcotest.(check bool) "alloca used" true (Hashtbl.length uses > 0)
+
+let test_modul_callgraph () =
+  let m = Testutil.sum_squares_module () in
+  Alcotest.(check (list string)) "main calls square" [ "square" ]
+    (Modul.callees (Testutil.main_func m));
+  Alcotest.(check (list string)) "square called by main" [ "main" ]
+    (Modul.callers m "square")
+
+let suite =
+  [ Alcotest.test_case "type sizes" `Quick test_type_sizes;
+    Alcotest.test_case "type wrap" `Quick test_type_wrap;
+    Alcotest.test_case "type strings" `Quick test_type_strings;
+    Alcotest.test_case "value equal" `Quick test_value_equal;
+    Alcotest.test_case "value predicates" `Quick test_value_predicates;
+    Alcotest.test_case "instr operands" `Quick test_instr_operands;
+    Alcotest.test_case "instr purity" `Quick test_instr_purity;
+    Alcotest.test_case "instr successors" `Quick test_instr_successors;
+    Alcotest.test_case "icmp helpers" `Quick test_icmp_helpers;
+    Alcotest.test_case "builder basic" `Quick test_builder_basic;
+    Alcotest.test_case "builder unterminated" `Quick test_builder_unterminated;
+    Alcotest.test_case "verifier undefined reg" `Quick test_verifier_catches_undefined_reg;
+    Alcotest.test_case "verifier bad label" `Quick test_verifier_catches_bad_label;
+    Alcotest.test_case "verifier duplicate def" `Quick test_verifier_catches_duplicate_def;
+    Alcotest.test_case "verifier phi position" `Quick test_verifier_catches_phi_after_insn;
+    Alcotest.test_case "verifier ret type" `Quick test_verifier_ret_type;
+    Alcotest.test_case "verifier accepts suites" `Quick test_verifier_accepts_suites;
+    Alcotest.test_case "roundtrip sum_squares" `Quick test_roundtrip_sum_squares;
+    Alcotest.test_case "roundtrip suites" `Quick test_roundtrip_suites;
+    Alcotest.test_case "parser rejects garbage" `Quick test_parser_rejects_garbage;
+    Alcotest.test_case "parser global forms" `Quick test_parser_global_forms;
+    Alcotest.test_case "cfg preds/succs" `Quick test_cfg_preds_succs;
+    Alcotest.test_case "cfg rpo" `Quick test_cfg_rpo;
+    Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "loops detection" `Quick test_loops_detection;
+    Alcotest.test_case "loops nested depth" `Quick test_loops_nested_depth;
+    Alcotest.test_case "func use counts" `Quick test_func_use_counts;
+    Alcotest.test_case "module callgraph" `Quick test_modul_callgraph ]

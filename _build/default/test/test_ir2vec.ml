@@ -1,0 +1,94 @@
+(* Tests for the IR2Vec-style encoder. *)
+
+open Posetrl_ir
+module V = Posetrl_ir2vec.Vocabulary
+module E = Posetrl_ir2vec.Encoder
+module Vecf = Posetrl_support.Vecf
+
+let test_dimension () =
+  Alcotest.(check int) "300-dim" 300 V.dimension;
+  let m = Testutil.sum_squares_module () in
+  Alcotest.(check int) "program embedding 300-dim" 300 (Vecf.dim (E.embed_program m))
+
+let test_vocabulary_deterministic () =
+  let a = V.opcode "add" and b = V.opcode "add" in
+  Alcotest.(check bool) "same entity same vector" true (a == b || a = b);
+  let c = V.opcode "mul" in
+  Alcotest.(check bool) "different entities differ" true (Vecf.cosine a c < 0.5)
+
+let test_vocabulary_namespaces () =
+  (* an opcode named like a type must not collide *)
+  let a = V.opcode "i64" and b = V.ty "i64" in
+  Alcotest.(check bool) "namespaced" true (Vecf.cosine a b < 0.5)
+
+let test_embedding_changes_with_program () =
+  let m1 = Testutil.sum_squares_module () in
+  let m2 = Posetrl_workloads.Mibench.crc32 () in
+  let e1 = E.embed_program m1 and e2 = E.embed_program m2 in
+  Alcotest.(check bool) "different programs differ" true (Vecf.cosine e1 e2 < 0.999)
+
+let test_embedding_changes_under_optimization () =
+  let m = Testutil.sum_squares_module () in
+  let m' = Posetrl_passes.Pass_manager.run_level Posetrl_passes.Pipelines.Oz m in
+  let e = E.embed_program m and e' = E.embed_program m' in
+  Alcotest.(check bool) "optimization moves the embedding" true
+    (Vecf.norm2 (Vecf.sub e e') > 1e-6)
+
+let test_flow_sensitivity () =
+  (* same multiset of instructions, different data flow: y uses x vs y uses
+     a constant — flow-aware refinement must separate them *)
+  let mk flow =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 1) p;
+        let x = Builder.load b Types.I64 p in
+        let a = Builder.add b Types.I64 x (Value.ci64 1) in
+        let y =
+          if flow then Builder.mul b Types.I64 a a
+          else Builder.mul b Types.I64 x x
+        in
+        let z = Builder.add b Types.I64 y a in
+        Builder.ret b Types.I64 z)
+  in
+  let e1 = E.embed_program (mk true) and e2 = E.embed_program (mk false) in
+  Alcotest.(check bool) "flow-aware distinguishes" true
+    (Vecf.norm2 (Vecf.sub e1 e2) > 1e-6)
+
+let test_state_bounded () =
+  List.iter
+    (fun (name, m) ->
+      let s = E.embed_program_state m in
+      Alcotest.(check bool) (name ^ " state in unit ball") true (Vecf.norm2 s < 1.0))
+    (Posetrl_workloads.Suites.all_programs ())
+
+let test_empty_module () =
+  let m = Modul.mk ~name:"empty" [] in
+  let e = E.embed_program m in
+  Alcotest.(check (float 0.0)) "zero vector" 0.0 (Vecf.norm2 e)
+
+let test_declaration_contributes_nothing () =
+  let decl = Func.declare ~name:"ext" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+  let m = Modul.mk ~name:"decls" [ decl ] in
+  Alcotest.(check (float 0.0)) "decl-only module is zero" 0.0
+    (Vecf.norm2 (E.embed_program m))
+
+let prop_embedding_deterministic =
+  QCheck2.Test.make ~count:40 ~name:"embedding deterministic per program"
+    QCheck2.Gen.(int_range 500_000 520_000)
+    (fun seed ->
+      let m = Posetrl_workloads.Genprog.generate ~seed in
+      let a = E.embed_program m and b = E.embed_program m in
+      a = b)
+
+let suite =
+  [ Alcotest.test_case "dimension" `Quick test_dimension;
+    Alcotest.test_case "vocabulary deterministic" `Quick test_vocabulary_deterministic;
+    Alcotest.test_case "vocabulary namespaces" `Quick test_vocabulary_namespaces;
+    Alcotest.test_case "program sensitivity" `Quick test_embedding_changes_with_program;
+    Alcotest.test_case "optimization sensitivity" `Quick test_embedding_changes_under_optimization;
+    Alcotest.test_case "flow sensitivity" `Quick test_flow_sensitivity;
+    Alcotest.test_case "state bounded" `Quick test_state_bounded;
+    Alcotest.test_case "empty module" `Quick test_empty_module;
+    Alcotest.test_case "declarations" `Quick test_declaration_contributes_nothing;
+    QCheck_alcotest.to_alcotest prop_embedding_deterministic ]

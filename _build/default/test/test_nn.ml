@@ -1,0 +1,182 @@
+(* Tests for the neural-network substrate: matrices, layers (gradient
+   check against finite differences), MLP training, Adam. *)
+
+open Posetrl_support
+open Posetrl_nn
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_matvec () =
+  let m = Matrix.init 2 3 (fun i j -> float_of_int ((i * 3) + j + 1)) in
+  (* [[1 2 3];[4 5 6]] * [1;1;1] = [6;15] *)
+  let y = Matrix.matvec m [| 1.0; 1.0; 1.0 |] in
+  check_float "y0" 6.0 y.(0);
+  check_float "y1" 15.0 y.(1)
+
+let test_matvec_t () =
+  let m = Matrix.init 2 3 (fun i j -> float_of_int ((i * 3) + j + 1)) in
+  let y = Matrix.matvec_t m [| 1.0; 1.0 |] in
+  check_float "col sums" 5.0 y.(0);
+  check_float "col sums" 7.0 y.(1);
+  check_float "col sums" 9.0 y.(2)
+
+let test_outer_add () =
+  let m = Matrix.create 2 2 in
+  Matrix.outer_add m ~k:2.0 [| 1.0; 3.0 |] [| 4.0; 5.0 |];
+  check_float "m00" 8.0 (Matrix.get m 0 0);
+  check_float "m11" 30.0 (Matrix.get m 1 1)
+
+let test_layer_forward_relu () =
+  let rng = Rng.create 1 in
+  let l = Layer.create rng ~in_dim:2 ~out_dim:2 ~relu:true in
+  (* force known weights *)
+  Matrix.set l.Layer.w 0 0 1.0;
+  Matrix.set l.Layer.w 0 1 0.0;
+  Matrix.set l.Layer.w 1 0 0.0;
+  Matrix.set l.Layer.w 1 1 (-1.0);
+  l.Layer.b.(0) <- 0.5;
+  l.Layer.b.(1) <- 0.0;
+  let out, _ = Layer.forward l [| 1.0; 2.0 |] in
+  check_float "relu passes positive" 1.5 out.(0);
+  check_float "relu clamps negative" 0.0 out.(1)
+
+(* numerical gradient check of a 2-layer MLP on a scalar loss *)
+let test_gradient_check () =
+  let rng = Rng.create 13 in
+  let net = Mlp.create rng [ 3; 4; 2 ] in
+  let x = [| 0.3; -0.8; 0.5 |] in
+  let target = 1 in
+  let loss_of () =
+    let out = Mlp.forward net x in
+    let l, _ = Loss.huber ~pred:out.(target) ~target:2.0 () in
+    l
+  in
+  (* analytical gradients *)
+  Mlp.zero_grad net;
+  let out, caches = Mlp.forward_cached net x in
+  let _, dpred = Loss.huber ~pred:out.(target) ~target:2.0 () in
+  let dout = Array.make 2 0.0 in
+  dout.(target) <- dpred;
+  Mlp.backward net caches dout;
+  (* compare against central differences on a few weights *)
+  let eps = 1e-5 in
+  let layer = net.Mlp.layers.(0) in
+  for idx = 0 to 5 do
+    let orig = layer.Layer.w.Matrix.data.(idx) in
+    layer.Layer.w.Matrix.data.(idx) <- orig +. eps;
+    let lp = loss_of () in
+    layer.Layer.w.Matrix.data.(idx) <- orig -. eps;
+    let lm = loss_of () in
+    layer.Layer.w.Matrix.data.(idx) <- orig;
+    let numeric = (lp -. lm) /. (2.0 *. eps) in
+    let analytic = layer.Layer.gw.Matrix.data.(idx) in
+    Alcotest.(check bool)
+      (Printf.sprintf "grad[%d] %.6f vs %.6f" idx analytic numeric)
+      true
+      (Float.abs (analytic -. numeric) < 1e-3)
+  done
+
+let test_mlp_learns_xor () =
+  let rng = Rng.create 5 in
+  let net = Mlp.create rng [ 2; 8; 1 ] in
+  let optim = Optim.create ~lr:0.02 ~grad_clip:0.0 () in
+  let data =
+    [| ([| 0.0; 0.0 |], 0.0); ([| 0.0; 1.0 |], 1.0);
+       ([| 1.0; 0.0 |], 1.0); ([| 1.0; 1.0 |], 0.0) |]
+  in
+  for _epoch = 1 to 3000 do
+    Mlp.zero_grad net;
+    Array.iter
+      (fun (x, y) ->
+        let out, caches = Mlp.forward_cached net x in
+        let _, d = Loss.mse ~pred:out.(0) ~target:y () in
+        Mlp.backward net caches [| d /. 4.0 |])
+      data;
+    Optim.step optim net
+  done;
+  Array.iter
+    (fun (x, y) ->
+      let out = Mlp.forward net x in
+      Alcotest.(check bool)
+        (Printf.sprintf "xor(%g,%g)=%g got %g" x.(0) x.(1) y out.(0))
+        true
+        (Float.abs (out.(0) -. y) < 0.25))
+    data
+
+let test_adam_decreases_loss () =
+  let rng = Rng.create 7 in
+  let net = Mlp.create rng [ 4; 8; 1 ] in
+  let optim = Optim.create ~lr:0.01 () in
+  let inputs = Array.init 16 (fun k -> Array.init 4 (fun j -> float_of_int ((k + j) mod 5) /. 5.0)) in
+  let target x = (2.0 *. x.(0)) -. x.(2) +. 0.5 in
+  let epoch_loss () =
+    Array.fold_left
+      (fun acc x ->
+        let out = Mlp.forward net x in
+        let l, _ = Loss.mse ~pred:out.(0) ~target:(target x) () in
+        acc +. l)
+      0.0 inputs
+  in
+  let before = epoch_loss () in
+  for _ = 1 to 500 do
+    Mlp.zero_grad net;
+    Array.iter
+      (fun x ->
+        let out, caches = Mlp.forward_cached net x in
+        let _, d = Loss.mse ~pred:out.(0) ~target:(target x) () in
+        Mlp.backward net caches [| d /. 16.0 |])
+      inputs;
+    Optim.step optim net
+  done;
+  let after = epoch_loss () in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss %.4f -> %.4f" before after)
+    true (after < before /. 5.0)
+
+let test_copy_params () =
+  let rng = Rng.create 3 in
+  let a = Mlp.create rng [ 2; 3; 2 ] in
+  let b = Mlp.create rng [ 2; 3; 2 ] in
+  Mlp.copy_params ~src:a ~dst:b;
+  let x = [| 0.5; -0.5 |] in
+  Alcotest.(check bool) "identical outputs" true (Mlp.forward a x = Mlp.forward b x)
+
+let test_param_count () =
+  let rng = Rng.create 3 in
+  let net = Mlp.create rng [ 300; 128; 64; 34 ] in
+  Alcotest.(check int) "param count"
+    ((300 * 128) + 128 + (128 * 64) + 64 + (64 * 34) + 34)
+    (Mlp.param_count net)
+
+let test_huber_regions () =
+  let l1, d1 = Loss.huber ~pred:0.5 ~target:0.0 () in
+  check_float "quadratic" 0.125 l1;
+  check_float "grad" 0.5 d1;
+  let l2, d2 = Loss.huber ~pred:3.0 ~target:0.0 () in
+  check_float "linear" 2.5 l2;
+  check_float "clipped grad" 1.0 d2
+
+let test_grad_clip () =
+  let rng = Rng.create 4 in
+  let net = Mlp.create rng [ 2; 2 ] in
+  Mlp.zero_grad net;
+  (* inject a huge gradient *)
+  net.Mlp.layers.(0).Layer.gw.Matrix.data.(0) <- 1e9;
+  let optim = Optim.create ~lr:0.1 ~grad_clip:1.0 () in
+  let before = net.Mlp.layers.(0).Layer.w.Matrix.data.(0) in
+  Optim.step optim net;
+  let after = net.Mlp.layers.(0).Layer.w.Matrix.data.(0) in
+  Alcotest.(check bool) "clipped step bounded" true (Float.abs (after -. before) < 1.0)
+
+let suite =
+  [ Alcotest.test_case "matvec" `Quick test_matvec;
+    Alcotest.test_case "matvec transpose" `Quick test_matvec_t;
+    Alcotest.test_case "outer add" `Quick test_outer_add;
+    Alcotest.test_case "layer relu" `Quick test_layer_forward_relu;
+    Alcotest.test_case "gradient check" `Quick test_gradient_check;
+    Alcotest.test_case "mlp learns xor" `Quick test_mlp_learns_xor;
+    Alcotest.test_case "adam decreases loss" `Quick test_adam_decreases_loss;
+    Alcotest.test_case "copy params" `Quick test_copy_params;
+    Alcotest.test_case "param count" `Quick test_param_count;
+    Alcotest.test_case "huber regions" `Quick test_huber_regions;
+    Alcotest.test_case "grad clip" `Quick test_grad_clip ]

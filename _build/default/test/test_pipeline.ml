@@ -1,0 +1,192 @@
+(* Whole-pipeline and property-based differential tests: the heavy
+   correctness artillery. Every pass and pipeline must preserve the
+   observable behaviour (return value + output) of every workload. *)
+
+open Posetrl_ir
+module P = Posetrl_passes
+module W = Posetrl_workloads
+
+let observe = Posetrl_interp.Interp.observe
+
+let all_programs = lazy (W.Suites.all_programs ())
+
+(* each registered pass individually preserves behaviour on all suites *)
+let test_each_pass_preserves_suites () =
+  List.iter
+    (fun pass_name ->
+      let p = P.Registry.find_exn pass_name in
+      List.iter
+        (fun (prog_name, m) ->
+          let m' = P.Pass.run ~verify:true p P.Config.oz m in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" pass_name prog_name)
+            true
+            (observe m = observe m'))
+        (Lazy.force all_programs))
+    (P.Registry.names ())
+
+(* standard pipelines preserve behaviour on all suites *)
+let test_pipelines_preserve_suites () =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (prog_name, m) ->
+          let m' = P.Pass_manager.run_level ~verify:true level m in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" (P.Pipelines.level_to_string level) prog_name)
+            true
+            (observe m = observe m'))
+        (Lazy.force all_programs))
+    [ P.Pipelines.O1; P.Pipelines.O2; P.Pipelines.O3; P.Pipelines.Os; P.Pipelines.Oz ]
+
+(* pipelines never grow the suites' instruction counts catastrophically and
+   Oz actually shrinks most programs *)
+let test_oz_shrinks_most_programs () =
+  let shrunk = ref 0 and total = ref 0 in
+  List.iter
+    (fun (_, m) ->
+      incr total;
+      let m' = P.Pass_manager.run_level P.Pipelines.Oz m in
+      if Modul.insn_count m' < Modul.insn_count m then incr shrunk)
+    (Lazy.force all_programs);
+  Alcotest.(check bool)
+    (Printf.sprintf "Oz shrinks most programs (%d/%d)" !shrunk !total)
+    true
+    (!shrunk * 10 >= !total * 8)
+
+(* Oz sequence reconstruction matches the paper's counts *)
+let test_oz_sequence_counts () =
+  Alcotest.(check int) "90 pass instances" 90 (List.length P.Pipelines.oz_sequence);
+  Alcotest.(check int) "54 unique passes" 54 (List.length P.Pipelines.unique_passes);
+  Alcotest.(check int) "15 manual groups" 15 (List.length P.Pipelines.manual_groups)
+
+let test_all_oz_passes_registered () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (Option.is_some (P.Registry.find name)))
+    P.Pipelines.unique_passes
+
+let test_registry_alias () =
+  Alcotest.(check bool) "paper spelling resolves" true
+    (Option.is_some (P.Registry.find "alignmentfromassumptions"))
+
+(* idempotence-ish: running Oz twice keeps behaviour and never grows much *)
+let test_oz_twice_stable () =
+  List.iter
+    (fun (prog_name, m) ->
+      let m1 = P.Pass_manager.run_level P.Pipelines.Oz m in
+      let m2 = P.Pass_manager.run_level ~verify:true P.Pipelines.Oz m1 in
+      Alcotest.(check bool) (prog_name ^ " behaviour") true (observe m1 = observe m2))
+    (Lazy.force all_programs)
+
+(* property: on random generated programs, a random pass preserves
+   behaviour and verifier validity *)
+let prop_random_pass_preserves =
+  QCheck2.Test.make ~count:120 ~name:"random pass preserves random program"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 53))
+    (fun (seed, pass_idx) ->
+      let m = W.Genprog.generate ~seed in
+      let pass_name = List.nth (P.Registry.names ()) pass_idx in
+      let p = P.Registry.find_exn pass_name in
+      let m' = P.Pass.run ~verify:true p P.Config.oz m in
+      observe m = observe m')
+
+let prop_oz_preserves_random =
+  QCheck2.Test.make ~count:25 ~name:"Oz pipeline preserves random program"
+    QCheck2.Gen.(int_range 200_000 220_000)
+    (fun seed ->
+      let m = W.Genprog.generate ~seed in
+      let m' = P.Pass_manager.run_level ~verify:true P.Pipelines.Oz m in
+      observe m = observe m')
+
+let prop_o3_preserves_random =
+  QCheck2.Test.make ~count:25 ~name:"O3 pipeline preserves random program"
+    QCheck2.Gen.(int_range 300_000 320_000)
+    (fun seed ->
+      let m = W.Genprog.generate ~seed in
+      let m' = P.Pass_manager.run_level ~verify:true P.Pipelines.O3 m in
+      observe m = observe m')
+
+(* property: parser round trip on random programs *)
+let prop_roundtrip_random =
+  QCheck2.Test.make ~count:60 ~name:"print/parse round trip on random program"
+    QCheck2.Gen.(int_range 400_000 420_000)
+    (fun seed ->
+      let m = W.Genprog.generate ~seed in
+      let text = Printer.module_to_string m in
+      let m' = Parser.parse_module text in
+      String.equal text (Printer.module_to_string m'))
+
+(* property: the interpreter is deterministic *)
+let prop_interp_deterministic =
+  QCheck2.Test.make ~count:40 ~name:"interpreter deterministic"
+    QCheck2.Gen.(int_range 800_000 800_200)
+    (fun seed ->
+      let m = W.Genprog.generate ~seed in
+      observe m = observe m)
+
+(* property: Oz twice on a random program preserves behaviour *)
+let prop_oz_twice_random =
+  QCheck2.Test.make ~count:15 ~name:"Oz twice preserves random program"
+    QCheck2.Gen.(int_range 810_000 810_100)
+    (fun seed ->
+      let m = W.Genprog.generate ~seed in
+      let m1 = P.Pass_manager.run_level P.Pipelines.Oz m in
+      let m2 = P.Pass_manager.run_level ~verify:true P.Pipelines.Oz m1 in
+      observe m1 = observe m2)
+
+(* failure injection: a deliberately broken pass is caught by ~verify *)
+let test_verify_catches_broken_pass () =
+  let broken =
+    P.Pass.mk "deliberately-broken" ~description:"drops every terminator target"
+      (fun _cfg m ->
+        Modul.map_defined
+          (fun f ->
+            Func.map_blocks
+              (fun b ->
+                { b with
+                  Block.term =
+                    Instr.map_term_labels (fun _ -> "no-such-block") b.Block.term })
+              f)
+          m)
+  in
+  let m = Testutil.sum_squares_module () in
+  Alcotest.(check bool) "verifier fires" true
+    (try ignore (P.Pass.run ~verify:true broken P.Config.oz m); false
+     with Verifier.Invalid _ -> true)
+
+(* the size model grows when code is added *)
+let prop_size_monotone_in_functions =
+  QCheck2.Test.make ~count:20 ~name:"object size grows with added functions"
+    QCheck2.Gen.(int_range 820_000 820_100)
+    (fun seed ->
+      let m1 = W.Genprog.generate ~seed in
+      let extra =
+        let b = Builder.create ~name:"extra_fn" ~params:[ Types.I64 ] ~ret:Types.I64 () in
+        Builder.block b "entry";
+        let x = Builder.param b 0 in
+        let y = Builder.mul b Types.I64 x (Value.ci64 3) in
+        Builder.ret b Types.I64 y;
+        Builder.finish b
+      in
+      let m2 = { m1 with Modul.funcs = extra :: m1.Modul.funcs } in
+      let t = Posetrl_codegen.Target.x86_64 in
+      Posetrl_codegen.Objfile.size t m2 > Posetrl_codegen.Objfile.size t m1)
+
+let suite =
+  [ Alcotest.test_case "each pass preserves suites" `Slow test_each_pass_preserves_suites;
+    Alcotest.test_case "pipelines preserve suites" `Slow test_pipelines_preserve_suites;
+    Alcotest.test_case "Oz shrinks most programs" `Quick test_oz_shrinks_most_programs;
+    Alcotest.test_case "Oz sequence counts" `Quick test_oz_sequence_counts;
+    Alcotest.test_case "all Oz passes registered" `Quick test_all_oz_passes_registered;
+    Alcotest.test_case "registry alias" `Quick test_registry_alias;
+    Alcotest.test_case "Oz twice stable" `Slow test_oz_twice_stable;
+    QCheck_alcotest.to_alcotest prop_random_pass_preserves;
+    QCheck_alcotest.to_alcotest prop_oz_preserves_random;
+    QCheck_alcotest.to_alcotest prop_o3_preserves_random;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    QCheck_alcotest.to_alcotest prop_interp_deterministic;
+    QCheck_alcotest.to_alcotest prop_oz_twice_random;
+    Alcotest.test_case "verify catches broken pass" `Quick test_verify_catches_broken_pass;
+    QCheck_alcotest.to_alcotest prop_size_monotone_in_functions ]

@@ -1,0 +1,22 @@
+(* Test entry point: aggregates every library's suite. Run with
+   [dune runtest]; slow suites (whole-pipeline differential tests,
+   trainer smoke) are tagged `Slow and included by default. *)
+
+let () =
+  Alcotest.run "posetrl"
+    [ ("support", Test_support.suite);
+      ("ir", Test_ir.suite);
+      ("interp", Test_interp.suite);
+      ("passes.scalar", Test_passes_scalar.suite);
+      ("passes.loop", Test_passes_loop.suite);
+      ("passes.ipo", Test_passes_ipo.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("codegen+mca", Test_codegen_mca.suite);
+      ("ir2vec", Test_ir2vec.suite);
+      ("nn", Test_nn.suite);
+      ("rl", Test_rl.suite);
+      ("odg", Test_odg.suite);
+      ("core", Test_core.suite);
+      ("workloads", Test_workloads.suite);
+      ("utils+clone", Test_utils_clone.suite);
+      ("switch+misc", Test_switch_misc.suite) ]
