@@ -18,6 +18,7 @@ module C = Posetrl_core
 module O = Posetrl_odg
 module CG = Posetrl_codegen
 module I = Posetrl_interp.Interp
+module Obs = Posetrl_obs
 
 let x86 = CG.Target.x86_64
 let arm = CG.Target.aarch64
@@ -397,7 +398,14 @@ let micro () =
         Test.make ~name:"env-step(odg action 30)"
           (Staged.stage (fun () ->
                ignore (C.Environment.reset env m);
-               ignore (C.Environment.step env 30))) ]
+               ignore (C.Environment.step env 30)));
+        (* observability overhead: a disabled span must cost a closure
+           call, and a counter increment a float add *)
+        Test.make ~name:"obs-span(no sink installed)"
+          (Staged.stage (fun () -> Obs.Span.with_ "bench.noop" (fun _ -> ())));
+        Test.make ~name:"obs-counter-inc"
+          (let c = Obs.Metrics.counter "posetrl.bench.ticks" in
+           Staged.stage (fun () -> Obs.Metrics.inc c)) ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
@@ -445,4 +453,8 @@ let () =
         Printf.printf "unknown section %s (available: %s)\n" name
           (String.concat " " (List.map fst sections)))
     requested;
+  (* everything above ran instrumented; the registry doubles as a sanity
+     check that counters moved only where work actually happened *)
+  section_header "Metrics summary (Posetrl_obs registry)";
+  Obs.Console.print_metrics ~title:"metrics (posetrl.*)" ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -6,8 +6,12 @@
      run    interpret a textual MiniIR module
      train  train a DQN phase-ordering model and save its weights
      eval   evaluate a saved model against the validation suites
+     report aggregate a --trace JSONL file into per-span/per-pass tables
      odg    inspect the Oz Dependence Graph (stats, dot, derived walks)
-     list   list registered passes / benchmark programs *)
+     list   list registered passes / benchmark programs
+
+   opt/train/eval take --trace FILE.jsonl (write a span trace) and
+   --metrics (print the metrics registry on exit). *)
 
 open Cmdliner
 open Posetrl_ir
@@ -16,6 +20,7 @@ module W = Posetrl_workloads
 module C = Posetrl_core
 module O = Posetrl_odg
 module CG = Posetrl_codegen
+module Obs = Posetrl_obs
 
 let read_module path =
   let ic = open_in path in
@@ -41,6 +46,31 @@ let space_of_string = function
   | "odg" -> O.Action_space.odg
   | "manual" -> O.Action_space.manual
   | s -> failwith ("unknown action space " ^ s)
+
+(* --- observability flags (shared by opt/train/eval) ----------------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
+         ~doc:"Write a JSONL span trace to \\$(docv) (analyse with `posetrl report`).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the metrics registry snapshot on exit.")
+
+(* Run [f] with the observability surface requested on the command line:
+   a JSONL sink while [f] runs, a metrics table after it. *)
+let with_obs ~(trace : string option) ~(metrics : bool) (f : unit -> 'a) : 'a =
+  let run () =
+    match trace with
+    | None -> f ()
+    | Some path ->
+      let r = Obs.Span.with_sink (Obs.Sink.jsonl path) f in
+      Printf.printf "trace written to %s\n" path;
+      r
+  in
+  let r = run () in
+  if metrics then Obs.Console.print_metrics ~title:"metrics (posetrl.*)" ();
+  r
 
 let report_module (target : CG.Target.t) (label : string) (m : Modul.t) =
   Printf.printf "%-10s insns=%-5d size=%-6dB text=%-6dB mca-throughput=%.3f\n"
@@ -71,28 +101,29 @@ let opt_cmd =
   let emit =
     Arg.(value & flag & info [ "emit" ] ~doc:"Print the optimized module.")
   in
-  let run program level passes target emit =
+  let run program level passes target emit trace metrics =
     let m = load_program program in
     let tgt = target_of_string target in
     report_module tgt "input" m;
     let m' =
-      match passes with
-      | Some ps ->
-        let names = String.split_on_char ',' ps |> List.map String.trim in
-        List.iter
-          (fun n -> if Option.is_none (P.Registry.find n) then failwith ("unknown pass " ^ n))
-          names;
-        P.Pass_manager.run ~verify:true P.Config.oz names m
-      | None ->
-        (match P.Pipelines.level_of_string level with
-         | Some l -> P.Pass_manager.run_level ~verify:true l m
-         | None -> failwith ("unknown level " ^ level))
+      with_obs ~trace ~metrics (fun () ->
+          match passes with
+          | Some ps ->
+            let names = String.split_on_char ',' ps |> List.map String.trim in
+            List.iter
+              (fun n -> if Option.is_none (P.Registry.find n) then failwith ("unknown pass " ^ n))
+              names;
+            P.Pass_manager.run ~verify:true P.Config.oz names m
+          | None ->
+            (match P.Pipelines.level_of_string level with
+             | Some l -> P.Pass_manager.run_level ~verify:true l m
+             | None -> failwith ("unknown level " ^ level)))
     in
     report_module tgt "output" m';
     if emit then print_string (Printer.module_to_string m')
   in
   Cmd.v (Cmd.info "opt" ~doc:"Apply an optimization pipeline to a module")
-    Term.(const run $ program $ level $ passes $ target $ emit)
+    Term.(const run $ program $ level $ passes $ target $ emit $ trace_arg $ metrics_arg)
 
 (* --- run ------------------------------------------------------------------- *)
 
@@ -144,40 +175,63 @@ let train_cmd =
     Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
   in
   let steps =
-    Arg.(value & opt int 20_100 & info [ "steps" ]
-           ~doc:"Total training timesteps (paper: 20100).")
+    Arg.(value & opt (some int) None & info [ "steps" ]
+           ~doc:"Total training timesteps (default: 20100, the paper budget; \
+                 with --fast, the fast schedule's 1800).")
+  in
+  let fast =
+    Arg.(value & flag & info [ "fast" ]
+           ~doc:"Use the scaled-down fast hyperparameters instead of the paper schedule.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let corpus_size =
     Arg.(value & opt int 130 & info [ "corpus" ] ~doc:"Training corpus size (paper: 130).")
   in
-  let go out space target steps seed corpus_size =
+  let go out space target steps fast seed corpus_size trace metrics =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let corpus = W.Suites.training_corpus ~n:corpus_size () in
+    let base = if fast then C.Trainer.fast else C.Trainer.paper in
     let hp =
-      { C.Trainer.paper with
-        C.Trainer.total_steps = steps;
-        C.Trainer.epsilon =
-          Posetrl_rl.Schedule.create ~start:1.0 ~stop:0.01
-            ~decay_steps:(max 1 (steps - 100)) () }
+      match steps with
+      | None -> base
+      | Some s ->
+        { base with
+          C.Trainer.total_steps = s;
+          C.Trainer.epsilon =
+            (if fast then
+               Posetrl_rl.Schedule.create ~start:1.0 ~stop:0.05
+                 ~decay_steps:(max 1 (s * 2 / 3)) ()
+             else
+               Posetrl_rl.Schedule.create ~start:1.0 ~stop:0.01
+                 ~decay_steps:(max 1 (s - 100)) ()) }
     in
-    Printf.printf "training %s/%s for %d steps on %d programs...\n%!" space target
-      steps corpus_size;
+    Obs.Console.info "training %s/%s for %d steps on %d programs...\n%!" space
+      target hp.C.Trainer.total_steps corpus_size;
+    (* progress lines read back from the metrics registry (the trainer
+       refreshes the posetrl.train.* series before each tick), so the
+       metrics layer — not the progress record — is the source of truth *)
+    let metric name = Option.value ~default:0.0 (Obs.Metrics.value name) in
+    let on_progress (_ : C.Trainer.progress) =
+      Obs.Console.info
+        "  step %6d  episode %5d  eps %.3f  mean-reward %7.2f  mean-size-gain %6.2f%%  loss %.4f\n%!"
+        (int_of_float (metric "posetrl.train.steps"))
+        (int_of_float (metric "posetrl.train.episodes"))
+        (metric "posetrl.train.epsilon")
+        (metric "posetrl.train.mean_reward")
+        (metric "posetrl.train.mean_size_gain")
+        (metric "posetrl.train.loss")
+    in
     let res =
-      C.Trainer.train ~hp
-        ~on_progress:(fun p ->
-          Printf.printf
-            "  step %6d  episode %5d  eps %.3f  mean-reward %7.2f  mean-size-gain %6.2f%%  loss %.4f\n%!"
-            p.C.Trainer.step p.C.Trainer.episode p.C.Trainer.epsilon_now
-            p.C.Trainer.mean_reward p.C.Trainer.mean_size_gain p.C.Trainer.loss)
-        ~seed ~corpus ~actions ~target:tgt ()
+      with_obs ~trace ~metrics (fun () ->
+          C.Trainer.train ~hp ~on_progress ~seed ~corpus ~actions ~target:tgt ())
     in
     Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
-    Printf.printf "saved weights to %s (%d episodes)\n" out res.C.Trainer.episodes
+    Obs.Console.info "saved weights to %s (%d episodes)\n" out res.C.Trainer.episodes
   in
   Cmd.v (Cmd.info "train" ~doc:"Train a phase-ordering model")
-    Term.(const go $ out $ space $ target $ steps $ seed $ corpus_size)
+    Term.(const go $ out $ space $ target $ steps $ fast $ seed $ corpus_size
+          $ trace_arg $ metrics_arg)
 
 (* --- eval ------------------------------------------------------------------- *)
 
@@ -192,7 +246,7 @@ let eval_cmd =
   let target =
     Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
   in
-  let go weights space target =
+  let go weights space target trace metrics =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let rng = Posetrl_support.Rng.create 0 in
@@ -201,6 +255,7 @@ let eval_cmd =
         ~hidden:[ 128; 64 ] ~n_actions:(O.Action_space.n_actions actions)
     in
     Posetrl_rl.Dqn.load_weights agent weights;
+    with_obs ~trace ~metrics @@ fun () ->
     List.iter
       (fun suite ->
         let results =
@@ -225,7 +280,27 @@ let eval_cmd =
       W.Suites.validation_suites
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a trained model on the validation suites")
-    Term.(const go $ weights $ space $ target)
+    Term.(const go $ weights $ space $ target $ trace_arg $ metrics_arg)
+
+(* --- report ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.jsonl"
+           ~doc:"Trace file written by --trace.")
+  in
+  let top_k =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows in the span-summary table.")
+  in
+  let go file top_k =
+    let events = Obs.Report.read_jsonl file in
+    print_string (Obs.Report.render ~top_k events)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Aggregate a span trace into per-span, per-pass and per-action tables")
+    Term.(const go $ file $ top_k)
 
 (* --- odg -------------------------------------------------------------------- *)
 
@@ -290,4 +365,12 @@ let list_cmd =
 let () =
   let doc = "POSET-RL: phase ordering for size and execution time with RL" in
   let info = Cmd.info "posetrl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ opt_cmd; run_cmd; train_cmd; eval_cmd; odg_cmd; list_cmd ]))
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group info
+         [ opt_cmd; run_cmd; train_cmd; eval_cmd; report_cmd; odg_cmd; list_cmd ])
+  with
+  | code -> exit code
+  | exception (Failure msg | Sys_error msg) ->
+    Printf.eprintf "posetrl: error: %s\n" msg;
+    exit 1

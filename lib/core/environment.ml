@@ -10,6 +10,16 @@
 
 open Posetrl_ir
 module Odg = Posetrl_odg
+module Obs = Posetrl_obs
+
+let m_steps = Obs.Metrics.counter "posetrl.env.steps"
+let m_resets = Obs.Metrics.counter "posetrl.env.resets"
+
+let m_step_seconds = Obs.Metrics.histogram "posetrl.env.step_seconds"
+
+let m_reward =
+  Obs.Metrics.histogram "posetrl.env.reward"
+    ~buckets:[| -100.0; -10.0; -1.0; -0.1; 0.0; 0.1; 1.0; 10.0; 100.0 |]
 
 type t = {
   target : Posetrl_codegen.Target.t;
@@ -47,6 +57,7 @@ let observe (m : Modul.t) : float array = Posetrl_ir2vec.Encoder.embed_program_s
 
 (* Begin an episode on (a copy of) the unoptimized module. *)
 let reset (t : t) (m : Modul.t) : float array =
+  Obs.Metrics.inc m_resets;
   let meas = Reward.measure t.target m in
   t.current <- Some m;
   t.base <- meas;
@@ -65,15 +76,31 @@ let step (t : t) (action : int) : step_result =
   | None -> invalid_arg "Environment.step: reset first"
   | Some m ->
     let names = Odg.Action_space.action t.actions action in
-    let m' = Posetrl_passes.Pass_manager.run t.pass_cfg names m in
-    let curr = Reward.measure t.target m' in
-    let reward =
-      Reward.compute ~weights:t.weights ~base:t.base ~last:t.last ~curr ()
-    in
-    t.current <- Some m';
-    t.last <- curr;
-    t.step_idx <- t.step_idx + 1;
-    { state = observe m'; reward; terminal = t.step_idx >= t.max_steps }
+    let t0 = Obs.Clock.now () in
+    Obs.Span.with_ "posetrl.env.step"
+      ~attrs:
+        [ ("action", Obs.Event.I action);
+          ("passes", Obs.Event.S (String.concat " " names)) ]
+      (fun sp ->
+        let m' = Posetrl_passes.Pass_manager.run t.pass_cfg names m in
+        let curr = Reward.measure t.target m' in
+        let reward =
+          Reward.compute ~weights:t.weights ~base:t.base ~last:t.last ~curr ()
+        in
+        (* per-action deltas for the trace report (size in model bytes,
+           throughput in MCA units; positive = improvement) *)
+        Obs.Span.set_attr sp "reward" (Obs.Event.F reward);
+        Obs.Span.set_attr sp "d_size"
+          (Obs.Event.F (t.last.Reward.bin_size -. curr.Reward.bin_size));
+        Obs.Span.set_attr sp "d_thru"
+          (Obs.Event.F (curr.Reward.throughput -. t.last.Reward.throughput));
+        t.current <- Some m';
+        t.last <- curr;
+        t.step_idx <- t.step_idx + 1;
+        Obs.Metrics.inc m_steps;
+        Obs.Metrics.observe m_reward reward;
+        Obs.Metrics.observe m_step_seconds (Obs.Clock.now () -. t0);
+        { state = observe m'; reward; terminal = t.step_idx >= t.max_steps })
 
 let current_module (t : t) : Modul.t =
   match t.current with

@@ -10,6 +10,23 @@
 open Posetrl_support
 open Posetrl_ir
 module Rl = Posetrl_rl
+module Obs = Posetrl_obs
+
+(* Metric handles (global registry, registered once). The gauges are
+   refreshed right before each [on_progress] tick so a caller can render
+   its progress line entirely from [Obs.Metrics.value]. *)
+let m_steps = Obs.Metrics.counter "posetrl.train.steps"
+let m_episodes = Obs.Metrics.counter "posetrl.train.episodes"
+let m_target_syncs = Obs.Metrics.counter "posetrl.train.target_syncs"
+let m_epsilon = Obs.Metrics.gauge "posetrl.train.epsilon"
+let m_loss = Obs.Metrics.gauge "posetrl.train.loss"
+let m_mean_reward = Obs.Metrics.gauge "posetrl.train.mean_reward"
+let m_mean_size_gain = Obs.Metrics.gauge "posetrl.train.mean_size_gain"
+let m_replay_occupancy = Obs.Metrics.gauge "posetrl.train.replay_occupancy"
+
+let m_episode_reward =
+  Obs.Metrics.histogram "posetrl.train.episode_reward"
+    ~buckets:[| -100.0; -10.0; -1.0; 0.0; 1.0; 10.0; 100.0; 1000.0 |]
 
 type hyperparams = {
   total_steps : int;
@@ -145,15 +162,22 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       end
     end
   in
+  Obs.Span.with_ "posetrl.train.run" (fun _ ->
   while !step < hp.total_steps do
     incr episode;
+    Obs.Metrics.inc m_episodes;
     let program = Rng.choose rng corpus in
+    Obs.Span.with_ "posetrl.train.episode"
+      ~attrs:[ ("episode", Obs.Event.I !episode) ]
+      (fun ep_span ->
     let state = ref (Environment.reset env program) in
     let ep_reward = ref 0.0 in
     let terminal = ref false in
     while (not !terminal) && !step < hp.total_steps do
       incr step;
+      Obs.Metrics.inc m_steps;
       let epsilon = Rl.Schedule.value hp.epsilon !step in
+      Obs.Metrics.set m_epsilon epsilon;
       let action = Rl.Dqn.select_action agent rng ~epsilon !state in
       let res = Environment.step env action in
       ep_reward := !ep_reward +. res.Environment.reward;
@@ -164,14 +188,21 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
           next_state = (if res.Environment.terminal then None else Some res.Environment.state) };
       state := res.Environment.state;
       terminal := res.Environment.terminal;
+      Obs.Metrics.set m_replay_occupancy (float_of_int (Rl.Replay.size replay));
       if !step >= hp.warmup_steps && !step mod hp.train_every = 0
          && Rl.Replay.size replay >= hp.batch_size then begin
         let batch = Rl.Replay.sample rng replay hp.batch_size in
-        last_loss := Rl.Dqn.train_batch agent batch
+        last_loss := Rl.Dqn.train_batch agent batch;
+        Obs.Metrics.set m_loss !last_loss
       end;
-      if !step mod hp.target_sync_every = 0 then Rl.Dqn.sync_target agent;
+      if !step mod hp.target_sync_every = 0 then begin
+        Rl.Dqn.sync_target agent;
+        Obs.Metrics.inc m_target_syncs
+      end;
       maybe_snapshot ();
-      if !step mod 200 = 0 then
+      if !step mod 200 = 0 then begin
+        Obs.Metrics.set m_mean_reward (window_mean reward_window);
+        Obs.Metrics.set m_mean_size_gain (window_mean size_window);
         on_progress
           { step = !step;
             episode = !episode;
@@ -179,11 +210,15 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
             mean_reward = window_mean reward_window;
             mean_size_gain = window_mean size_window;
             loss = !last_loss }
+      end
     done;
     push_window reward_window !ep_reward;
+    Obs.Metrics.observe m_episode_reward !ep_reward;
     let size_gain, _ = Environment.episode_gain env in
-    push_window size_window size_gain
-  done;
+    push_window size_window size_gain;
+    Obs.Span.set_attr ep_span "reward" (Obs.Event.F !ep_reward);
+    Obs.Span.set_attr ep_span "size_gain_pct" (Obs.Event.F size_gain))
+  done);
   (* hand back the best snapshot (or the final weights if snapshots are
      disabled or the final policy is the best one seen) *)
   if hp.snapshot_every > 0 then begin

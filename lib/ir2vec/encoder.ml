@@ -95,12 +95,20 @@ let embed_func (f : Func.t) : Vecf.t =
     acc
   end
 
-let embed_program (m : Modul.t) : Vecf.t =
+let embed_program_raw (m : Modul.t) : Vecf.t =
   let acc = Vecf.create Vocabulary.dimension in
   List.iter
     (fun f -> if not (Func.is_declaration f) then Vecf.add_inplace acc (embed_func f))
     m.Modul.funcs;
   acc
+
+module Obs = Posetrl_obs
+
+let m_embeds = Obs.Metrics.counter "posetrl.ir2vec.embeds"
+
+let embed_program (m : Modul.t) : Vecf.t =
+  Obs.Metrics.inc m_embeds;
+  Obs.Span.with_ "posetrl.ir2vec.embed" (fun _ -> embed_program_raw m)
 
 (* Bounded variant used as the RL state: direction preserved, magnitude
    squashed into the unit ball so network inputs stay well-scaled across

@@ -114,4 +114,12 @@ let estimate (t : Target.t) (m : Modul.t) : estimate =
   let cycles = Float.max 1.0 cycles in
   { cycles; throughput = throughput_scale /. cycles }
 
-let throughput (t : Target.t) (m : Modul.t) : float = (estimate t m).throughput
+module Obs = Posetrl_obs
+
+let m_evals = Obs.Metrics.counter "posetrl.mca.evals"
+
+let throughput (t : Target.t) (m : Modul.t) : float =
+  Obs.Metrics.inc m_evals;
+  Obs.Span.with_ "posetrl.mca.throughput"
+    ~attrs:[ ("target", Obs.Event.S t.name) ]
+    (fun _ -> (estimate t m).throughput)

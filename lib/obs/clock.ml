@@ -1,0 +1,16 @@
+(* Pluggable time source. Production uses the wall clock; tests install
+   a hand-advanced fake so span durations are exact. *)
+
+let real () = Unix.gettimeofday ()
+let source = ref real
+let now () = !source ()
+let set f = source := f
+let reset () = source := real
+
+let with_fake ?(start = 0.0) f =
+  let t = ref start in
+  let saved = !source in
+  source := (fun () -> !t);
+  Fun.protect
+    ~finally:(fun () -> source := saved)
+    (fun () -> f (fun d -> t := !t +. d))

@@ -1,0 +1,21 @@
+(** The time source behind all observability timestamps.
+
+    Spans and timing histograms read [now ()], which defaults to the
+    wall clock but can be swapped for a deterministic fake in tests
+    ([with_fake]) so duration and self-time accounting is exact. *)
+
+val now : unit -> float
+(** Current time in seconds. Monotone under the default source for the
+    purposes of span timing (durations are differences of [now]). *)
+
+val set : (unit -> float) -> unit
+(** Replace the time source. *)
+
+val reset : unit -> unit
+(** Restore the default (wall-clock) source. *)
+
+val with_fake : ?start:float -> ((float -> unit) -> 'a) -> 'a
+(** [with_fake f] installs a fake clock starting at [start] (default 0)
+    and calls [f advance] where [advance d] moves the clock forward by
+    [d] seconds. The previous source is restored on exit, including on
+    exceptions. *)

@@ -1,0 +1,13 @@
+(* Console output helper: the single funnel for human-readable progress
+   lines, so CLI/bench output goes through the observability layer
+   rather than scattered bare Printf calls. *)
+
+let out : out_channel ref = ref stdout
+
+let set_channel oc = out := oc
+
+let info fmt = Printf.fprintf !out fmt
+
+let print_metrics ?(title = "metrics") ?(r = Metrics.global) () =
+  output_string !out (Metrics.render ~title (Metrics.snapshot ~r ()));
+  flush !out

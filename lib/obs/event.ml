@@ -1,0 +1,89 @@
+(* The trace event: one record per completed span. Events carry their
+   own self-time (duration minus direct children), computed at runtime
+   by the span layer, so offline aggregation never has to reconstruct
+   the nesting tree.
+
+   JSONL schema (one object per line, see DESIGN.md "Observability"):
+     {"name":..., "t":..., "dur":..., "self":..., "depth":..., "attrs":{...}} *)
+
+type value =
+  | S of string
+  | I of int
+  | F of float
+
+type t = {
+  name : string;                      (* posetrl.<area>.<name> *)
+  attrs : (string * value) list;
+  t_start : float;                    (* seconds on the obs clock *)
+  dur : float;                        (* wall duration, seconds *)
+  self : float;                       (* dur minus direct children *)
+  depth : int;                        (* nesting depth at emit time *)
+}
+
+let value_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%g" f
+
+let value_to_json = function
+  | S s -> Json.Str s
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+
+let value_of_json = function
+  | Json.Str s -> S s
+  | Json.Int i -> I i
+  | Json.Float f -> F f
+  | Json.Bool b -> S (string_of_bool b)
+  | Json.Null -> S "null"
+  | _ -> invalid_arg "Event.value_of_json: nested attr value"
+
+let to_json (e : t) : Json.t =
+  Json.Obj
+    [ ("name", Json.Str e.name);
+      ("t", Json.Float e.t_start);
+      ("dur", Json.Float e.dur);
+      ("self", Json.Float e.self);
+      ("depth", Json.Int e.depth);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) e.attrs)) ]
+
+let number_to_float = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> invalid_arg "Event.of_json: expected number"
+
+let of_json (j : Json.t) : t =
+  let get k = match Json.member k j with
+    | Some v -> v
+    | None -> invalid_arg ("Event.of_json: missing field " ^ k)
+  in
+  let attrs =
+    match Json.member "attrs" j with
+    | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+    | _ -> []
+  in
+  { name = (match get "name" with Json.Str s -> s | _ -> invalid_arg "Event.of_json: name");
+    attrs;
+    t_start = number_to_float (get "t");
+    dur = number_to_float (get "dur");
+    self = number_to_float (get "self");
+    depth = (match get "depth" with Json.Int i -> i | v -> int_of_float (number_to_float v)) }
+
+(* attr accessors used by the report aggregator *)
+
+let attr (e : t) (key : string) : value option = List.assoc_opt key e.attrs
+
+let attr_string (e : t) (key : string) : string option =
+  match attr e key with Some (S s) -> Some s | _ -> None
+
+let attr_int (e : t) (key : string) : int option =
+  match attr e key with
+  | Some (I i) -> Some i
+  | Some (F f) -> Some (int_of_float f)
+  | _ -> None
+
+let attr_float (e : t) (key : string) : float option =
+  match attr e key with
+  | Some (F f) -> Some f
+  | Some (I i) -> Some (float_of_int i)
+  | _ -> None

@@ -1,0 +1,64 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms with
+    labeled series.
+
+    Metric names follow the [posetrl.<area>.<name>] convention (see
+    DESIGN.md "Observability"). A metric handle is looked up (or
+    created) once and then updated through a plain mutable cell, so
+    hot-path increments cost a float add — instrument freely.
+
+    The [global] registry backs the whole pipeline; tests create their
+    own with [create] to stay isolated. *)
+
+type t
+(** A registry: a set of (name, labels) series. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+val global : t
+
+val reset : t -> unit
+(** Drop every registered series (handles from before the reset keep
+    working but are no longer reachable from snapshots). *)
+
+val counter : ?r:t -> ?labels:(string * string) list -> string -> counter
+(** Look up or register a monotone counter.
+    @raise Invalid_argument if the series exists with another kind. *)
+
+val inc : ?by:float -> counter -> unit
+
+val gauge : ?r:t -> ?labels:(string * string) list -> string -> gauge
+val set : gauge -> float -> unit
+
+val default_buckets : float array
+(** Log-spaced seconds buckets (1µs … 10s) for timing histograms. *)
+
+val histogram :
+  ?r:t -> ?labels:(string * string) list -> ?buckets:float array -> string ->
+  histogram
+(** Fixed upper-bound buckets (ascending); values above the last bound
+    land in an implicit overflow bucket. [buckets] is only consulted
+    when the series is first created. *)
+
+val observe : histogram -> float -> unit
+
+val value : ?r:t -> ?labels:(string * string) list -> string -> float option
+(** Read back a counter total or gauge value; [None] if the series is
+    absent or a histogram. *)
+
+type row = {
+  row_name : string;
+  row_labels : (string * string) list;
+  row_kind : string;              (** ["counter"], ["gauge"] or ["histogram"] *)
+  row_value : float;              (** total / value / mean respectively *)
+  row_count : int;                (** histogram observations; 1 otherwise *)
+  row_detail : string;            (** histogram quantile summary, else empty *)
+}
+
+val snapshot : ?r:t -> unit -> row list
+(** Every series, sorted by name then labels. *)
+
+val render : ?title:string -> row list -> string
+(** Aligned plain-text table of a snapshot. *)

@@ -1,0 +1,48 @@
+(** Offline trace analysis: fold a JSONL trace (written by
+    {!Sink.jsonl}) into per-span cumulative/self-time aggregates and
+    the per-pass / per-action tables surfaced by [posetrl report]. *)
+
+type span_row = {
+  sr_name : string;
+  sr_count : int;
+  sr_cum : float;                (** Σ dur, seconds *)
+  sr_self : float;               (** Σ self, seconds *)
+  sr_max : float;                (** max single dur, seconds *)
+}
+
+type pass_row = {
+  pr_pass : string;
+  pr_count : int;
+  pr_cum : float;
+  pr_self : float;
+  pr_d_insns : int;              (** Σ instruction-count delta (size proxy) *)
+}
+
+type action_row = {
+  ar_action : int;
+  ar_passes : string;
+  ar_count : int;
+  ar_cum : float;
+  ar_d_size : float;             (** Σ object-size delta, bytes *)
+  ar_mean_reward : float;
+}
+
+val read_jsonl : string -> Event.t list
+(** Parse a JSONL trace file; blank lines are skipped.
+    @raise Failure on a malformed line (with its line number). *)
+
+val spans : Event.t list -> span_row list
+(** Aggregate by span name, sorted by cumulative time descending. *)
+
+val passes : Event.t list -> pass_row list
+(** Aggregate events carrying a ["pass"] attribute by pass name,
+    sorted by cumulative time descending. *)
+
+val actions : Event.t list -> action_row list
+(** Aggregate [posetrl.env.step] events by action index. *)
+
+val top : int -> 'a list -> 'a list
+(** First [k] elements (the whole list if shorter). *)
+
+val render : ?top_k:int -> Event.t list -> string
+(** The full report: span summary, per-pass table, per-action table. *)

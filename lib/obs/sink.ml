@@ -1,0 +1,41 @@
+(* Built-in span sinks: ring buffer, JSONL writer, console printer. *)
+
+type t = {
+  emit : Event.t -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = ignore; close = ignore }
+
+let memory ?(capacity = 4096) () : t * (unit -> Event.t list) =
+  let q : Event.t Queue.t = Queue.create () in
+  let emit e =
+    Queue.add e q;
+    if Queue.length q > capacity then ignore (Queue.pop q)
+  in
+  ({ emit; close = ignore }, fun () -> List.of_seq (Queue.to_seq q))
+
+let jsonl (path : string) : t =
+  let oc = open_out path in
+  { emit =
+      (fun e ->
+        output_string oc (Json.to_string (Event.to_json e));
+        output_char oc '\n');
+    close = (fun () -> close_out oc) }
+
+let console ?(oc = stdout) () : t =
+  { emit =
+      (fun e ->
+        let attrs =
+          match e.Event.attrs with
+          | [] -> ""
+          | kvs ->
+            " "
+            ^ String.concat " "
+                (List.map
+                   (fun (k, v) -> k ^ "=" ^ Event.value_to_string v)
+                   kvs)
+        in
+        Printf.fprintf oc "%*s%s %.6fs (self %.6fs)%s\n" (2 * e.Event.depth) ""
+          e.Event.name e.Event.dur e.Event.self attrs);
+    close = (fun () -> flush oc) }

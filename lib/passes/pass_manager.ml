@@ -2,6 +2,7 @@
    (the test suite's main weapon against miscompiling passes). *)
 
 open Posetrl_ir
+module Obs = Posetrl_obs
 
 type stats = {
   pass_name : string;
@@ -10,16 +11,36 @@ type stats = {
   seconds : float;
 }
 
+let m_pass_runs = Obs.Metrics.counter "posetrl.pass.runs"
+
+(* Run one pass, with a [posetrl.pass.run] span carrying the before/after
+   instruction counts when a trace sink is installed. The insn_count
+   walks only happen when someone (trace or ~collect) will see them. *)
+let run_one ~verify (cfg : Config.t) (name : string) (m : Modul.t) : Modul.t =
+  let p = Registry.find_exn name in
+  Obs.Metrics.inc m_pass_runs;
+  if not (Obs.Span.enabled ()) then Pass.run ~verify p cfg m
+  else
+    Obs.Span.with_ "posetrl.pass.run"
+      ~attrs:[ ("pass", Obs.Event.S name) ]
+      (fun sp ->
+        let before = Modul.insn_count m in
+        let m' = Pass.run ~verify p cfg m in
+        let after = Modul.insn_count m' in
+        Obs.Span.set_attr sp "insns_before" (Obs.Event.I before);
+        Obs.Span.set_attr sp "insns_after" (Obs.Event.I after);
+        Obs.Span.set_attr sp "d_insns" (Obs.Event.I (before - after));
+        m')
+
 let run_names ?(verify = false) ?(collect = false) (cfg : Config.t)
     (names : string list) (m : Modul.t) : Modul.t * stats list =
   let stats = ref [] in
   let m =
     List.fold_left
       (fun m name ->
-        let p = Registry.find_exn name in
         let before = if collect then Modul.insn_count m else 0 in
         let t0 = if collect then Unix.gettimeofday () else 0.0 in
-        let m' = Pass.run ~verify p cfg m in
+        let m' = run_one ~verify cfg name m in
         if collect then
           stats :=
             { pass_name = name;

@@ -8,6 +8,11 @@
 
 open Posetrl_support
 open Posetrl_nn
+module Obs = Posetrl_obs
+
+let m_forwards = Obs.Metrics.counter "posetrl.dqn.forwards"
+let m_batches = Obs.Metrics.counter "posetrl.dqn.train_batches"
+let m_syncs = Obs.Metrics.counter "posetrl.dqn.target_syncs"
 
 type t = {
   online : Mlp.t;
@@ -34,6 +39,7 @@ let create ?(gamma = 0.99) ?(lr = 1e-4) ?(double = true) (rng : Rng.t)
     train_steps = 0 }
 
 let q_values (t : t) (state : float array) : float array =
+  Obs.Metrics.inc m_forwards;
   Mlp.forward t.online state
 
 let greedy_action (t : t) (state : float array) : int =
@@ -62,25 +68,33 @@ let td_target (t : t) (tr : Replay.transition) : float =
 let train_batch (t : t) (batch : Replay.transition array) : float =
   let n = Array.length batch in
   if n = 0 then 0.0
-  else begin
-    Mlp.zero_grad t.online;
-    let total = ref 0.0 in
-    Array.iter
-      (fun tr ->
-        let target = td_target t tr in
-        let q, caches = Mlp.forward_cached t.online tr.Replay.state in
-        let loss, dpred = Loss.huber ~pred:q.(tr.Replay.action) ~target () in
-        total := !total +. loss;
-        let dout = Array.make t.n_actions 0.0 in
-        dout.(tr.Replay.action) <- dpred /. float_of_int n;
-        Mlp.backward t.online caches dout)
-      batch;
-    Optim.step t.optim t.online;
-    t.train_steps <- t.train_steps + 1;
-    !total /. float_of_int n
-  end
+  else
+    Obs.Span.with_ "posetrl.dqn.train_batch"
+      ~attrs:[ ("batch", Obs.Event.I n) ]
+      (fun sp ->
+        Obs.Metrics.inc m_batches;
+        Mlp.zero_grad t.online;
+        let total = ref 0.0 in
+        Array.iter
+          (fun tr ->
+            let target = td_target t tr in
+            let q, caches = Mlp.forward_cached t.online tr.Replay.state in
+            let loss, dpred = Loss.huber ~pred:q.(tr.Replay.action) ~target () in
+            total := !total +. loss;
+            let dout = Array.make t.n_actions 0.0 in
+            dout.(tr.Replay.action) <- dpred /. float_of_int n;
+            Mlp.backward t.online caches dout)
+          batch;
+        Optim.step t.optim t.online;
+        t.train_steps <- t.train_steps + 1;
+        let mean = !total /. float_of_int n in
+        Obs.Span.set_attr sp "loss" (Obs.Event.F mean);
+        mean)
 
-let sync_target (t : t) = Mlp.copy_params ~src:t.online ~dst:t.target
+let sync_target (t : t) =
+  Obs.Metrics.inc m_syncs;
+  Obs.Span.with_ "posetrl.dqn.sync" (fun _ ->
+      Mlp.copy_params ~src:t.online ~dst:t.target)
 
 (* --- persistence ---------------------------------------------------------
 

@@ -127,6 +127,59 @@ let test_trainer_smoke () =
   Alcotest.(check int) "rollout length" 15 (List.length roll.C.Inference.actions);
   Testutil.check_same_behaviour "rollout result" m roll.C.Inference.optimized
 
+let test_trainer_progress () =
+  (* the on_progress callback: fields populated, step monotone on the
+     200-step tick grid, ε following the fast schedule exactly *)
+  let corpus = W.Genprog.corpus ~n:4 () in
+  let hp = { C.Trainer.fast with C.Trainer.total_steps = 600 } in
+  let ticks = ref [] in
+  ignore
+    (C.Trainer.train ~hp
+       ~on_progress:(fun p -> ticks := p :: !ticks)
+       ~seed:7 ~corpus ~actions:O.Action_space.manual ~target:x86 ());
+  let ticks = List.rev !ticks in
+  Alcotest.(check int) "one tick per 200 steps" 3 (List.length ticks);
+  ignore
+    (List.fold_left
+       (fun prev (p : C.Trainer.progress) ->
+         Alcotest.(check bool) "step monotone" true (p.C.Trainer.step > prev);
+         Alcotest.(check int) "tick grid" 0 (p.C.Trainer.step mod 200);
+         Alcotest.(check bool) "episode populated" true (p.C.Trainer.episode >= 1);
+         check_float "epsilon follows fast schedule"
+           (Rl.Schedule.value hp.C.Trainer.epsilon p.C.Trainer.step)
+           p.C.Trainer.epsilon_now;
+         Alcotest.(check bool) "mean reward finite" true
+           (Float.is_finite p.C.Trainer.mean_reward);
+         Alcotest.(check bool) "loss finite" true (Float.is_finite p.C.Trainer.loss);
+         p.C.Trainer.step)
+       0 ticks);
+  (* past the warmup + batch fill, training has actually happened *)
+  match List.rev ticks with
+  | last :: _ ->
+    Alcotest.(check bool) "loss nonzero by final tick" true
+      (last.C.Trainer.loss <> 0.0)
+  | [] -> ()
+
+let test_trainer_metrics_registry () =
+  (* the trainer publishes its posetrl.train.* series to the global
+     registry; the CLI progress line renders from these *)
+  let corpus = W.Genprog.corpus ~n:4 () in
+  let before =
+    Option.value ~default:0.0
+      (Posetrl_obs.Metrics.value "posetrl.train.steps")
+  in
+  ignore
+    (C.Trainer.train ~hp:tiny_hp ~seed:3 ~corpus ~actions:O.Action_space.manual
+       ~target:x86 ());
+  let v name = Posetrl_obs.Metrics.value name in
+  (match v "posetrl.train.steps" with
+   | Some after -> check_float "steps counted" 240.0 (after -. before)
+   | None -> Alcotest.fail "posetrl.train.steps missing");
+  Alcotest.(check bool) "epsilon gauge set" true
+    (match v "posetrl.train.epsilon" with Some e -> e > 0.0 && e <= 1.0 | None -> false);
+  Alcotest.(check bool) "replay occupancy set" true
+    (match v "posetrl.train.replay_occupancy" with Some o -> o > 0.0 | None -> false)
+
 let test_trainer_deterministic () =
   let corpus = W.Genprog.corpus ~n:4 () in
   let train () =
@@ -197,6 +250,8 @@ let suite =
     Alcotest.test_case "environment needs reset" `Quick test_environment_needs_reset;
     Alcotest.test_case "environment n_actions" `Quick test_environment_n_actions;
     Alcotest.test_case "trainer smoke" `Slow test_trainer_smoke;
+    Alcotest.test_case "trainer progress callback" `Slow test_trainer_progress;
+    Alcotest.test_case "trainer metrics registry" `Slow test_trainer_metrics_registry;
     Alcotest.test_case "trainer deterministic" `Slow test_trainer_deterministic;
     Alcotest.test_case "apply sequence" `Quick test_apply_sequence;
     Alcotest.test_case "evaluate program" `Slow test_evaluate_program_fields;

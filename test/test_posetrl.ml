@@ -5,6 +5,7 @@
 let () =
   Alcotest.run "posetrl"
     [ ("support", Test_support.suite);
+      ("obs", Test_obs.suite);
       ("ir", Test_ir.suite);
       ("interp", Test_interp.suite);
       ("passes.scalar", Test_passes_scalar.suite);
