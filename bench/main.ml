@@ -23,10 +23,20 @@ module Obs = Posetrl_obs
 let x86 = CG.Target.x86_64
 let arm = CG.Target.aarch64
 
+let default_bench_steps = 12000
+
 let bench_steps =
   match Sys.getenv_opt "POSETRL_BENCH_STEPS" with
-  | Some s -> (try int_of_string s with _ -> 8000)
-  | None -> 12000
+  | Some s -> (try int_of_string s with _ -> default_bench_steps)
+  | None -> default_bench_steps
+
+(* Headline numbers accumulated by the sections below and written through
+   the run ledger as BENCH_runledger.json — the persistent perf
+   trajectory a future run can `posetrl runs compare` against. *)
+let headline : (string * Obs.Json.t) list ref = ref []
+
+let record_headline key (j : Obs.Json.t) =
+  headline := !headline @ [ (key, j) ]
 
 let section_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -74,6 +84,8 @@ let fig1 () =
           Printf.sprintf "%.2f" gain ])
     (W.Suites.all_programs ());
   Table.print t;
+  record_headline "fig1_oz_slowdown_pct" (Obs.Json.Float (Stats.mean !slowdowns));
+  record_headline "fig1_oz_size_gain_pct" (Obs.Json.Float (Stats.mean !gains));
   Printf.printf
     "average: Oz runs %.2f%% slower than O3 while being %.2f%% smaller\n\
      (paper Fig 1 reports ~10%% slower / ~3.5%% smaller on real SPEC)\n"
@@ -199,6 +211,11 @@ let table4 () =
             (fun suite ->
               let rs = eval_suite model ~measure_time:false suite in
               let s = C.Evaluate.summarize_suite ~suite:suite.W.Suites.suite_name rs in
+              record_headline
+                (Printf.sprintf "table4_%s_%s_%s_avg_red"
+                   target.CG.Target.name space.O.Action_space.name
+                   suite.W.Suites.suite_name)
+                (Obs.Json.Float s.C.Evaluate.avg_red);
               Table.add_row tbl
                 [ target.CG.Target.name;
                   suite.W.Suites.suite_name;
@@ -231,6 +248,13 @@ let table5 () =
       (fun suite ->
         let rs = eval_suite model ~measure_time:true suite in
         let s = C.Evaluate.summarize_suite ~suite:suite.W.Suites.suite_name rs in
+        Option.iter
+          (fun t ->
+            record_headline
+              (Printf.sprintf "table5_%s_%s_time_impr"
+                 space.O.Action_space.name suite.W.Suites.suite_name)
+              (Obs.Json.Float t))
+          s.C.Evaluate.avg_time_impr;
         (suite.W.Suites.suite_name, s.C.Evaluate.avg_time_impr))
       W.Suites.validation_suites
   in
@@ -457,4 +481,17 @@ let () =
      check that counters moved only where work actually happened *)
   section_header "Metrics summary (Posetrl_obs registry)";
   Obs.Console.print_metrics ~title:"metrics (posetrl.*)" ();
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let wall = Unix.gettimeofday () -. t0 in
+  (* persist the headline numbers through the ledger so runs of this
+     harness are diffable (`posetrl runs compare` reads the same schema
+     from a run dir; this flat file seeds the BENCH_ perf trajectory) *)
+  let ledger_path = "BENCH_runledger.json" in
+  Obs.Runlog.write_json_file ledger_path
+    (Obs.Json.Obj
+       [ ("kind", Obs.Json.Str "bench");
+         ("sections", Obs.Json.Arr (List.map (fun s -> Obs.Json.Str s) requested));
+         ("bench_steps", Obs.Json.Int bench_steps);
+         ("wall_s", Obs.Json.Float wall);
+         ("result", Obs.Json.Obj !headline) ]);
+  Printf.printf "\nheadline numbers written to %s\n" ledger_path;
+  Printf.printf "total bench time: %.1fs\n" wall

@@ -7,11 +7,14 @@
      train  train a DQN phase-ordering model and save its weights
      eval   evaluate a saved model against the validation suites
      report aggregate a --trace JSONL file into per-span/per-pass tables
+     runs   the run ledger: list past runs, show one (manifest +
+            training curves), compare two with regression detection
      odg    inspect the Oz Dependence Graph (stats, dot, derived walks)
      list   list registered passes / benchmark programs
 
    opt/train/eval take --trace FILE.jsonl (write a span trace) and
-   --metrics (print the metrics registry on exit). *)
+   --metrics (print the metrics registry on exit); train/eval take
+   --run-dir DIR (or --run NAME) to persist the run in the ledger. *)
 
 open Cmdliner
 open Posetrl_ir
@@ -71,6 +74,63 @@ let with_obs ~(trace : string option) ~(metrics : bool) (f : unit -> 'a) : 'a =
   let r = run () in
   if metrics then Obs.Console.print_metrics ~title:"metrics (posetrl.*)" ();
   r
+
+(* --- run-ledger plumbing (shared by train/eval) --------------------------- *)
+
+let run_dir_arg =
+  Arg.(value & opt (some string) None & info [ "run-dir" ] ~docv:"DIR"
+         ~doc:"Persist this run in the ledger at \\$(docv): manifest.json, \
+               progress.jsonl, eval.json, trace.jsonl. Inspect with `posetrl runs`.")
+
+let run_name_arg =
+  Arg.(value & opt (some string) None & info [ "run" ] ~docv:"NAME"
+         ~doc:"Persist this run in the ledger under runs/<timestamp>-\\$(docv).")
+
+let json_of_hp (hp : C.Trainer.hyperparams) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [ ("total_steps", Int hp.C.Trainer.total_steps);
+      ("epsilon_start", Float hp.C.Trainer.epsilon.Posetrl_rl.Schedule.start);
+      ("epsilon_stop", Float hp.C.Trainer.epsilon.Posetrl_rl.Schedule.stop);
+      ("epsilon_decay_steps", Int hp.C.Trainer.epsilon.Posetrl_rl.Schedule.decay_steps);
+      ("batch_size", Int hp.C.Trainer.batch_size);
+      ("train_every", Int hp.C.Trainer.train_every);
+      ("target_sync_every", Int hp.C.Trainer.target_sync_every);
+      ("replay_capacity", Int hp.C.Trainer.replay_capacity);
+      ("warmup_steps", Int hp.C.Trainer.warmup_steps);
+      ("gamma", Float hp.C.Trainer.gamma);
+      ("lr", Float hp.C.Trainer.lr);
+      ("hidden", Arr (List.map (fun h -> Int h) hp.C.Trainer.hidden));
+      ("max_episode_steps", Int hp.C.Trainer.max_episode_steps);
+      ("double", Bool hp.C.Trainer.double);
+      ("reward_scale", Float hp.C.Trainer.reward_scale);
+      ("snapshot_every", Int hp.C.Trainer.snapshot_every);
+      ("alpha", Float C.Reward.paper_weights.C.Reward.alpha);
+      ("beta", Float C.Reward.paper_weights.C.Reward.beta) ]
+
+(* Open a ledger run when either flag was given; [--run-dir] wins. *)
+let start_run ~(run_dir : string option) ~(run_name : string option)
+    ~(kind : string) ~(meta : (string * Obs.Json.t) list) : Obs.Run.t option =
+  match run_dir, run_name with
+  | None, None -> None
+  | dir, name ->
+    let name = Option.value name ~default:kind in
+    Some (Obs.Run.create ?dir ~name ~meta:(("kind", Obs.Json.Str kind) :: meta) ())
+
+(* Run [f] with the run's trace.jsonl capturing the span stream (in
+   addition to any --trace sink), and always finish the manifest. *)
+let with_run (run : Obs.Run.t option) (f : unit -> (string * Obs.Json.t) list) : unit =
+  match run with
+  | None -> ignore (f ())
+  | Some r ->
+    let result = ref [] in
+    Fun.protect
+      ~finally:(fun () -> Obs.Run.finish ~result:!result r)
+      (fun () ->
+        Obs.Span.with_sink
+          (Obs.Sink.jsonl (Obs.Run.trace_path (Obs.Run.dir r)))
+          (fun () -> result := f ()));
+    Obs.Console.info "run recorded in %s\n" (Obs.Run.dir r)
 
 let report_module (target : CG.Target.t) (label : string) (m : Modul.t) =
   Printf.printf "%-10s insns=%-5d size=%-6dB text=%-6dB mca-throughput=%.3f\n"
@@ -187,7 +247,7 @@ let train_cmd =
   let corpus_size =
     Arg.(value & opt int 130 & info [ "corpus" ] ~doc:"Training corpus size (paper: 130).")
   in
-  let go out space target steps fast seed corpus_size trace metrics =
+  let go out space target steps fast seed corpus_size trace metrics run_dir run_name =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let corpus = W.Suites.training_corpus ~n:corpus_size () in
@@ -208,11 +268,23 @@ let train_cmd =
     in
     Obs.Console.info "training %s/%s for %d steps on %d programs...\n%!" space
       target hp.C.Trainer.total_steps corpus_size;
+    let run =
+      start_run ~run_dir ~run_name ~kind:"train"
+        ~meta:
+          [ ("seed", Obs.Json.Int seed);
+            ("action_space", Obs.Json.Str space);
+            ("target", Obs.Json.Str tgt.CG.Target.name);
+            ("corpus",
+             Obs.Json.Obj
+               [ ("n", Obs.Json.Int (Array.length corpus));
+                 ("source", Obs.Json.Str "Suites.training_corpus") ]);
+            ("hyperparams", json_of_hp hp) ]
+    in
     (* progress lines read back from the metrics registry (the trainer
        refreshes the posetrl.train.* series before each tick), so the
        metrics layer — not the progress record — is the source of truth *)
     let metric name = Option.value ~default:0.0 (Obs.Metrics.value name) in
-    let on_progress (_ : C.Trainer.progress) =
+    let on_progress (p : C.Trainer.progress) =
       Obs.Console.info
         "  step %6d  episode %5d  eps %.3f  mean-reward %7.2f  mean-size-gain %6.2f%%  loss %.4f\n%!"
         (int_of_float (metric "posetrl.train.steps"))
@@ -220,18 +292,47 @@ let train_cmd =
         (metric "posetrl.train.epsilon")
         (metric "posetrl.train.mean_reward")
         (metric "posetrl.train.mean_size_gain")
-        (metric "posetrl.train.loss")
+        (metric "posetrl.train.loss");
+      Option.iter
+        (fun r ->
+          Obs.Run.progress r
+            (Obs.Runlog.tick_record ~step:p.C.Trainer.step
+               ~episode:p.C.Trainer.episode ~epsilon:p.C.Trainer.epsilon_now
+               ~mean_reward:p.C.Trainer.mean_reward
+               ~mean_size_gain:p.C.Trainer.mean_size_gain
+               ~r_binsize:p.C.Trainer.r_binsize
+               ~r_throughput:p.C.Trainer.r_throughput ~loss:p.C.Trainer.loss))
+        run
     in
-    let res =
-      with_obs ~trace ~metrics (fun () ->
-          C.Trainer.train ~hp ~on_progress ~seed ~corpus ~actions ~target:tgt ())
+    let on_episode (e : C.Trainer.episode_summary) =
+      Option.iter
+        (fun r ->
+          Obs.Run.progress r
+            (Obs.Runlog.episode_record ~episode:e.C.Trainer.ep_index
+               ~step:e.C.Trainer.ep_end_step ~reward:e.C.Trainer.ep_reward
+               ~r_binsize:e.C.Trainer.ep_r_binsize
+               ~r_throughput:e.C.Trainer.ep_r_throughput
+               ~size_gain_pct:e.C.Trainer.ep_size_gain_pct
+               ~thru_gain_pct:e.C.Trainer.ep_thru_gain_pct
+               ~epsilon:e.C.Trainer.ep_epsilon ~loss:e.C.Trainer.ep_loss))
+        run
     in
-    Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
-    Obs.Console.info "saved weights to %s (%d episodes)\n" out res.C.Trainer.episodes
+    with_run run (fun () ->
+        let res =
+          with_obs ~trace ~metrics (fun () ->
+              C.Trainer.train ~hp ~on_progress ~on_episode ~seed ~corpus
+                ~actions ~target:tgt ())
+        in
+        Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
+        Obs.Console.info "saved weights to %s (%d episodes)\n" out
+          res.C.Trainer.episodes;
+        [ ("episodes", Obs.Json.Int res.C.Trainer.episodes);
+          ("final_mean_reward", Obs.Json.Float res.C.Trainer.final_mean_reward);
+          ("weights", Obs.Json.Str out) ])
   in
   Cmd.v (Cmd.info "train" ~doc:"Train a phase-ordering model")
     Term.(const go $ out $ space $ target $ steps $ fast $ seed $ corpus_size
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ run_dir_arg $ run_name_arg)
 
 (* --- eval ------------------------------------------------------------------- *)
 
@@ -246,7 +347,7 @@ let eval_cmd =
   let target =
     Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
   in
-  let go weights space target trace metrics =
+  let go weights space target trace metrics run_dir run_name =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let rng = Posetrl_support.Rng.create 0 in
@@ -255,32 +356,59 @@ let eval_cmd =
         ~hidden:[ 128; 64 ] ~n_actions:(O.Action_space.n_actions actions)
     in
     Posetrl_rl.Dqn.load_weights agent weights;
-    with_obs ~trace ~metrics @@ fun () ->
-    List.iter
-      (fun suite ->
-        let results =
-          List.map
-            (fun (name, mk) ->
-              C.Evaluate.evaluate_program ~agent ~actions ~target:tgt ~name (mk ()))
-            suite.W.Suites.programs
+    let run =
+      start_run ~run_dir ~run_name ~kind:"eval"
+        ~meta:
+          [ ("weights", Obs.Json.Str weights);
+            ("action_space", Obs.Json.Str space);
+            ("target", Obs.Json.Str tgt.CG.Target.name) ]
+    in
+    with_run run (fun () ->
+        let evaluated =
+          with_obs ~trace ~metrics (fun () ->
+              List.map
+                (fun suite ->
+                  let results =
+                    List.map
+                      (fun (name, mk) ->
+                        C.Evaluate.evaluate_program ~agent ~actions ~target:tgt
+                          ~name (mk ()))
+                      suite.W.Suites.programs
+                  in
+                  ( C.Evaluate.summarize_suite
+                      ~suite:suite.W.Suites.suite_name results,
+                    results ))
+                W.Suites.validation_suites)
         in
-        let s = C.Evaluate.summarize_suite ~suite:suite.W.Suites.suite_name results in
-        Printf.printf "%-10s size reduction vs Oz: min %6.2f%%  avg %6.2f%%  max %6.2f%%"
-          s.C.Evaluate.suite s.C.Evaluate.min_red s.C.Evaluate.avg_red s.C.Evaluate.max_red;
-        (match s.C.Evaluate.avg_time_impr with
-         | Some t -> Printf.printf "  time improvement: %6.2f%%\n" t
-         | None -> print_newline ());
         List.iter
-          (fun r ->
-            Printf.printf "    %-16s oz=%6dB model=%6dB (%+.2f%%) seq=%s\n"
-              r.C.Evaluate.prog_name r.C.Evaluate.size_oz r.C.Evaluate.size_model
-              (C.Evaluate.size_reduction_pct r)
-              (String.concat "->" (List.map string_of_int r.C.Evaluate.predicted)))
-          results)
-      W.Suites.validation_suites
+          (fun ((s : C.Evaluate.suite_summary), results) ->
+            Printf.printf "%-10s size reduction vs Oz: min %6.2f%%  avg %6.2f%%  max %6.2f%%"
+              s.C.Evaluate.suite s.C.Evaluate.min_red s.C.Evaluate.avg_red s.C.Evaluate.max_red;
+            (match s.C.Evaluate.avg_time_impr with
+             | Some t -> Printf.printf "  time improvement: %6.2f%%\n" t
+             | None -> print_newline ());
+            List.iter
+              (fun r ->
+                Printf.printf "    %-16s oz=%6dB model=%6dB (%+.2f%%) seq=%s\n"
+                  r.C.Evaluate.prog_name r.C.Evaluate.size_oz r.C.Evaluate.size_model
+                  (C.Evaluate.size_reduction_pct r)
+                  (String.concat "->" (List.map string_of_int r.C.Evaluate.predicted)))
+              results)
+          evaluated;
+        Option.iter
+          (fun r -> Obs.Run.write_eval r (C.Evaluate.suites_to_json evaluated))
+          run;
+        let avg_reds =
+          List.map (fun ((s : C.Evaluate.suite_summary), _) -> s.C.Evaluate.avg_red)
+            evaluated
+        in
+        [ ("suites", Obs.Json.Int (List.length evaluated));
+          ("overall_avg_size_red",
+           Obs.Json.Float (Posetrl_support.Stats.mean avg_reds)) ])
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a trained model on the validation suites")
-    Term.(const go $ weights $ space $ target $ trace_arg $ metrics_arg)
+    Term.(const go $ weights $ space $ target $ trace_arg $ metrics_arg
+          $ run_dir_arg $ run_name_arg)
 
 (* --- report ------------------------------------------------------------------ *)
 
@@ -301,6 +429,204 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Aggregate a span trace into per-span, per-pass and per-action tables")
     Term.(const go $ file $ top_k)
+
+(* --- runs (the ledger) ------------------------------------------------------- *)
+
+module Tbl = Posetrl_support.Table
+module Stats = Posetrl_support.Stats
+
+let root_arg =
+  Arg.(value & opt string Obs.Run.default_root & info [ "root" ] ~docv:"DIR"
+         ~doc:"Ledger root directory scanned for run ids.")
+
+let json_scalar : Obs.Json.t -> string = function
+  | Obs.Json.Str s -> s
+  | Obs.Json.Int i -> string_of_int i
+  | Obs.Json.Float f -> Printf.sprintf "%g" f
+  | Obs.Json.Bool b -> string_of_bool b
+  | Obs.Json.Null -> "-"
+  | (Obs.Json.Arr _ | Obs.Json.Obj _) as j -> Obs.Json.to_string j
+
+let fmt_num = function Some v -> Printf.sprintf "%.3f" v | None -> "-"
+
+let runs_list_cmd =
+  let go root =
+    match Obs.Run.list_runs ~root () with
+    | [] -> Printf.printf "no runs under %s\n" root
+    | runs ->
+      let t =
+        Tbl.create ~title:(Printf.sprintf "run ledger (%s)" root)
+          ~headers:[ "id"; "kind"; "status"; "wall s"; "mean reward"; "avg size red %" ]
+          ~aligns:[ Tbl.Left; Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+          ()
+      in
+      List.iter
+        (fun (i : Obs.Run.info) ->
+          let m = i.Obs.Run.manifest in
+          let get k = Option.value ~default:"-" (Obs.Runlog.str k m) in
+          Tbl.add_row t
+            [ i.Obs.Run.run_id;
+              get "kind";
+              get "status";
+              (match Obs.Runlog.num "wall_s" m with
+               | Some w -> Printf.sprintf "%.1f" w
+               | None -> "-");
+              fmt_num (Obs.Runlog.path_num [ "result"; "final_mean_reward" ] m);
+              fmt_num (Obs.Runlog.path_num [ "result"; "overall_avg_size_red" ] m) ])
+        runs;
+      Tbl.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List past runs in the ledger")
+    Term.(const go $ root_arg)
+
+let print_eval_tables (doc : Obs.Json.t) =
+  match Obs.Runlog.field "suites" doc with
+  | Some (Obs.Json.Arr suites) ->
+    let t =
+      Tbl.create ~title:"eval: size reduction vs Oz (eval.json)"
+        ~headers:[ "suite"; "n"; "min"; "avg"; "max"; "time impr" ]
+        ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+        ()
+    in
+    List.iter
+      (fun s ->
+        let num k = Obs.Runlog.num k s in
+        Tbl.add_row t
+          [ Option.value ~default:"?" (Obs.Runlog.str "suite" s);
+            (match num "n" with Some n -> Printf.sprintf "%.0f" n | None -> "-");
+            fmt_num (num "min_red"); fmt_num (num "avg_red");
+            fmt_num (num "max_red"); fmt_num (num "avg_time_impr") ])
+      suites;
+    Tbl.print t
+  | _ -> ()
+
+let runs_show_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN"
+           ~doc:"Run id (under --root) or a run directory path.")
+  in
+  let go root id =
+    let info = Obs.Run.find ~root id in
+    Printf.printf "run %s (%s)\n" info.Obs.Run.run_id info.Obs.Run.run_dir;
+    (match info.Obs.Run.manifest with
+     | Obs.Json.Obj fields ->
+       List.iter
+         (fun (k, v) ->
+           if k <> "id" then Printf.printf "  %-18s %s\n" k (json_scalar v))
+         fields
+     | _ -> ());
+    let records, dropped = Obs.Run.read_progress info in
+    if dropped > 0 then
+      Printf.printf "  (%d torn progress line%s skipped)\n" dropped
+        (if dropped = 1 then "" else "s");
+    if records <> [] then begin
+      Printf.printf "\ntraining curves (%d progress records):\n" (List.length records);
+      let curve ~kind ~y label =
+        match Obs.Runlog.series ~kind ~x:"step" ~y records with
+        | [] -> ()
+        | pts ->
+          let ys = List.map snd pts in
+          Printf.printf "  %-14s n=%-5d last %10.3f  min %10.3f  max %10.3f  %s\n"
+            label (List.length ys)
+            (List.nth ys (List.length ys - 1))
+            (Stats.minimum ys) (Stats.maximum ys) (Stats.sparkline ys)
+      in
+      curve ~kind:"episode" ~y:"reward" "reward";
+      curve ~kind:"episode" ~y:"r_binsize" "r_binsize";
+      curve ~kind:"episode" ~y:"r_throughput" "r_throughput";
+      curve ~kind:"episode" ~y:"size_gain_pct" "size gain %";
+      curve ~kind:"tick" ~y:"loss" "loss";
+      curve ~kind:"tick" ~y:"epsilon" "epsilon"
+    end;
+    match Obs.Run.read_eval info with
+    | Some doc -> print_newline (); print_eval_tables doc
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Show a run: manifest, ASCII training curves, eval tables")
+    Term.(const go $ root_arg $ id)
+
+let runs_compare_cmd =
+  let base =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE"
+           ~doc:"Baseline run id or directory.")
+  in
+  let cand =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CANDIDATE"
+           ~doc:"Candidate run id or directory.")
+  in
+  let d = Obs.Run.default_thresholds in
+  let reward_drop =
+    Arg.(value & opt float d.Obs.Run.max_reward_drop_pct
+         & info [ "max-reward-drop" ] ~docv:"PCT"
+             ~doc:"Regression when final mean reward drops more than \\$(docv)%% vs base.")
+  in
+  let size_drop =
+    Arg.(value & opt float d.Obs.Run.max_size_drop_pts
+         & info [ "max-size-drop" ] ~docv:"PTS"
+             ~doc:"Regression when a suite's avg size reduction drops more than \\$(docv) points.")
+  in
+  let wall_factor =
+    Arg.(value & opt float d.Obs.Run.max_wall_factor
+         & info [ "max-wall-factor" ] ~docv:"X"
+             ~doc:"Regression when candidate wall time exceeds \\$(docv) times base (0 disables).")
+  in
+  let go root base cand reward_drop size_drop wall_factor =
+    let b = Obs.Run.find ~root base in
+    let c = Obs.Run.find ~root cand in
+    let thresholds =
+      { Obs.Run.max_reward_drop_pct = reward_drop;
+        Obs.Run.max_size_drop_pts = size_drop;
+        Obs.Run.max_wall_factor = wall_factor }
+    in
+    let deltas = Obs.Run.compare_runs ~thresholds ~base:b ~cand:c () in
+    if deltas = [] then
+      Printf.printf "no comparable metrics between %s and %s\n"
+        b.Obs.Run.run_id c.Obs.Run.run_id
+    else begin
+      let t =
+        Tbl.create
+          ~title:(Printf.sprintf "%s (base) vs %s (candidate)"
+                    b.Obs.Run.run_id c.Obs.Run.run_id)
+          ~headers:[ "metric"; "base"; "candidate"; "delta"; "status"; "note" ]
+          ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Left; Tbl.Left ]
+          ()
+      in
+      List.iter
+        (fun (dl : Obs.Run.delta) ->
+          let delta =
+            match dl.Obs.Run.d_base, dl.Obs.Run.d_cand with
+            | Some b, Some c -> Printf.sprintf "%+.3f" (c -. b)
+            | _ -> "-"
+          in
+          Tbl.add_row t
+            [ dl.Obs.Run.d_metric;
+              fmt_num dl.Obs.Run.d_base;
+              fmt_num dl.Obs.Run.d_cand;
+              delta;
+              (if dl.Obs.Run.d_regressed then "REGRESSED" else "ok");
+              dl.Obs.Run.d_note ])
+        deltas;
+      Tbl.print t
+    end;
+    if Obs.Run.has_regression deltas then begin
+      Printf.printf "regression detected\n";
+      exit 3
+    end
+    else Printf.printf "within thresholds\n"
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff two runs against regression thresholds; exits 3 on regression \
+             (usable as a CI gate)")
+    Term.(const go $ root_arg $ base $ cand $ reward_drop $ size_drop $ wall_factor)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:"The run ledger: list, inspect and compare persisted runs")
+    [ runs_list_cmd; runs_show_cmd; runs_compare_cmd ]
 
 (* --- odg -------------------------------------------------------------------- *)
 
@@ -368,7 +694,8 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group info
-         [ opt_cmd; run_cmd; train_cmd; eval_cmd; report_cmd; odg_cmd; list_cmd ])
+         [ opt_cmd; run_cmd; train_cmd; eval_cmd; report_cmd; runs_cmd; odg_cmd;
+           list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

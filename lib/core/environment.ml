@@ -68,6 +68,8 @@ let reset (t : t) (m : Modul.t) : float array =
 type step_result = {
   state : float array;
   reward : float;
+  r_binsize : float;     (* unweighted Eqn-2 component of [reward] *)
+  r_throughput : float;  (* unweighted Eqn-3 component of [reward] *)
   terminal : bool;
 }
 
@@ -84,9 +86,10 @@ let step (t : t) (action : int) : step_result =
       (fun sp ->
         let m' = Posetrl_passes.Pass_manager.run t.pass_cfg names m in
         let curr = Reward.measure t.target m' in
-        let reward =
-          Reward.compute ~weights:t.weights ~base:t.base ~last:t.last ~curr ()
+        let comps =
+          Reward.decompose ~weights:t.weights ~base:t.base ~last:t.last ~curr ()
         in
+        let reward = comps.Reward.total in
         (* per-action deltas for the trace report (size in model bytes,
            throughput in MCA units; positive = improvement) *)
         Obs.Span.set_attr sp "reward" (Obs.Event.F reward);
@@ -100,7 +103,11 @@ let step (t : t) (action : int) : step_result =
         Obs.Metrics.inc m_steps;
         Obs.Metrics.observe m_reward reward;
         Obs.Metrics.observe m_step_seconds (Obs.Clock.now () -. t0);
-        { state = observe m'; reward; terminal = t.step_idx >= t.max_steps })
+        { state = observe m';
+          reward;
+          r_binsize = comps.Reward.binsize;
+          r_throughput = comps.Reward.throughput;
+          terminal = t.step_idx >= t.max_steps })
 
 let current_module (t : t) : Modul.t =
   match t.current with

@@ -33,6 +33,8 @@ val reset : t -> Posetrl_ir.Modul.t -> float array
 type step_result = {
   state : float array;
   reward : float;
+  r_binsize : float;     (** unweighted Eqn-2 component of [reward] *)
+  r_throughput : float;  (** unweighted Eqn-3 component of [reward] *)
   terminal : bool;
 }
 

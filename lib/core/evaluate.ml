@@ -74,3 +74,48 @@ let summarize_suite ~(suite : string) (results : program_result list) :
     max_red = Posetrl_support.Stats.maximum reds;
     avg_time_impr =
       (if times = [] then None else Some (Posetrl_support.Stats.mean times)) }
+
+(* --- run-ledger serialization (eval.json) --------------------------------- *)
+
+module Json = Posetrl_obs.Json
+
+let opt_int = function Some i -> Json.Int i | None -> Json.Null
+let opt_float = function Some f -> Json.Float f | None -> Json.Null
+
+let result_to_json (r : program_result) : Json.t =
+  Json.Obj
+    [ ("name", Json.Str r.prog_name);
+      ("size_unopt", Json.Int r.size_unopt);
+      ("size_oz", Json.Int r.size_oz);
+      ("size_model", Json.Int r.size_model);
+      ("size_red_pct", Json.Float (size_reduction_pct r));
+      ("time_oz", opt_int r.time_oz);
+      ("time_model", opt_int r.time_model);
+      ("time_impr_pct", opt_float (time_improvement_pct r));
+      ("predicted", Json.Arr (List.map (fun a -> Json.Int a) r.predicted)) ]
+
+let summary_to_json (s : suite_summary) : Json.t =
+  Json.Obj
+    [ ("suite", Json.Str s.suite);
+      ("n", Json.Int s.n);
+      ("min_red", Json.Float s.min_red);
+      ("avg_red", Json.Float s.avg_red);
+      ("max_red", Json.Float s.max_red);
+      ("avg_time_impr", opt_float s.avg_time_impr) ]
+
+(* The eval.json document: per-suite summaries (the compare side keys on
+   "suite"/"avg_red") with the per-program rows nested under each. *)
+let suites_to_json (suites : (suite_summary * program_result list) list) :
+    Json.t =
+  Json.Obj
+    [ ("suites",
+       Json.Arr
+         (List.map
+            (fun (s, results) ->
+              match summary_to_json s with
+              | Json.Obj fields ->
+                Json.Obj
+                  (fields
+                   @ [ ("programs", Json.Arr (List.map result_to_json results)) ])
+              | j -> j)
+            suites)) ]

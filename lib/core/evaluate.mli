@@ -40,3 +40,12 @@ type suite_summary = {
 
 val summarize_suite : suite:string -> program_result list -> suite_summary
 (** The min/avg/max aggregation of Table IV plus the Table V average. *)
+
+val result_to_json : program_result -> Posetrl_obs.Json.t
+val summary_to_json : suite_summary -> Posetrl_obs.Json.t
+
+val suites_to_json :
+  (suite_summary * program_result list) list -> Posetrl_obs.Json.t
+(** The run ledger's [eval.json] document: per-suite summaries with the
+    per-program rows nested under each ([Run.compare_runs] keys on the
+    suite name and [avg_red]). *)

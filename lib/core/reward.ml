@@ -30,10 +30,26 @@ let r_throughput ~(base : baseline) ~(last : measurement) ~(curr : measurement) 
   if base.throughput <= 0.0 then 0.0
   else (curr.throughput -. last.throughput) /. base.throughput
 
+(* The Eqn-1 total together with its two unweighted components; the run
+   ledger persists the components per step so finished runs can be
+   re-analysed without re-measuring. *)
+type components = {
+  total : float;       (* Eqn 1: α·binsize + β·throughput *)
+  binsize : float;     (* Eqn 2, unweighted *)
+  throughput : float;  (* Eqn 3, unweighted *)
+}
+
+let decompose ?(weights = paper_weights) ~(base : baseline)
+    ~(last : measurement) ~(curr : measurement) () : components =
+  let binsize = r_binsize ~base ~last ~curr in
+  let throughput = r_throughput ~base ~last ~curr in
+  { total = (weights.alpha *. binsize) +. (weights.beta *. throughput);
+    binsize;
+    throughput }
+
 let compute ?(weights = paper_weights) ~(base : baseline) ~(last : measurement)
     ~(curr : measurement) () : float =
-  (weights.alpha *. r_binsize ~base ~last ~curr)
-  +. (weights.beta *. r_throughput ~base ~last ~curr)
+  (decompose ~weights ~base ~last ~curr ()).total
 
 (* Measurement of a module under a target. *)
 let measure (target : Posetrl_codegen.Target.t) (m : Posetrl_ir.Modul.t) : measurement =

@@ -23,10 +23,22 @@ val r_binsize : base:baseline -> last:measurement -> curr:measurement -> float
 val r_throughput : base:baseline -> last:measurement -> curr:measurement -> float
 (** Eqn 3: [(curr − last) / base] on throughputs. *)
 
+type components = {
+  total : float;       (** Eqn 1: [α·binsize + β·throughput] *)
+  binsize : float;     (** Eqn 2, unweighted *)
+  throughput : float;  (** Eqn 3, unweighted *)
+}
+
+val decompose :
+  ?weights:weights -> base:baseline -> last:measurement -> curr:measurement ->
+  unit -> components
+(** Eqn 1 plus its unweighted Eqn-2/3 components, which the run ledger
+    persists per step ([progress.jsonl]). *)
+
 val compute :
   ?weights:weights -> base:baseline -> last:measurement -> curr:measurement ->
   unit -> float
-(** Eqn 1. *)
+(** Eqn 1 ([(decompose ...).total]). *)
 
 val measure : Posetrl_codegen.Target.t -> Posetrl_ir.Modul.t -> measurement
 (** Object size (codegen model) and MCA throughput of a module. *)

@@ -22,6 +22,8 @@ let m_epsilon = Obs.Metrics.gauge "posetrl.train.epsilon"
 let m_loss = Obs.Metrics.gauge "posetrl.train.loss"
 let m_mean_reward = Obs.Metrics.gauge "posetrl.train.mean_reward"
 let m_mean_size_gain = Obs.Metrics.gauge "posetrl.train.mean_size_gain"
+let m_r_binsize = Obs.Metrics.gauge "posetrl.train.r_binsize"
+let m_r_throughput = Obs.Metrics.gauge "posetrl.train.r_throughput"
 let m_replay_occupancy = Obs.Metrics.gauge "posetrl.train.replay_occupancy"
 
 let m_episode_reward =
@@ -85,7 +87,24 @@ type progress = {
   epsilon_now : float;
   mean_reward : float;   (* running mean episode reward *)
   mean_size_gain : float;
+  r_binsize : float;     (* running mean per-episode Eqn-2 component sum *)
+  r_throughput : float;  (* running mean per-episode Eqn-3 component sum *)
   loss : float;
+}
+
+(* One record per finished episode — the reward decomposition the run
+   ledger streams to progress.jsonl. Component sums are unweighted
+   (Eqns 2-3); the manifest's α/β recover the weighted split. *)
+type episode_summary = {
+  ep_index : int;
+  ep_end_step : int;
+  ep_reward : float;
+  ep_r_binsize : float;
+  ep_r_throughput : float;
+  ep_size_gain_pct : float;
+  ep_thru_gain_pct : float;
+  ep_epsilon : float;
+  ep_loss : float;
 }
 
 type result = {
@@ -95,6 +114,7 @@ type result = {
 }
 
 let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
+    ?(on_episode = fun (_ : episode_summary) -> ())
     ~(seed : int) ~(corpus : Modul.t array)
     ~(actions : Posetrl_odg.Action_space.t)
     ~(target : Posetrl_codegen.Target.t) () : result =
@@ -113,6 +133,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
   let episode = ref 0 in
   let reward_window = Queue.create () in
   let size_window = Queue.create () in
+  let bin_window = Queue.create () in
+  let thr_window = Queue.create () in
   let push_window q v =
     Queue.add v q;
     if Queue.length q > 40 then ignore (Queue.pop q)
@@ -172,6 +194,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       (fun ep_span ->
     let state = ref (Environment.reset env program) in
     let ep_reward = ref 0.0 in
+    let ep_bin = ref 0.0 in
+    let ep_thr = ref 0.0 in
     let terminal = ref false in
     while (not !terminal) && !step < hp.total_steps do
       incr step;
@@ -181,6 +205,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       let action = Rl.Dqn.select_action agent rng ~epsilon !state in
       let res = Environment.step env action in
       ep_reward := !ep_reward +. res.Environment.reward;
+      ep_bin := !ep_bin +. res.Environment.r_binsize;
+      ep_thr := !ep_thr +. res.Environment.r_throughput;
       Rl.Replay.push replay
         { Rl.Replay.state = !state;
           action;
@@ -203,21 +229,37 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       if !step mod 200 = 0 then begin
         Obs.Metrics.set m_mean_reward (window_mean reward_window);
         Obs.Metrics.set m_mean_size_gain (window_mean size_window);
+        Obs.Metrics.set m_r_binsize (window_mean bin_window);
+        Obs.Metrics.set m_r_throughput (window_mean thr_window);
         on_progress
           { step = !step;
             episode = !episode;
             epsilon_now = epsilon;
             mean_reward = window_mean reward_window;
             mean_size_gain = window_mean size_window;
+            r_binsize = window_mean bin_window;
+            r_throughput = window_mean thr_window;
             loss = !last_loss }
       end
     done;
     push_window reward_window !ep_reward;
+    push_window bin_window !ep_bin;
+    push_window thr_window !ep_thr;
     Obs.Metrics.observe m_episode_reward !ep_reward;
-    let size_gain, _ = Environment.episode_gain env in
+    let size_gain, thr_gain = Environment.episode_gain env in
     push_window size_window size_gain;
     Obs.Span.set_attr ep_span "reward" (Obs.Event.F !ep_reward);
-    Obs.Span.set_attr ep_span "size_gain_pct" (Obs.Event.F size_gain))
+    Obs.Span.set_attr ep_span "size_gain_pct" (Obs.Event.F size_gain);
+    on_episode
+      { ep_index = !episode;
+        ep_end_step = !step;
+        ep_reward = !ep_reward;
+        ep_r_binsize = !ep_bin;
+        ep_r_throughput = !ep_thr;
+        ep_size_gain_pct = size_gain;
+        ep_thru_gain_pct = thr_gain;
+        ep_epsilon = Rl.Schedule.value hp.epsilon !step;
+        ep_loss = !last_loss })
   done);
   (* hand back the best snapshot (or the final weights if snapshots are
      disabled or the final policy is the best one seen) *)

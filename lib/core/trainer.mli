@@ -30,8 +30,24 @@ type progress = {
   epsilon_now : float;
   mean_reward : float;
   mean_size_gain : float;
+  r_binsize : float;     (** windowed mean per-episode Eqn-2 component sum *)
+  r_throughput : float;  (** windowed mean per-episode Eqn-3 component sum *)
   loss : float;
 }
+
+type episode_summary = {
+  ep_index : int;
+  ep_end_step : int;
+  ep_reward : float;
+  ep_r_binsize : float;     (** episode sum of unweighted Eqn-2 components *)
+  ep_r_throughput : float;  (** episode sum of unweighted Eqn-3 components *)
+  ep_size_gain_pct : float;
+  ep_thru_gain_pct : float;
+  ep_epsilon : float;
+  ep_loss : float;
+}
+(** One record per finished episode; the run ledger streams these to
+    [progress.jsonl] as the reward-decomposition telemetry. *)
 
 type result = {
   agent : Posetrl_rl.Dqn.t;
@@ -42,6 +58,7 @@ type result = {
 val train :
   ?hp:hyperparams ->
   ?on_progress:(progress -> unit) ->
+  ?on_episode:(episode_summary -> unit) ->
   seed:int ->
   corpus:Posetrl_ir.Modul.t array ->
   actions:Posetrl_odg.Action_space.t ->

@@ -1,0 +1,127 @@
+(* Run-ledger persistence format: JSON document files (manifest.json,
+   eval.json), JSONL streams (progress.jsonl), and the progress-record
+   schema shared by the trainer CLI, the bench harness and the tests.
+
+   Document writes go through a tmp-file + rename so a crash mid-write
+   never leaves a torn manifest; JSONL reads skip unparseable lines so a
+   stream truncated by a killed process is still usable up to the last
+   flush. *)
+
+(* --- JSON file IO -------------------------------------------------------- *)
+
+let write_json_file (path : string) (j : Json.t) : unit =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string j);
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let read_json_file (path : string) : Json.t =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      Json.of_string (String.trim (really_input_string ic n)))
+
+(* Parse a JSONL stream, dropping lines that fail to parse (a crash can
+   tear the last line). Returns the records plus the dropped-line count
+   so callers can surface data loss instead of hiding it. *)
+let read_jsonl (path : string) : Json.t list * int =
+  let ic = open_in path in
+  let records = ref [] in
+  let dropped = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Json.of_string line with
+             | j -> records := j :: !records
+             | exception Json.Parse_error _ -> incr dropped
+         done
+       with End_of_file -> ());
+      (List.rev !records, !dropped))
+
+let append_jsonl_line (oc : out_channel) (j : Json.t) : unit =
+  output_string oc (Json.to_string j);
+  output_char oc '\n'
+
+(* --- field accessors ------------------------------------------------------ *)
+
+let str (key : string) (j : Json.t) : string option =
+  match Json.member key j with Some (Json.Str s) -> Some s | _ -> None
+
+let num (key : string) (j : Json.t) : float option =
+  match Json.member key j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let field (key : string) (j : Json.t) : Json.t option = Json.member key j
+
+(* nested lookup: [path ["result"; "final_mean_reward"] manifest] *)
+let rec path (keys : string list) (j : Json.t) : Json.t option =
+  match keys with
+  | [] -> Some j
+  | k :: rest -> Option.bind (Json.member k j) (path rest)
+
+let path_num (keys : string list) (j : Json.t) : float option =
+  match path keys j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* --- progress-record schema ----------------------------------------------- *)
+
+(* Two record kinds share progress.jsonl, discriminated by "kind":
+   "tick" — the trainer's periodic windowed means (every 200 steps);
+   "episode" — one record per finished episode with the full reward
+   decomposition (unweighted Eqn-2/3 component sums). *)
+
+let tick_record ~(step : int) ~(episode : int) ~(epsilon : float)
+    ~(mean_reward : float) ~(mean_size_gain : float) ~(r_binsize : float)
+    ~(r_throughput : float) ~(loss : float) : Json.t =
+  Json.Obj
+    [ ("kind", Json.Str "tick");
+      ("step", Json.Int step);
+      ("episode", Json.Int episode);
+      ("epsilon", Json.Float epsilon);
+      ("mean_reward", Json.Float mean_reward);
+      ("mean_size_gain", Json.Float mean_size_gain);
+      ("r_binsize", Json.Float r_binsize);
+      ("r_throughput", Json.Float r_throughput);
+      ("loss", Json.Float loss) ]
+
+let episode_record ~(episode : int) ~(step : int) ~(reward : float)
+    ~(r_binsize : float) ~(r_throughput : float) ~(size_gain_pct : float)
+    ~(thru_gain_pct : float) ~(epsilon : float) ~(loss : float) : Json.t =
+  Json.Obj
+    [ ("kind", Json.Str "episode");
+      ("episode", Json.Int episode);
+      ("step", Json.Int step);
+      ("reward", Json.Float reward);
+      ("r_binsize", Json.Float r_binsize);
+      ("r_throughput", Json.Float r_throughput);
+      ("size_gain_pct", Json.Float size_gain_pct);
+      ("thru_gain_pct", Json.Float thru_gain_pct);
+      ("epsilon", Json.Float epsilon);
+      ("loss", Json.Float loss) ]
+
+(* Extract an (x, y) series from progress records of one kind; records
+   missing either field are skipped. *)
+let series ~(kind : string) ~(x : string) ~(y : string)
+    (records : Json.t list) : (float * float) list =
+  List.filter_map
+    (fun r ->
+      if str "kind" r = Some kind then
+        match num x r, num y r with
+        | Some xv, Some yv -> Some (xv, yv)
+        | _ -> None
+      else None)
+    records

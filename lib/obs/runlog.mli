@@ -1,0 +1,51 @@
+(** Run-ledger persistence format: JSON document files, JSONL streams,
+    and the progress-record schema (see DESIGN.md §7 "Run ledger").
+
+    [Run] builds the run-directory lifecycle on top of this; the bench
+    harness and tests use it directly. *)
+
+val write_json_file : string -> Json.t -> unit
+(** Write one JSON document (tmp file + rename, so a crash mid-write
+    never leaves a torn file), newline-terminated. *)
+
+val read_json_file : string -> Json.t
+(** @raise Json.Parse_error on malformed content, [Sys_error] if absent. *)
+
+val read_jsonl : string -> Json.t list * int
+(** Parse a JSONL stream. Unparseable lines (e.g. a final line torn by a
+    killed process) are skipped; the second component counts them. *)
+
+val append_jsonl_line : out_channel -> Json.t -> unit
+
+val str : string -> Json.t -> string option
+val num : string -> Json.t -> float option
+(** Top-level field accessors; [num] accepts ints and floats. *)
+
+val field : string -> Json.t -> Json.t option
+
+val path : string list -> Json.t -> Json.t option
+(** Nested object lookup, e.g.
+    [path ["result"; "final_mean_reward"] manifest]. *)
+
+val path_num : string list -> Json.t -> float option
+
+val tick_record :
+  step:int -> episode:int -> epsilon:float -> mean_reward:float ->
+  mean_size_gain:float -> r_binsize:float -> r_throughput:float ->
+  loss:float -> Json.t
+(** A ["kind":"tick"] progress record: the trainer's periodic windowed
+    means (one per [on_progress] tick). *)
+
+val episode_record :
+  episode:int -> step:int -> reward:float -> r_binsize:float ->
+  r_throughput:float -> size_gain_pct:float -> thru_gain_pct:float ->
+  epsilon:float -> loss:float -> Json.t
+(** A ["kind":"episode"] progress record: one finished episode with its
+    reward decomposition ([r_binsize]/[r_throughput] are the unweighted
+    Eqn-2/3 component sums; the manifest's α/β recover the weighted
+    split). *)
+
+val series :
+  kind:string -> x:string -> y:string -> Json.t list -> (float * float) list
+(** [(x, y)] pairs from records of one kind, skipping records missing
+    either field — the input to the [runs show] sparkline curves. *)

@@ -15,12 +15,24 @@ let memory ?(capacity = 4096) () : t * (unit -> Event.t list) =
   in
   ({ emit; close = ignore }, fun () -> List.of_seq (Queue.to_seq q))
 
-let jsonl (path : string) : t =
-  let oc = open_out path in
+let jsonl ?(append = false) ?(flush_every = 64) (path : string) : t =
+  let oc =
+    if append then
+      open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+    else open_out path
+  in
+  (* flush on a period so a killed process still leaves every line up to
+     the last flush intact and parseable (crash tolerance) *)
+  let pending = ref 0 in
   { emit =
       (fun e ->
         output_string oc (Json.to_string (Event.to_json e));
-        output_char oc '\n');
+        output_char oc '\n';
+        incr pending;
+        if flush_every > 0 && !pending >= flush_every then begin
+          flush oc;
+          pending := 0
+        end);
     close = (fun () -> close_out oc) }
 
 let console ?(oc = stdout) () : t =

@@ -17,9 +17,13 @@ val memory : ?capacity:int -> unit -> t * (unit -> Event.t list)
 (** Ring buffer keeping the last [capacity] events (default 4096).
     The second component returns the retained events oldest-first. *)
 
-val jsonl : string -> t
-(** Append one JSON object per event to the given file path (truncates
-    an existing file). [close] flushes and closes the channel. *)
+val jsonl : ?append:bool -> ?flush_every:int -> string -> t
+(** Write one JSON object per event to the given file path. With
+    [~append:true] an existing file is extended instead of truncated
+    (resumed runs share one trace). The channel is flushed every
+    [flush_every] events (default 64; [<= 0] disables periodic
+    flushing), so a killed process still leaves a readable prefix.
+    [close] flushes and closes the channel. *)
 
 val console : ?oc:out_channel -> unit -> t
 (** Indented, human-readable one-line-per-span output (default stdout). *)

@@ -53,6 +53,43 @@ let summarize l =
     max = maximum l;
     stddev = stddev l }
 
+(* Unicode block-character sparkline of a series, downsampled to [width]
+   columns by bucket-averaging. Non-finite samples are dropped; a flat
+   series renders at mid-height so it stays visible. *)
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                      "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 60) (l : float list) : string =
+  let xs = List.filter Float.is_finite l in
+  match xs with
+  | [] -> ""
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let cols = min width n in
+    (* bucket i covers samples [i*n/cols, (i+1)*n/cols) *)
+    let bucket i =
+      let lo = i * n / cols and hi = max (i * n / cols + 1) ((i + 1) * n / cols) in
+      let sum = ref 0.0 in
+      for j = lo to hi - 1 do sum := !sum +. arr.(j) done;
+      !sum /. float_of_int (hi - lo)
+    in
+    let vals = Array.init cols bucket in
+    let lo = Array.fold_left Float.min vals.(0) vals in
+    let hi = Array.fold_left Float.max vals.(0) vals in
+    let b = Buffer.create (cols * 3) in
+    Array.iter
+      (fun v ->
+        let level =
+          if hi -. lo <= 0.0 then 3
+          else
+            let t = (v -. lo) /. (hi -. lo) in
+            min 7 (max 0 (int_of_float (t *. 7.999)))
+        in
+        Buffer.add_string b spark_levels.(level))
+      vals;
+    Buffer.contents b
+
 (* Percentage change of [v] relative to [base]: positive = reduction. *)
 let pct_reduction ~base v =
   if base = 0.0 then 0.0 else 100.0 *. (base -. v) /. base

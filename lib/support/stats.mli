@@ -19,6 +19,13 @@ type summary = { n : int; min : float; mean : float; max : float; stddev : float
 
 val summarize : float list -> summary
 
+val sparkline : ?width:int -> float list -> string
+(** Unicode block-character rendering of a series (▁▂▃▄▅▆▇█),
+    downsampled to [width] columns (default 60) by bucket-averaging.
+    Non-finite samples are dropped; empty input yields [""], a flat
+    series renders at mid-height. Used by [posetrl runs show] for the
+    training-curve views of the run ledger. *)
+
 val pct_reduction : base:float -> float -> float
 (** [pct_reduction ~base v] = [100 * (base - v) / base]; positive means
     [v] is a reduction. *)

@@ -61,6 +61,27 @@ let test_reward_telescopes () =
   in
   check_float "telescoping" direct stepwise
 
+let test_reward_decompose () =
+  (* decompose = compute plus the unweighted Eqn-2/3 parts it is made of *)
+  let base = meas 1000.0 10.0 in
+  let last = meas 950.0 10.5 and curr = meas 900.0 11.0 in
+  let c = C.Reward.decompose ~base ~last ~curr () in
+  check_float "binsize part is Eqn 2" (C.Reward.r_binsize ~base ~last ~curr)
+    c.C.Reward.binsize;
+  check_float "throughput part is Eqn 3"
+    (C.Reward.r_throughput ~base ~last ~curr) c.C.Reward.throughput;
+  check_float "total recombines with paper weights"
+    ((10.0 *. c.C.Reward.binsize) +. (5.0 *. c.C.Reward.throughput))
+    c.C.Reward.total;
+  check_float "compute agrees" (C.Reward.compute ~base ~last ~curr ())
+    c.C.Reward.total;
+  (* custom weights flow through the recombination *)
+  let w = { C.Reward.alpha = 2.0; beta = 3.0 } in
+  let cw = C.Reward.decompose ~weights:w ~base ~last ~curr () in
+  check_float "custom weights" ((2.0 *. cw.C.Reward.binsize) +. (3.0 *. cw.C.Reward.throughput))
+    cw.C.Reward.total;
+  check_float "components independent of weights" c.C.Reward.binsize cw.C.Reward.binsize
+
 (* --- environment --------------------------------------------------------------- *)
 
 let test_environment_episode () =
@@ -95,6 +116,24 @@ let test_environment_reward_consistency () =
   in
   let r = C.Environment.step env idx_with_mem2reg in
   Alcotest.(check bool) "promotion rewarded" true (r.C.Environment.reward > 0.0)
+
+let test_environment_step_components () =
+  (* each step's reward decomposes into the paper-weighted Eqn-2/3 parts
+     the run ledger records *)
+  let env = C.Environment.create ~target:x86 ~actions:O.Action_space.odg () in
+  ignore (C.Environment.reset env (Testutil.sum_squares_module ()));
+  let rec go i =
+    let r = C.Environment.step env ((i * 7) mod 34) in
+    check_float "reward = α·r_binsize + β·r_throughput"
+      ((10.0 *. r.C.Environment.r_binsize)
+       +. (5.0 *. r.C.Environment.r_throughput))
+      r.C.Environment.reward;
+    Alcotest.(check bool) "components finite" true
+      (Float.is_finite r.C.Environment.r_binsize
+       && Float.is_finite r.C.Environment.r_throughput);
+    if not r.C.Environment.terminal then go (i + 1)
+  in
+  go 1
 
 let test_environment_needs_reset () =
   let env = C.Environment.create ~target:x86 ~actions:O.Action_space.odg () in
@@ -150,6 +189,9 @@ let test_trainer_progress () =
            p.C.Trainer.epsilon_now;
          Alcotest.(check bool) "mean reward finite" true
            (Float.is_finite p.C.Trainer.mean_reward);
+         Alcotest.(check bool) "reward components finite" true
+           (Float.is_finite p.C.Trainer.r_binsize
+            && Float.is_finite p.C.Trainer.r_throughput);
          Alcotest.(check bool) "loss finite" true (Float.is_finite p.C.Trainer.loss);
          p.C.Trainer.step)
        0 ticks);
@@ -159,6 +201,36 @@ let test_trainer_progress () =
     Alcotest.(check bool) "loss nonzero by final tick" true
       (last.C.Trainer.loss <> 0.0)
   | [] -> ()
+
+let test_trainer_episode_stream () =
+  (* the on_episode stream: one summary per finished episode, indices
+     monotone, and each episode's reward recombining from its components
+     with the paper weights *)
+  let corpus = W.Genprog.corpus ~n:4 () in
+  let eps = ref [] in
+  let res =
+    C.Trainer.train ~hp:tiny_hp
+      ~on_episode:(fun e -> eps := e :: !eps)
+      ~seed:11 ~corpus ~actions:O.Action_space.manual ~target:x86 ()
+  in
+  let eps = List.rev !eps in
+  Alcotest.(check int) "one summary per episode" res.C.Trainer.episodes
+    (List.length eps);
+  ignore
+    (List.fold_left
+       (fun prev (e : C.Trainer.episode_summary) ->
+         Alcotest.(check int) "indices consecutive" (prev + 1) e.C.Trainer.ep_index;
+         Alcotest.(check (float 1e-6)) "reward recombines (Eqn 1)"
+           ((10.0 *. e.C.Trainer.ep_r_binsize)
+            +. (5.0 *. e.C.Trainer.ep_r_throughput))
+           e.C.Trainer.ep_reward;
+         Alcotest.(check bool) "epsilon in range" true
+           (e.C.Trainer.ep_epsilon >= 0.0 && e.C.Trainer.ep_epsilon <= 1.0);
+         Alcotest.(check bool) "gains finite" true
+           (Float.is_finite e.C.Trainer.ep_size_gain_pct
+            && Float.is_finite e.C.Trainer.ep_thru_gain_pct);
+         e.C.Trainer.ep_index)
+       0 eps)
 
 let test_trainer_metrics_registry () =
   (* the trainer publishes its posetrl.train.* series to the global

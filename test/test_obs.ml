@@ -62,6 +62,50 @@ let test_histogram () =
     check_float "mean" 4.0 row.M.row_value
   | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
 
+(* quantile summary at the edges: no data, one observation, overflow *)
+let hist_detail r name =
+  match
+    List.find_opt (fun row -> row.M.row_name = name) (M.snapshot ~r ())
+  with
+  | Some row -> row.M.row_detail
+  | None -> Alcotest.failf "no row for %s" name
+
+let test_histogram_empty () =
+  let r = M.create () in
+  ignore (M.histogram ~r ~buckets:[| 1.0; 2.0 |] "posetrl.test.empty");
+  Alcotest.(check string) "no quantiles without data" "p50<=- p95<=- sum=0"
+    (hist_detail r "posetrl.test.empty");
+  (match M.snapshot ~r () with
+   | [ row ] ->
+     Alcotest.(check int) "count 0" 0 row.M.row_count;
+     check_float "mean 0 by convention" 0.0 row.M.row_value
+   | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows))
+
+let test_histogram_single_observation () =
+  let r = M.create () in
+  let h = M.histogram ~r ~buckets:[| 1.0; 2.0; 5.0 |] "posetrl.test.one" in
+  M.observe h 1.5;
+  (* every quantile of a single sample is its covering bucket bound *)
+  Alcotest.(check string) "both quantiles in the 2.0 bucket"
+    "p50<=2 p95<=2 sum=1.5"
+    (hist_detail r "posetrl.test.one")
+
+let test_histogram_overflow_bucket () =
+  let r = M.create () in
+  let h = M.histogram ~r ~buckets:[| 1.0; 2.0 |] "posetrl.test.over" in
+  M.observe h 0.5;
+  M.observe h 100.0;
+  M.observe h 200.0;
+  (* 2 of 3 samples exceed every bound: p95 lands in the implicit +inf
+     bucket, p50 on the last finite bound's successor *)
+  Alcotest.(check string) "overflow renders +inf" "p50<=+inf p95<=+inf sum=300.5"
+    (hist_detail r "posetrl.test.over");
+  M.observe h 0.6;
+  M.observe h 0.7;
+  Alcotest.(check string) "median back in range once most samples fit"
+    "p50<=1 p95<=+inf sum=301.8"
+    (hist_detail r "posetrl.test.over")
+
 let test_kind_clash () =
   let r = M.create () in
   ignore (M.counter ~r "posetrl.test.k");
@@ -207,9 +251,25 @@ let test_report_aggregation () =
          check_float "mean reward" 1.0 a3.Obs.Report.ar_mean_reward;
          check_float "negative delta" (-8.0) a7.Obs.Report.ar_d_size
        | rows -> Alcotest.failf "expected 2 action rows, got %d" (List.length rows));
-      (* rendering the full report is total *)
-      Alcotest.(check bool) "report renders" true
-        (String.length (Obs.Report.render events) > 0))
+      (* the rendered report carries all three tables with the fixture's
+         span/pass/action rows *)
+      let rendered = Obs.Report.render events in
+      let contains needle =
+        let nl = String.length needle and hl = String.length rendered in
+        let rec go i = i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1)) in
+        Alcotest.(check bool) (Printf.sprintf "render mentions %S" needle) true (go 0)
+      in
+      List.iter contains
+        [ "span summary"; "per-pass cumulative time"; "per-action";
+          "posetrl.env.step"; "posetrl.pass.run"; "simplifycfg"; "licm" ])
+
+let test_report_render_empty () =
+  (* an empty trace still renders (headers only), and the aggregators
+     agree it holds nothing *)
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.Report.spans []));
+  Alcotest.(check int) "no actions" 0 (List.length (Obs.Report.actions []));
+  Alcotest.(check bool) "render total on empty" true
+    (String.length (Obs.Report.render []) > 0)
 
 let test_json_values () =
   (* attr value kinds survive the JSON round trip exactly *)
@@ -232,6 +292,9 @@ let suite =
     Alcotest.test_case "labeled series" `Quick test_labels;
     Alcotest.test_case "gauge semantics" `Quick test_gauge;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram single obs" `Quick test_histogram_single_observation;
+    Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow_bucket;
     Alcotest.test_case "metric kind clash" `Quick test_kind_clash;
     Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
     Alcotest.test_case "span disabled passthrough" `Quick test_span_disabled;
@@ -239,4 +302,5 @@ let suite =
     Alcotest.test_case "span attrs + exception" `Quick test_span_attrs_and_exceptions;
     Alcotest.test_case "jsonl golden round trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "report aggregation" `Quick test_report_aggregation;
+    Alcotest.test_case "report empty trace" `Quick test_report_render_empty;
     Alcotest.test_case "json value kinds" `Quick test_json_values ]

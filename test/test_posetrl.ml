@@ -6,6 +6,7 @@ let () =
   Alcotest.run "posetrl"
     [ ("support", Test_support.suite);
       ("obs", Test_obs.suite);
+      ("runledger", Test_runledger.suite);
       ("ir", Test_ir.suite);
       ("interp", Test_interp.suite);
       ("passes.scalar", Test_passes_scalar.suite);
