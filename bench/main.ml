@@ -429,7 +429,37 @@ let micro () =
           (Staged.stage (fun () -> Obs.Span.with_ "bench.noop" (fun _ -> ())));
         Test.make ~name:"obs-counter-inc"
           (let c = Obs.Metrics.counter "posetrl.bench.ticks" in
-           Staged.stage (fun () -> Obs.Metrics.inc c)) ]
+           Staged.stage (fun () -> Obs.Metrics.inc c));
+        (* live-telemetry rendering: a /metrics scrape of a populated
+           registry, and the chrome export of a medium trace — both sit
+           on a request path, never the training hot path *)
+        Test.make ~name:"expo-scrape(32 series)"
+          (let r = Obs.Metrics.create () in
+           for i = 0 to 23 do
+             Obs.Metrics.set
+               (Obs.Metrics.gauge ~r
+                  ~labels:[ ("action", string_of_int i) ]
+                  "posetrl.bench.gauge")
+               (float_of_int i)
+           done;
+           for i = 0 to 7 do
+             let h =
+               Obs.Metrics.histogram ~r
+                 ~labels:[ ("pass", string_of_int i) ]
+                 "posetrl.bench.hist"
+             in
+             for j = 1 to 16 do Obs.Metrics.observe h (float_of_int j *. 1e-4) done
+           done;
+           Staged.stage (fun () -> ignore (Obs.Expo.scrape ~r ())));
+        Test.make ~name:"chrome-export(256 events)"
+          (let events =
+             List.init 256 (fun i ->
+                 { Obs.Event.name = "posetrl.pass.run";
+                   attrs = [ ("pass", Obs.Event.S "dce") ];
+                   t_start = float_of_int i *. 1e-3;
+                   dur = 5e-4; self = 5e-4; depth = i mod 4 })
+           in
+           Staged.stage (fun () -> ignore (Obs.Chrome.to_string events))) ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in

@@ -9,12 +9,15 @@
      report aggregate a --trace JSONL file into per-span/per-pass tables
      runs   the run ledger: list past runs, show one (manifest +
             training curves), compare two with regression detection
+     watch  live terminal dashboard tailing a (running) ledger run
      odg    inspect the Oz Dependence Graph (stats, dot, derived walks)
      list   list registered passes / benchmark programs
 
    opt/train/eval take --trace FILE.jsonl (write a span trace) and
    --metrics (print the metrics registry on exit); train/eval take
-   --run-dir DIR (or --run NAME) to persist the run in the ledger. *)
+   --run-dir DIR (or --run NAME) to persist the run in the ledger and
+   --serve PORT to expose live /metrics + /healthz over HTTP;
+   report takes --chrome OUT.json for a Perfetto-loadable export. *)
 
 open Cmdliner
 open Posetrl_ir
@@ -132,6 +135,64 @@ let with_run (run : Obs.Run.t option) (f : unit -> (string * Obs.Json.t) list) :
           (fun () -> result := f ()));
     Obs.Console.info "run recorded in %s\n" (Obs.Run.dir r)
 
+(* --- live telemetry (--serve, shared by train/eval) ------------------------ *)
+
+let serve_arg =
+  Arg.(value & opt (some int) None & info [ "serve" ] ~docv:"PORT"
+         ~doc:"Serve live telemetry over HTTP on 127.0.0.1:\\$(docv) while the \
+               run is in flight: GET /metrics (Prometheus exposition), \
+               /healthz, /runs, /runs/ID/progress.")
+
+let serve_grace_arg =
+  Arg.(value & opt float 5.0 & info [ "serve-grace" ] ~docv:"SECS"
+         ~doc:"With --serve: keep answering requests for \\$(docv) seconds \
+               after the run finishes, so a scraper can observe the final \
+               'done' /healthz state and the last metric values.")
+
+(* Wrap [f] in a telemetry server's lifecycle: bind before, report
+   status "running" until [f] returns and "done" during the grace
+   window after. [f] receives a pump thunk to call from its hot loop
+   (the server is single-threaded — nothing is served between pumps). *)
+let with_serve ~(serve : int option) ~(grace : float) ~(kind : string)
+    ~(run_dir : unit -> string option) (f : pump:(unit -> unit) -> 'a) : 'a =
+  match serve with
+  | None -> f ~pump:(fun () -> ())
+  | Some port ->
+    let status = ref "running" in
+    let started = Unix.gettimeofday () in
+    let metric name = Option.value ~default:0.0 (Obs.Metrics.value name) in
+    let health () =
+      let open Obs.Json in
+      Obj
+        [ ("status", Str !status);
+          ("kind", Str kind);
+          ("uptime_s", Float (Unix.gettimeofday () -. started));
+          ("step", Int (int_of_float (metric "posetrl.train.steps")));
+          ("episode", Int (int_of_float (metric "posetrl.train.episodes")));
+          ("epsilon", Float (metric "posetrl.train.epsilon"));
+          ("mean_reward", Float (metric "posetrl.train.mean_reward"));
+          ("run", match run_dir () with Some d -> Str d | None -> Null) ]
+    in
+    let server =
+      Obs.Httpd.create ~port ~handler:(Obs.Httpd.telemetry_handler ~health ()) ()
+    in
+    Obs.Console.info "telemetry on http://127.0.0.1:%d  (/metrics /healthz /runs)\n%!"
+      (Obs.Httpd.port server);
+    Fun.protect
+      ~finally:(fun () -> Obs.Httpd.close server)
+      (fun () ->
+        let r = f ~pump:(fun () -> Obs.Httpd.pump server) in
+        status := "done";
+        if grace > 0.0 then begin
+          Obs.Console.info "%s done; serving final state for %.1fs\n%!" kind grace;
+          let deadline = Unix.gettimeofday () +. grace in
+          while Unix.gettimeofday () < deadline do
+            Obs.Httpd.pump server;
+            Unix.sleepf 0.05
+          done
+        end;
+        r)
+
 let report_module (target : CG.Target.t) (label : string) (m : Modul.t) =
   Printf.printf "%-10s insns=%-5d size=%-6dB text=%-6dB mca-throughput=%.3f\n"
     label (Modul.insn_count m)
@@ -247,7 +308,8 @@ let train_cmd =
   let corpus_size =
     Arg.(value & opt int 130 & info [ "corpus" ] ~doc:"Training corpus size (paper: 130).")
   in
-  let go out space target steps fast seed corpus_size trace metrics run_dir run_name =
+  let go out space target steps fast seed corpus_size trace metrics run_dir
+      run_name serve serve_grace =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let corpus = W.Suites.training_corpus ~n:corpus_size () in
@@ -296,43 +358,52 @@ let train_cmd =
       Option.iter
         (fun r ->
           Obs.Run.progress r
-            (Obs.Runlog.tick_record ~step:p.C.Trainer.step
+            (Obs.Runlog.tick_record
+               ?q_mean:(Obs.Metrics.value "posetrl.dqn.q_mean")
+               ?q_max:(Obs.Metrics.value "posetrl.dqn.q_max")
+               ~step:p.C.Trainer.step
                ~episode:p.C.Trainer.episode ~epsilon:p.C.Trainer.epsilon_now
                ~mean_reward:p.C.Trainer.mean_reward
                ~mean_size_gain:p.C.Trainer.mean_size_gain
                ~r_binsize:p.C.Trainer.r_binsize
-               ~r_throughput:p.C.Trainer.r_throughput ~loss:p.C.Trainer.loss))
+               ~r_throughput:p.C.Trainer.r_throughput ~loss:p.C.Trainer.loss ()))
         run
     in
     let on_episode (e : C.Trainer.episode_summary) =
       Option.iter
         (fun r ->
           Obs.Run.progress r
-            (Obs.Runlog.episode_record ~episode:e.C.Trainer.ep_index
+            (Obs.Runlog.episode_record ~actions:e.C.Trainer.ep_actions
+               ~episode:e.C.Trainer.ep_index
                ~step:e.C.Trainer.ep_end_step ~reward:e.C.Trainer.ep_reward
                ~r_binsize:e.C.Trainer.ep_r_binsize
                ~r_throughput:e.C.Trainer.ep_r_throughput
                ~size_gain_pct:e.C.Trainer.ep_size_gain_pct
                ~thru_gain_pct:e.C.Trainer.ep_thru_gain_pct
-               ~epsilon:e.C.Trainer.ep_epsilon ~loss:e.C.Trainer.ep_loss))
+               ~epsilon:e.C.Trainer.ep_epsilon ~loss:e.C.Trainer.ep_loss ()))
         run
     in
-    with_run run (fun () ->
-        let res =
-          with_obs ~trace ~metrics (fun () ->
-              C.Trainer.train ~hp ~on_progress ~on_episode ~seed ~corpus
-                ~actions ~target:tgt ())
-        in
-        Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
-        Obs.Console.info "saved weights to %s (%d episodes)\n" out
-          res.C.Trainer.episodes;
-        [ ("episodes", Obs.Json.Int res.C.Trainer.episodes);
-          ("final_mean_reward", Obs.Json.Float res.C.Trainer.final_mean_reward);
-          ("weights", Obs.Json.Str out) ])
+    with_serve ~serve ~grace:serve_grace ~kind:"train"
+      ~run_dir:(fun () -> Option.map Obs.Run.dir run)
+      (fun ~pump ->
+        with_run run (fun () ->
+            let res =
+              with_obs ~trace ~metrics (fun () ->
+                  C.Trainer.train ~hp ~on_progress ~on_episode
+                    ~on_step:(fun _ -> pump ()) ~seed ~corpus
+                    ~actions ~target:tgt ())
+            in
+            Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
+            Obs.Console.info "saved weights to %s (%d episodes)\n" out
+              res.C.Trainer.episodes;
+            [ ("episodes", Obs.Json.Int res.C.Trainer.episodes);
+              ("final_mean_reward", Obs.Json.Float res.C.Trainer.final_mean_reward);
+              ("weights", Obs.Json.Str out) ]))
   in
   Cmd.v (Cmd.info "train" ~doc:"Train a phase-ordering model")
     Term.(const go $ out $ space $ target $ steps $ fast $ seed $ corpus_size
-          $ trace_arg $ metrics_arg $ run_dir_arg $ run_name_arg)
+          $ trace_arg $ metrics_arg $ run_dir_arg $ run_name_arg
+          $ serve_arg $ serve_grace_arg)
 
 (* --- eval ------------------------------------------------------------------- *)
 
@@ -347,7 +418,7 @@ let eval_cmd =
   let target =
     Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
   in
-  let go weights space target trace metrics run_dir run_name =
+  let go weights space target trace metrics run_dir run_name serve serve_grace =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let rng = Posetrl_support.Rng.create 0 in
@@ -363,7 +434,10 @@ let eval_cmd =
             ("action_space", Obs.Json.Str space);
             ("target", Obs.Json.Str tgt.CG.Target.name) ]
     in
-    with_run run (fun () ->
+    with_serve ~serve ~grace:serve_grace ~kind:"eval"
+      ~run_dir:(fun () -> Option.map Obs.Run.dir run)
+      (fun ~pump ->
+      with_run run (fun () ->
         let evaluated =
           with_obs ~trace ~metrics (fun () ->
               List.map
@@ -371,6 +445,7 @@ let eval_cmd =
                   let results =
                     List.map
                       (fun (name, mk) ->
+                        pump ();
                         C.Evaluate.evaluate_program ~agent ~actions ~target:tgt
                           ~name (mk ()))
                       suite.W.Suites.programs
@@ -404,11 +479,11 @@ let eval_cmd =
         in
         [ ("suites", Obs.Json.Int (List.length evaluated));
           ("overall_avg_size_red",
-           Obs.Json.Float (Posetrl_support.Stats.mean avg_reds)) ])
+           Obs.Json.Float (Posetrl_support.Stats.mean avg_reds)) ]))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a trained model on the validation suites")
     Term.(const go $ weights $ space $ target $ trace_arg $ metrics_arg
-          $ run_dir_arg $ run_name_arg)
+          $ run_dir_arg $ run_name_arg $ serve_arg $ serve_grace_arg)
 
 (* --- report ------------------------------------------------------------------ *)
 
@@ -421,14 +496,25 @@ let report_cmd =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"K"
            ~doc:"Rows in the span-summary table.")
   in
-  let go file top_k =
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"OUT.json"
+           ~doc:"Also export the trace as Chrome trace-event JSON — load it \
+                 in ui.perfetto.dev or chrome://tracing for a flamegraph view.")
+  in
+  let go file top_k chrome =
     let events = Obs.Report.read_jsonl file in
+    (match chrome with
+     | Some out ->
+       Obs.Chrome.write ~path:out events;
+       Printf.printf "chrome trace written to %s (%d events)\n" out
+         (List.length events)
+     | None -> ());
     print_string (Obs.Report.render ~top_k events)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Aggregate a span trace into per-span, per-pass and per-action tables")
-    Term.(const go $ file $ top_k)
+    Term.(const go $ file $ top_k $ chrome)
 
 (* --- runs (the ledger) ------------------------------------------------------- *)
 
@@ -628,6 +714,68 @@ let runs_cmd =
        ~doc:"The run ledger: list, inspect and compare persisted runs")
     [ runs_list_cmd; runs_show_cmd; runs_compare_cmd ]
 
+(* --- watch (live dashboard) -------------------------------------------------- *)
+
+let watch_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN"
+           ~doc:"Run id (under --root) or a run directory path. The run may \
+                 not exist yet; watch waits for it.")
+  in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECS"
+           ~doc:"Redraw period.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Render a single frame and exit (no polling, no screen \
+                 clearing; exits 1 if the run does not exist).")
+  in
+  let go root id interval once =
+    let interval = Float.max 0.05 interval in
+    let clear () = print_string "\027[H\027[2J" in
+    let frame (info : Obs.Run.info) =
+      let records, dropped = Obs.Run.read_progress info in
+      Obs.Dashboard.render ~id:info.Obs.Run.run_id
+        ~manifest:info.Obs.Run.manifest ~records ~dropped ()
+    in
+    let rec loop () =
+      match Obs.Run.find ~root id with
+      | exception Failure msg ->
+        if once then begin
+          Printf.printf "no run to watch: %s\n" msg;
+          exit 1
+        end
+        else begin
+          clear ();
+          Printf.printf "waiting for run %s...\n(%s)\n%!" id msg;
+          Unix.sleepf interval;
+          loop ()
+        end
+      | info ->
+        if once then print_string (frame info)
+        else begin
+          clear ();
+          print_string (frame info);
+          flush stdout;
+          match Obs.Runlog.str "status" info.Obs.Run.manifest with
+          | Some "running" ->
+            Unix.sleepf interval;
+            loop ()
+          | status ->
+            Printf.printf "\nrun %s is %s; watch done\n" info.Obs.Run.run_id
+              (Option.value ~default:"finished" status)
+        end
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Live terminal dashboard for a ledger run: tails progress.jsonl \
+             and redraws reward/epsilon/loss sparklines and the action \
+             histogram until the run leaves 'running'")
+    Term.(const go $ root_arg $ id $ interval $ once)
+
 (* --- odg -------------------------------------------------------------------- *)
 
 let odg_cmd =
@@ -694,8 +842,8 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group info
-         [ opt_cmd; run_cmd; train_cmd; eval_cmd; report_cmd; runs_cmd; odg_cmd;
-           list_cmd ])
+         [ opt_cmd; run_cmd; train_cmd; eval_cmd; report_cmd; runs_cmd;
+           watch_cmd; odg_cmd; list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

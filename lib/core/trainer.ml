@@ -30,6 +30,20 @@ let m_episode_reward =
   Obs.Metrics.histogram "posetrl.train.episode_reward"
     ~buckets:[| -100.0; -10.0; -1.0; 0.0; 1.0; 10.0; 100.0; 1000.0 |]
 
+(* last finished episode's total reward — the headline series a live
+   scraper watches (`posetrl_train_reward` in /metrics) *)
+let m_last_reward = Obs.Metrics.gauge "posetrl.train.reward"
+
+let m_td_loss =
+  Obs.Metrics.histogram "posetrl.train.td_loss"
+    ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
+(* per-action selection counters, labeled by sub-sequence id; handles
+   are cached per training run (the action-space size is per-run) *)
+let action_counter (i : int) =
+  Obs.Metrics.counter ~labels:[ ("action", string_of_int i) ]
+    "posetrl.train.action_selected"
+
 type hyperparams = {
   total_steps : int;
   epsilon : Rl.Schedule.t;
@@ -105,6 +119,7 @@ type episode_summary = {
   ep_thru_gain_pct : float;
   ep_epsilon : float;
   ep_loss : float;
+  ep_actions : int list;   (* sub-sequence ids taken this episode, in order *)
 }
 
 type result = {
@@ -115,6 +130,7 @@ type result = {
 
 let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     ?(on_episode = fun (_ : episode_summary) -> ())
+    ?(on_step = fun (_ : int) -> ())
     ~(seed : int) ~(corpus : Modul.t array)
     ~(actions : Posetrl_odg.Action_space.t)
     ~(target : Posetrl_codegen.Target.t) () : result =
@@ -130,6 +146,9 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       ~n_actions:(Environment.n_actions env)
   in
   let replay = Rl.Replay.create hp.replay_capacity in
+  let action_counters =
+    Array.init (Environment.n_actions env) action_counter
+  in
   let episode = ref 0 in
   let reward_window = Queue.create () in
   let size_window = Queue.create () in
@@ -196,6 +215,7 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     let ep_reward = ref 0.0 in
     let ep_bin = ref 0.0 in
     let ep_thr = ref 0.0 in
+    let ep_actions = ref [] in
     let terminal = ref false in
     while (not !terminal) && !step < hp.total_steps do
       incr step;
@@ -203,6 +223,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       let epsilon = Rl.Schedule.value hp.epsilon !step in
       Obs.Metrics.set m_epsilon epsilon;
       let action = Rl.Dqn.select_action agent rng ~epsilon !state in
+      Obs.Metrics.inc action_counters.(action);
+      ep_actions := action :: !ep_actions;
       let res = Environment.step env action in
       ep_reward := !ep_reward +. res.Environment.reward;
       ep_bin := !ep_bin +. res.Environment.r_binsize;
@@ -219,7 +241,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
          && Rl.Replay.size replay >= hp.batch_size then begin
         let batch = Rl.Replay.sample rng replay hp.batch_size in
         last_loss := Rl.Dqn.train_batch agent batch;
-        Obs.Metrics.set m_loss !last_loss
+        Obs.Metrics.set m_loss !last_loss;
+        Obs.Metrics.observe m_td_loss !last_loss
       end;
       if !step mod hp.target_sync_every = 0 then begin
         Rl.Dqn.sync_target agent;
@@ -240,12 +263,14 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
             r_binsize = window_mean bin_window;
             r_throughput = window_mean thr_window;
             loss = !last_loss }
-      end
+      end;
+      on_step !step
     done;
     push_window reward_window !ep_reward;
     push_window bin_window !ep_bin;
     push_window thr_window !ep_thr;
     Obs.Metrics.observe m_episode_reward !ep_reward;
+    Obs.Metrics.set m_last_reward !ep_reward;
     let size_gain, thr_gain = Environment.episode_gain env in
     push_window size_window size_gain;
     Obs.Span.set_attr ep_span "reward" (Obs.Event.F !ep_reward);
@@ -259,7 +284,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
         ep_size_gain_pct = size_gain;
         ep_thru_gain_pct = thr_gain;
         ep_epsilon = Rl.Schedule.value hp.epsilon !step;
-        ep_loss = !last_loss })
+        ep_loss = !last_loss;
+        ep_actions = List.rev !ep_actions })
   done);
   (* hand back the best snapshot (or the final weights if snapshots are
      disabled or the final policy is the best one seen) *)

@@ -45,6 +45,7 @@ type episode_summary = {
   ep_thru_gain_pct : float;
   ep_epsilon : float;
   ep_loss : float;
+  ep_actions : int list;    (** sub-sequence ids taken this episode, in order *)
 }
 (** One record per finished episode; the run ledger streams these to
     [progress.jsonl] as the reward-decomposition telemetry. *)
@@ -59,6 +60,7 @@ val train :
   ?hp:hyperparams ->
   ?on_progress:(progress -> unit) ->
   ?on_episode:(episode_summary -> unit) ->
+  ?on_step:(int -> unit) ->
   seed:int ->
   corpus:Posetrl_ir.Modul.t array ->
   actions:Posetrl_odg.Action_space.t ->
@@ -66,4 +68,9 @@ val train :
   unit -> result
 (** Train a phase-ordering agent. Deterministic per seed. Returns the
     best-probe-score snapshot when [hp.snapshot_every > 0], otherwise the
-    final weights. *)
+    final weights.
+
+    [on_step] fires once per environment step (after the step's metric
+    updates) with the global step index — the hook the CLI uses to pump
+    the [--serve] telemetry server ({!Posetrl_obs.Httpd.pump}) without
+    threads. It must be cheap and must not raise. *)

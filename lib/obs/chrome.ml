@@ -1,0 +1,39 @@
+(* Chrome Trace Event Format export.
+
+   One complete ("ph":"X") event per span. The viewer nests X events on
+   a (pid, tid) track by interval containment, and the span layer
+   guarantees proper nesting (children start and end inside their
+   parents), so a single track reproduces the span stack as a
+   flamegraph. ts/dur are microseconds per the format; the original
+   attrs, the computed self-time and the recorded depth go to args. *)
+
+let usec (s : float) : Json.t = Json.Float (s *. 1e6)
+
+let event_json (e : Event.t) : Json.t =
+  Json.Obj
+    [ ("name", Json.Str e.Event.name);
+      ("ph", Json.Str "X");
+      ("ts", usec e.Event.t_start);
+      ("dur", usec e.Event.dur);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args",
+       Json.Obj
+         (("self_us", Json.Float (e.Event.self *. 1e6))
+          :: ("depth", Json.Int e.Event.depth)
+          :: List.map
+               (fun (k, v) -> (k, Event.value_to_json v))
+               e.Event.attrs)) ]
+
+let of_events (events : Event.t list) : Json.t =
+  let sorted =
+    List.stable_sort
+      (fun (a : Event.t) (b : Event.t) -> compare a.Event.t_start b.Event.t_start)
+      events
+  in
+  Json.Arr (List.map event_json sorted)
+
+let to_string (events : Event.t list) : string = Json.to_string (of_events events)
+
+let write ~(path : string) (events : Event.t list) : unit =
+  Runlog.write_json_file path (of_events events)

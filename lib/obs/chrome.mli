@@ -1,0 +1,17 @@
+(** Chrome trace-event export: convert a span trace ([trace.jsonl], as
+    read by {!Report.read_jsonl}) into the Trace Event Format JSON array
+    loadable by Perfetto ([ui.perfetto.dev]) and [chrome://tracing],
+    giving per-pass self-time a flamegraph view. Surfaced as
+    [posetrl report FILE.jsonl --chrome out.json]. *)
+
+val of_events : Event.t list -> Json.t
+(** A JSON array of complete (["ph":"X"]) events, sorted by start time.
+    Timestamps and durations are microseconds ([ts]/[dur]); all events
+    share one pid/tid so the viewer reconstructs nesting from interval
+    containment; span attrs plus the computed self-time and depth land
+    in [args]. *)
+
+val to_string : Event.t list -> string
+
+val write : path:string -> Event.t list -> unit
+(** Write the array to [path] (atomic tmp-file + rename). *)

@@ -1,0 +1,82 @@
+(* Live-run dashboard renderer. Pure: records in, one frame out — the
+   CLI owns the polling loop and the screen clearing, which keeps this
+   testable without a terminal. *)
+
+open Posetrl_support
+
+let action_histogram (records : Json.t list) : (int * int) list =
+  let counts = Hashtbl.create 37 in
+  List.iter
+    (fun r ->
+      if Runlog.str "kind" r = Some "episode" then
+        match Runlog.field "actions" r with
+        | Some (Json.Arr actions) ->
+          List.iter
+            (fun a ->
+              match a with
+              | Json.Int i ->
+                Hashtbl.replace counts i
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts i))
+              | _ -> ())
+            actions
+        | _ -> ())
+    records;
+  Hashtbl.fold (fun a n acc -> (a, n) :: acc) counts []
+  |> List.sort (fun (a1, n1) (a2, n2) -> compare (n2, a1) (n1, a2))
+
+let last_of (xs : (float * float) list) : float option =
+  match List.rev xs with (_, y) :: _ -> Some y | [] -> None
+
+let fmt_opt fmt = function Some v -> Printf.sprintf fmt v | None -> "-"
+
+let render ?(width = 60) ~(id : string) ~(manifest : Json.t)
+    ~(records : Json.t list) ~(dropped : int) () : string =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let status = Option.value ~default:"?" (Runlog.str "status" manifest) in
+  let kind = Option.value ~default:"?" (Runlog.str "kind" manifest) in
+  add "run %s  [%s, %s]\n" id kind status;
+  let series kind y = Runlog.series ~kind ~x:"step" ~y records in
+  let ticks_step = series "tick" "epsilon" in
+  let last_tick key = last_of (series "tick" key) in
+  (match List.rev ticks_step with
+   | (step, eps) :: _ ->
+     add "step %-7.0f episode %-6s eps %.3f  mean-reward %s  loss %s\n" step
+       (fmt_opt "%.0f" (last_of (series "tick" "episode")))
+       eps
+       (fmt_opt "%.3f" (last_tick "mean_reward"))
+       (fmt_opt "%.4f" (last_tick "loss"))
+   | [] -> add "(no progress records yet)\n");
+  if dropped > 0 then
+    add "(%d torn progress line%s skipped)\n" dropped
+      (if dropped = 1 then "" else "s");
+  let curve label pts =
+    match pts with
+    | [] -> ()
+    | pts ->
+      let ys = List.map snd pts in
+      add "%-13s n=%-5d last %10.3f  min %10.3f  max %10.3f  %s\n" label
+        (List.length ys)
+        (List.nth ys (List.length ys - 1))
+        (Stats.minimum ys) (Stats.maximum ys)
+        (Stats.sparkline ~width ys)
+  in
+  curve "reward" (series "episode" "reward");
+  curve "r_binsize" (series "episode" "r_binsize");
+  curve "r_throughput" (series "episode" "r_throughput");
+  curve "size gain %" (series "episode" "size_gain_pct");
+  curve "epsilon" (series "tick" "epsilon");
+  curve "loss" (series "tick" "loss");
+  (match action_histogram records with
+   | [] -> ()
+   | hist ->
+     add "\naction selections (episodes so far):\n";
+     let max_n = List.fold_left (fun m (_, n) -> max m n) 1 hist in
+     List.iteri
+       (fun i (action, n) ->
+         (* cap the board at 20 rows so huge action spaces stay readable *)
+         if i < 20 then
+           add "  action %-3d %6d %s\n" action n
+             (String.make (max 1 (n * 30 / max_n)) '#'))
+       hist);
+  Buffer.contents buf

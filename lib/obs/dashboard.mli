@@ -1,0 +1,21 @@
+(** The [posetrl watch] live dashboard: a pure renderer from a run's
+    manifest + progress records (as read by the torn-line-tolerant
+    {!Runlog} reader) to one terminal frame. The CLI redraws it on a
+    polling interval until the manifest leaves ["running"]. *)
+
+val action_histogram : Json.t list -> (int * int) list
+(** Per-action selection counts folded from the ["actions"] arrays of
+    the ["episode"] progress records, sorted by count descending. *)
+
+val render :
+  ?width:int ->
+  id:string ->
+  manifest:Json.t ->
+  records:Json.t list ->
+  dropped:int ->
+  unit ->
+  string
+(** One frame: run header (status, step/episode/ε/loss from the latest
+    tick), reward / reward-component / ε / loss sparklines, and the
+    action-selection histogram. [width] bounds the sparkline columns
+    (default 60). Renders a clear placeholder when [records] is empty. *)

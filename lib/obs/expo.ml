@@ -1,0 +1,111 @@
+(* Prometheus text exposition (format version 0.0.4).
+
+   One header pair per metric name:
+
+     # HELP posetrl_env_step_seconds posetrl.env.step_seconds
+     # TYPE posetrl_env_step_seconds histogram
+     posetrl_env_step_seconds_bucket{le="1e-06"} 0
+     ...
+     posetrl_env_step_seconds_bucket{le="+Inf"} 12
+     posetrl_env_step_seconds_sum 0.34
+     posetrl_env_step_seconds_count 12
+
+   The HELP text is the original dotted name, so a scrape is
+   self-documenting back to the DESIGN.md naming convention. Histogram
+   buckets are cumulative per the format (each le bound counts every
+   observation <= bound), built from the registry's raw per-bucket
+   counts — never re-derived from the quantile summary string. *)
+
+let sanitize_name (name : string) : string =
+  let b = Buffer.create (String.length name + 1) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+        if i = 0 then Buffer.add_char b '_';
+        Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let escape_label_value (v : string) : string =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let format_value (v : float) : string =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(* the {a="x",b="y"} block; [extra] appends a pre-rendered pair (le) *)
+let render_labels ?extra (labels : (string * string) list) : string =
+  let pairs =
+    List.map
+      (fun (k, v) ->
+        Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v))
+      labels
+    @ (match extra with Some p -> [ p ] | None -> [])
+  in
+  match pairs with [] -> "" | ps -> "{" ^ String.concat "," ps ^ "}"
+
+let bound_string (b : float) : string =
+  if b = infinity then "+Inf" else Printf.sprintf "%g" b
+
+let render_row (buf : Buffer.t) (name : string) (row : Metrics.row) : unit =
+  match row.Metrics.row_kind with
+  | "histogram" ->
+    let cum = ref 0 in
+    List.iter
+      (fun (bound, count) ->
+        cum := !cum + count;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" name
+             (render_labels
+                ~extra:(Printf.sprintf "le=\"%s\"" (bound_string bound))
+                row.Metrics.row_labels)
+             !cum))
+      row.Metrics.row_buckets;
+    Buffer.add_string buf
+      (Printf.sprintf "%s_sum%s %s\n" name
+         (render_labels row.Metrics.row_labels)
+         (format_value row.Metrics.row_sum));
+    Buffer.add_string buf
+      (Printf.sprintf "%s_count%s %d\n" name
+         (render_labels row.Metrics.row_labels)
+         row.Metrics.row_count)
+  | _ ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name
+         (render_labels row.Metrics.row_labels)
+         (format_value row.Metrics.row_value))
+
+let render (rows : Metrics.row list) : string =
+  let buf = Buffer.create 1024 in
+  let last_name = ref "" in
+  List.iter
+    (fun (row : Metrics.row) ->
+      let name = sanitize_name row.Metrics.row_name in
+      if row.Metrics.row_name <> !last_name then begin
+        last_name := row.Metrics.row_name;
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name row.Metrics.row_name);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name row.Metrics.row_kind)
+      end;
+      render_row buf name row)
+    rows;
+  Buffer.contents buf
+
+let scrape ?(r = Metrics.global) () : string = render (Metrics.snapshot ~r ())

@@ -1,0 +1,29 @@
+(** Prometheus text-format exposition (version 0.0.4) rendered from a
+    {!Metrics.snapshot}.
+
+    Metric names follow the repo's [posetrl.<area>.<name>] convention;
+    the exposition maps them to [posetrl_<area>_<name>], groups the
+    labeled series of one metric under a single [# HELP]/[# TYPE]
+    header, and renders histograms as real cumulative [_bucket{le=...}]
+    series plus exact [_sum]/[_count] (from [row_sum]/[row_count], not
+    the lossy quantile string). Served at [GET /metrics] by {!Httpd}. *)
+
+val sanitize_name : string -> string
+(** Map a dotted metric name to a legal Prometheus metric name:
+    characters outside [[a-zA-Z0-9_:]] become ['_'], and a leading
+    digit gains a ['_'] prefix. *)
+
+val escape_label_value : string -> string
+(** Escape a label value per the exposition format: backslash, double
+    quote and newline. *)
+
+val format_value : float -> string
+(** Sample-value formatting: integral floats render without a decimal
+    point, non-finite values as [+Inf]/[-Inf]/[NaN]. *)
+
+val render : Metrics.row list -> string
+(** Render a snapshot. Rows must be in snapshot order (sorted by name
+    then labels) so same-name series group under one header. *)
+
+val scrape : ?r:Metrics.t -> unit -> string
+(** [render (Metrics.snapshot ~r ())] — the body of [GET /metrics]. *)

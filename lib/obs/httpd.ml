@@ -1,0 +1,176 @@
+(* Minimal HTTP/1.1 telemetry server over Unix sockets.
+
+   Design constraints (see DESIGN.md §8):
+   - no threads: the listener is non-blocking and [pump] is driven from
+     the trainer tick, so serving telemetry can never deadlock training;
+   - no keep-alive: one request, one response, close — the server holds
+     no per-client state between pumps;
+   - never raise into the training loop: parse failures become 4xx
+     responses, socket failures are swallowed per client. *)
+
+type request = { meth : string; path : string }
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+type handler = request -> response
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    (body : string) : response =
+  { status; content_type; body }
+
+let json_response ?(status = 200) (j : Json.t) : response =
+  { status;
+    content_type = "application/json";
+    body = Json.to_string j ^ "\n" }
+
+let status_reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let error_response status msg =
+  json_response ~status (Json.Obj [ ("error", Json.Str msg) ])
+
+(* first line of the head: METHOD SP target SP version *)
+let parse_request (raw : string) : (request, response) result =
+  let line =
+    match String.index_opt raw '\n' with
+    | Some i ->
+      let l = String.sub raw 0 i in
+      if String.length l > 0 && l.[String.length l - 1] = '\r' then
+        String.sub l 0 (String.length l - 1)
+      else l
+    | None -> raw
+  in
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+    if meth <> "GET" then
+      Error (error_response 405 (Printf.sprintf "method %s not allowed" meth))
+    else
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      Ok { meth; path }
+  | _ -> Error (error_response 400 "malformed request line")
+
+let render_response (r : response) : string =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    r.status (status_reason r.status) r.content_type
+    (String.length r.body) r.body
+
+(* --- the standard telemetry routes ---------------------------------------- *)
+
+let run_summary (i : Run.info) : Json.t =
+  Json.Obj
+    [ ("id", Json.Str i.Run.run_id);
+      ("dir", Json.Str i.Run.run_dir);
+      ("manifest", i.Run.manifest) ]
+
+let telemetry_handler ?(registry = Metrics.global)
+    ?(runs_root = Run.default_root) ~(health : unit -> Json.t) () : handler =
+ fun (req : request) ->
+  match String.split_on_char '/' req.path with
+  | [ ""; "metrics" ] -> response (Expo.scrape ~r:registry ())
+  | [ ""; "healthz" ] -> json_response (health ())
+  | [ ""; "runs" ] ->
+    json_response (Json.Arr (List.map run_summary (Run.list_runs ~root:runs_root ())))
+  | [ ""; "runs"; id; "progress" ] ->
+    (match Run.find ~root:runs_root id with
+     | info ->
+       let records, dropped = Run.read_progress info in
+       json_response
+         (Json.Obj
+            [ ("id", Json.Str info.Run.run_id);
+              ("dropped", Json.Int dropped);
+              ("records", Json.Arr records) ])
+     | exception Failure msg -> error_response 404 msg)
+  | _ -> error_response 404 (Printf.sprintf "no route for %s" req.path)
+
+(* --- the socket loop ------------------------------------------------------- *)
+
+type t = {
+  sock : Unix.file_descr;
+  t_port : int;
+  handler : handler;
+  mutable closed : bool;
+}
+
+let create ?(backlog = 16) ~(port : int) ~(handler : handler) () : t =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock backlog;
+     Unix.set_nonblock sock
+   with e ->
+     Unix.close sock;
+     raise e);
+  let t_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { sock; t_port; handler; closed = false }
+
+let port (t : t) = t.t_port
+
+(* serve one accepted client: read the request head (bounded, with a
+   receive timeout so a silent client cannot stall the pump), respond,
+   close. All failures are local to the client. *)
+let serve_client (t : t) (client : Unix.file_descr) : unit =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        Unix.clear_nonblock client;
+        Unix.setsockopt_float client Unix.SO_RCVTIMEO 1.0;
+        Unix.setsockopt_float client Unix.SO_SNDTIMEO 1.0;
+        let buf = Bytes.create 8192 in
+        let n = Unix.read client buf 0 (Bytes.length buf) in
+        let resp =
+          if n <= 0 then error_response 400 "empty request"
+          else
+            match parse_request (Bytes.sub_string buf 0 n) with
+            | Ok req ->
+              (try t.handler req
+               with e ->
+                 error_response 500 (Printexc.to_string e))
+            | Error resp -> resp
+        in
+        let bytes = Bytes.of_string (render_response resp) in
+        let len = Bytes.length bytes in
+        let written = ref 0 in
+        while !written < len do
+          written :=
+            !written + Unix.write client bytes !written (len - !written)
+        done
+      with Unix.Unix_error _ | Sys_error _ -> ())
+
+let pump (t : t) : unit =
+  if not t.closed then begin
+    let continue = ref true in
+    while !continue do
+      match Unix.accept t.sock with
+      | client, _ -> serve_client t client
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error _ -> continue := false
+    done
+  end
+
+let close (t : t) : unit =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,71 @@
+(** Minimal dependency-free HTTP/1.1 server for live telemetry.
+
+    Single-threaded and polling-friendly: the listening socket is
+    non-blocking, and {!pump} — called from the trainer tick — accepts
+    and serves every pending connection, so no threads are needed.
+    Responses always close the connection (no keep-alive): scrapers and
+    [curl] reconnect per request, which keeps the server stateless.
+
+    The request surface is deliberately tiny (GET only, path + query
+    ignored beyond the path); everything else is parsed to an error
+    response rather than an exception, so a malformed client can never
+    take down a training run. *)
+
+type request = {
+  meth : string;  (** request method, upper-case as sent *)
+  path : string;  (** path component only; the query string is dropped *)
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+type handler = request -> response
+
+val response : ?status:int -> ?content_type:string -> string -> response
+(** Defaults: status 200, content-type [text/plain; charset=utf-8]. *)
+
+val json_response : ?status:int -> Json.t -> response
+
+val parse_request : string -> (request, response) result
+(** Parse the head of a raw request. Errors come back as ready-to-send
+    responses: 400 for a malformed request line, 405 for any method
+    other than GET. *)
+
+val render_response : response -> string
+(** Full HTTP/1.1 wire bytes: status line, [Content-Type],
+    [Content-Length], [Connection: close], blank line, body. *)
+
+val telemetry_handler :
+  ?registry:Metrics.t ->
+  ?runs_root:string ->
+  health:(unit -> Json.t) ->
+  unit ->
+  handler
+(** The standard route table:
+    - [GET /metrics] — Prometheus exposition of [registry] ({!Expo});
+    - [GET /healthz] — the [health] thunk's JSON (status, uptime,
+      current step/episode...);
+    - [GET /runs] — JSON array of the {!Run} ledger under [runs_root];
+    - [GET /runs/:id/progress] — that run's progress records;
+    - anything else — a JSON 404. *)
+
+type t
+(** A listening server. *)
+
+val create : ?backlog:int -> port:int -> handler:handler -> unit -> t
+(** Bind and listen on [127.0.0.1:port] ([port = 0] picks a free port —
+    read it back with {!port}). @raise Unix.Unix_error if the bind
+    fails (e.g. the port is taken). *)
+
+val port : t -> int
+
+val pump : t -> unit
+(** Accept and serve every connection currently pending; returns
+    immediately when none are. Per-client errors (torn connections,
+    read timeouts) are swallowed. Call this from a training/eval loop
+    tick. *)
+
+val close : t -> unit

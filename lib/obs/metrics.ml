@@ -104,6 +104,11 @@ let value ?(r = global) ?(labels = []) name : float option =
   | Some (Gauge g) -> Some !g
   | _ -> None
 
+let sum ?(r = global) ?(labels = []) name : float option =
+  match Hashtbl.find_opt r.cells (name, norm_labels labels) with
+  | Some (Hist h) -> Some h.h_sum
+  | _ -> None
+
 (* --- snapshots ---------------------------------------------------------- *)
 
 type row = {
@@ -112,6 +117,8 @@ type row = {
   row_kind : string;
   row_value : float;
   row_count : int;
+  row_sum : float;
+  row_buckets : (float * int) list;
   row_detail : string;
 }
 
@@ -138,17 +145,28 @@ let row_of_cell ((name, labels) : key) (c : cell) : row =
   match c with
   | Counter v ->
     { row_name = name; row_labels = labels; row_kind = "counter";
-      row_value = !v; row_count = 1; row_detail = "" }
+      row_value = !v; row_count = 1; row_sum = !v; row_buckets = [];
+      row_detail = "" }
   | Gauge v ->
     { row_name = name; row_labels = labels; row_kind = "gauge";
-      row_value = !v; row_count = 1; row_detail = "" }
+      row_value = !v; row_count = 1; row_sum = !v; row_buckets = [];
+      row_detail = "" }
   | Hist h ->
     let mean = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count in
+    let buckets =
+      List.init
+        (Array.length h.counts)
+        (fun i ->
+          ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
+            h.counts.(i) ))
+    in
     { row_name = name;
       row_labels = labels;
       row_kind = "histogram";
       row_value = mean;
       row_count = h.h_count;
+      row_sum = h.h_sum;
+      row_buckets = buckets;
       row_detail =
         Printf.sprintf "p50<=%s p95<=%s sum=%g" (quantile_bound h 0.5)
           (quantile_bound h 0.95) h.h_sum }

@@ -46,14 +46,30 @@ val observe : histogram -> float -> unit
 
 val value : ?r:t -> ?labels:(string * string) list -> string -> float option
 (** Read back a counter total or gauge value; [None] if the series is
-    absent or a histogram. *)
+    absent or a histogram. Histograms have no single scalar reading —
+    snapshots expose their (lossy) mean via [row_value] and their exact
+    observation sum via [row_sum] / {!sum}. *)
+
+val sum : ?r:t -> ?labels:(string * string) list -> string -> float option
+(** The exact sum of a histogram's observations; [None] if the series
+    is absent or not a histogram. The Prometheus exposition ([Expo])
+    renders [_sum] from this rather than re-deriving it from the
+    quantile summary string. *)
 
 type row = {
   row_name : string;
   row_labels : (string * string) list;
   row_kind : string;              (** ["counter"], ["gauge"] or ["histogram"] *)
-  row_value : float;              (** total / value / mean respectively *)
+  row_value : float;
+  (** counter total / gauge value; for histograms this is the {e mean}
+      of the observations ([row_sum / row_count], 0 when empty) — a
+      lossy convenience for table rendering, not the raw data. *)
   row_count : int;                (** histogram observations; 1 otherwise *)
+  row_sum : float;                (** histogram observation sum; [row_value] otherwise *)
+  row_buckets : (float * int) list;
+  (** histogram (upper bound, count) pairs in ascending bound order,
+      per-bucket (non-cumulative), ending with the [infinity] overflow
+      bucket; [[]] for counters and gauges. *)
   row_detail : string;            (** histogram quantile summary, else empty *)
 }
 

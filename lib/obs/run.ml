@@ -142,12 +142,23 @@ let load (dir : string) : info =
     manifest = Runlog.read_json_file path }
 
 let list_runs ?(root = default_root) () : info list =
-  if not (Sys.file_exists root && Sys.is_directory root) then []
-  else
-    Sys.readdir root |> Array.to_list |> List.sort compare
+  (* missing/unreadable roots and corrupt manifests yield an empty (or
+     shorter) listing, never an exception: `posetrl runs list` and
+     `posetrl watch` must stay usable while a ledger is half-written *)
+  match
+    if Sys.file_exists root && Sys.is_directory root then Sys.readdir root
+    else [||]
+  with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries |> List.sort compare
     |> List.filter_map (fun entry ->
            let dir = Filename.concat root entry in
-           if Sys.file_exists (manifest_path dir) then Some (load dir) else None)
+           if Sys.file_exists (manifest_path dir) then
+             match load dir with
+             | info -> Some info
+             | exception (Sys_error _ | Failure _ | Json.Parse_error _) -> None
+           else None)
 
 let find ?(root = default_root) (id_or_dir : string) : info =
   if Sys.file_exists (manifest_path id_or_dir) then load id_or_dir

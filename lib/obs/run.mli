@@ -56,7 +56,9 @@ val load : string -> info
 
 val list_runs : ?root:string -> unit -> info list
 (** Every run directory under [root], sorted by id (creation order for
-    auto-named runs); [[]] if [root] does not exist. *)
+    auto-named runs). Never raises: a missing/unreadable [root] yields
+    [[]], and entries whose manifest is unreadable or corrupt are
+    skipped. *)
 
 val find : ?root:string -> string -> info
 (** Resolve an id (under [root]) or a direct run-directory path.

@@ -84,23 +84,26 @@ let path_num (keys : string list) (j : Json.t) : float option =
    "episode" — one record per finished episode with the full reward
    decomposition (unweighted Eqn-2/3 component sums). *)
 
-let tick_record ~(step : int) ~(episode : int) ~(epsilon : float)
-    ~(mean_reward : float) ~(mean_size_gain : float) ~(r_binsize : float)
-    ~(r_throughput : float) ~(loss : float) : Json.t =
+let tick_record ?q_mean ?q_max ~(step : int) ~(episode : int)
+    ~(epsilon : float) ~(mean_reward : float) ~(mean_size_gain : float)
+    ~(r_binsize : float) ~(r_throughput : float) ~(loss : float) () : Json.t =
   Json.Obj
-    [ ("kind", Json.Str "tick");
-      ("step", Json.Int step);
-      ("episode", Json.Int episode);
-      ("epsilon", Json.Float epsilon);
-      ("mean_reward", Json.Float mean_reward);
-      ("mean_size_gain", Json.Float mean_size_gain);
-      ("r_binsize", Json.Float r_binsize);
-      ("r_throughput", Json.Float r_throughput);
-      ("loss", Json.Float loss) ]
+    ([ ("kind", Json.Str "tick");
+       ("step", Json.Int step);
+       ("episode", Json.Int episode);
+       ("epsilon", Json.Float epsilon);
+       ("mean_reward", Json.Float mean_reward);
+       ("mean_size_gain", Json.Float mean_size_gain);
+       ("r_binsize", Json.Float r_binsize);
+       ("r_throughput", Json.Float r_throughput);
+       ("loss", Json.Float loss) ]
+     @ (match q_mean with Some q -> [ ("q_mean", Json.Float q) ] | None -> [])
+     @ (match q_max with Some q -> [ ("q_max", Json.Float q) ] | None -> []))
 
-let episode_record ~(episode : int) ~(step : int) ~(reward : float)
-    ~(r_binsize : float) ~(r_throughput : float) ~(size_gain_pct : float)
-    ~(thru_gain_pct : float) ~(epsilon : float) ~(loss : float) : Json.t =
+let episode_record ?(actions = []) ~(episode : int) ~(step : int)
+    ~(reward : float) ~(r_binsize : float) ~(r_throughput : float)
+    ~(size_gain_pct : float) ~(thru_gain_pct : float) ~(epsilon : float)
+    ~(loss : float) () : Json.t =
   Json.Obj
     [ ("kind", Json.Str "episode");
       ("episode", Json.Int episode);
@@ -111,7 +114,8 @@ let episode_record ~(episode : int) ~(step : int) ~(reward : float)
       ("size_gain_pct", Json.Float size_gain_pct);
       ("thru_gain_pct", Json.Float thru_gain_pct);
       ("epsilon", Json.Float epsilon);
-      ("loss", Json.Float loss) ]
+      ("loss", Json.Float loss);
+      ("actions", Json.Arr (List.map (fun a -> Json.Int a) actions)) ]
 
 (* Extract an (x, y) series from progress records of one kind; records
    missing either field are skipped. *)

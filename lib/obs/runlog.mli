@@ -30,20 +30,25 @@ val path : string list -> Json.t -> Json.t option
 val path_num : string list -> Json.t -> float option
 
 val tick_record :
+  ?q_mean:float -> ?q_max:float ->
   step:int -> episode:int -> epsilon:float -> mean_reward:float ->
   mean_size_gain:float -> r_binsize:float -> r_throughput:float ->
-  loss:float -> Json.t
+  loss:float -> unit -> Json.t
 (** A ["kind":"tick"] progress record: the trainer's periodic windowed
-    means (one per [on_progress] tick). *)
+    means (one per [on_progress] tick). [q_mean]/[q_max] carry the
+    agent's latest Q-value diagnostics when available (omitted from the
+    record otherwise). *)
 
 val episode_record :
+  ?actions:int list ->
   episode:int -> step:int -> reward:float -> r_binsize:float ->
   r_throughput:float -> size_gain_pct:float -> thru_gain_pct:float ->
-  epsilon:float -> loss:float -> Json.t
+  epsilon:float -> loss:float -> unit -> Json.t
 (** A ["kind":"episode"] progress record: one finished episode with its
     reward decomposition ([r_binsize]/[r_throughput] are the unweighted
     Eqn-2/3 component sums; the manifest's α/β recover the weighted
-    split). *)
+    split). [actions] is the sub-sequence ids taken this episode, in
+    order — the input to the [posetrl watch] action histogram. *)
 
 val series :
   kind:string -> x:string -> y:string -> Json.t list -> (float * float) list

@@ -14,6 +14,13 @@ let m_forwards = Obs.Metrics.counter "posetrl.dqn.forwards"
 let m_batches = Obs.Metrics.counter "posetrl.dqn.train_batches"
 let m_syncs = Obs.Metrics.counter "posetrl.dqn.target_syncs"
 
+(* Q-value drift diagnostics, refreshed on every online forward (the
+   fold is ~n_actions float ops — noise next to the MLP itself). A
+   runaway q_max under a falling loss is the classic overestimation
+   signature these exist to surface live (`/metrics`). *)
+let m_q_mean = Obs.Metrics.gauge "posetrl.dqn.q_mean"
+let m_q_max = Obs.Metrics.gauge "posetrl.dqn.q_max"
+
 type t = {
   online : Mlp.t;
   target : Mlp.t;
@@ -40,7 +47,18 @@ let create ?(gamma = 0.99) ?(lr = 1e-4) ?(double = true) (rng : Rng.t)
 
 let q_values (t : t) (state : float array) : float array =
   Obs.Metrics.inc m_forwards;
-  Mlp.forward t.online state
+  let q = Mlp.forward t.online state in
+  if Array.length q > 0 then begin
+    let sum = ref 0.0 and mx = ref neg_infinity in
+    Array.iter
+      (fun v ->
+        sum := !sum +. v;
+        if v > !mx then mx := v)
+      q;
+    Obs.Metrics.set m_q_mean (!sum /. float_of_int (Array.length q));
+    Obs.Metrics.set m_q_max !mx
+  end;
+  q
 
 let greedy_action (t : t) (state : float array) : int =
   Vecf.argmax (q_values t state)

@@ -7,6 +7,7 @@ let () =
     [ ("support", Test_support.suite);
       ("obs", Test_obs.suite);
       ("runledger", Test_runledger.suite);
+      ("telemetry", Test_telemetry.suite);
       ("ir", Test_ir.suite);
       ("interp", Test_interp.suite);
       ("passes.scalar", Test_passes_scalar.suite);

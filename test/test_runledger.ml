@@ -88,12 +88,12 @@ let test_progress_records_and_series () =
     List.init 4 (fun i ->
         Runlog.tick_record ~step:(i * 100) ~episode:i ~epsilon:0.9
           ~mean_reward:(float_of_int i) ~mean_size_gain:1.0
-          ~r_binsize:0.1 ~r_throughput:0.2 ~loss:0.5)
+          ~r_binsize:0.1 ~r_throughput:0.2 ~loss:0.5 ())
   in
   let eps =
     [ Runlog.episode_record ~episode:0 ~step:15 ~reward:3.0 ~r_binsize:0.2
         ~r_throughput:0.2 ~size_gain_pct:10.0 ~thru_gain_pct:2.0 ~epsilon:0.8
-        ~loss:0.4 ]
+        ~loss:0.4 () ]
   in
   let records = ticks @ eps in
   (* series selects one kind and skips the other *)
@@ -129,7 +129,7 @@ let test_run_lifecycle () =
             Run.progress run
               (Runlog.tick_record ~step:i ~episode:0 ~epsilon:1.0
                  ~mean_reward:(float_of_int i) ~mean_size_gain:0.0
-                 ~r_binsize:0.0 ~r_throughput:0.0 ~loss:0.0)
+                 ~r_binsize:0.0 ~r_throughput:0.0 ~loss:0.0 ())
           done;
           advance 2.5;
           Run.finish ~result:[ ("final_mean_reward", Json.Float 19.0) ] run;
@@ -164,7 +164,7 @@ let test_run_progress_flush_prefix () =
       for i = 0 to 9 do
         Run.progress run
           (Runlog.tick_record ~step:i ~episode:0 ~epsilon:1.0 ~mean_reward:0.0
-             ~mean_size_gain:0.0 ~r_binsize:0.0 ~r_throughput:0.0 ~loss:0.0)
+             ~mean_size_gain:0.0 ~r_binsize:0.0 ~r_throughput:0.0 ~loss:0.0 ())
       done;
       (* no finish, no close: read what made it to disk *)
       let records, _ = Runlog.read_jsonl (Run.progress_path dir) in
@@ -173,6 +173,43 @@ let test_run_progress_flush_prefix () =
         true
         (List.length records >= 8);
       Run.finish run)
+
+(* --- Run: listing robustness --------------------------------------------------
+   [posetrl runs list] / [posetrl watch] must survive a missing, empty or
+   partially-corrupt ledger root without raising Sys_error. *)
+
+let test_list_runs_missing_root () =
+  with_temp_dir (fun dir ->
+      let missing = Filename.concat dir "never-created" in
+      Alcotest.(check (list string)) "missing root yields []" []
+        (List.map (fun i -> i.Run.run_id) (Run.list_runs ~root:missing ())));
+  (* a root that is a regular file, not a directory *)
+  with_temp_dir (fun dir ->
+      let file = Filename.concat dir "plain" in
+      let oc = open_out file in
+      output_string oc "not a directory\n";
+      close_out oc;
+      Alcotest.(check (list string)) "file root yields []" []
+        (List.map (fun i -> i.Run.run_id) (Run.list_runs ~root:file ())))
+
+let test_list_runs_skips_corrupt () =
+  with_temp_dir (fun root ->
+      (* one good run, one directory with a corrupt manifest, one with no
+         manifest at all, one stray regular file *)
+      let good = Filename.concat root "good" in
+      Run.finish (Run.create ~dir:good ~name:"good" ~meta:[] ());
+      let corrupt = Filename.concat root "corrupt" in
+      Unix.mkdir corrupt 0o755;
+      let oc = open_out (Run.manifest_path corrupt) in
+      output_string oc "{ torn json\n";
+      close_out oc;
+      Unix.mkdir (Filename.concat root "empty") 0o755;
+      let oc = open_out (Filename.concat root "stray.txt") in
+      output_string oc "hello\n";
+      close_out oc;
+      Alcotest.(check (list string)) "only the readable run is listed"
+        [ "good" ]
+        (List.map (fun i -> i.Run.run_id) (Run.list_runs ~root ())))
 
 (* --- Run: comparison / regression gate ---------------------------------------- *)
 
@@ -313,6 +350,10 @@ let suite =
     Alcotest.test_case "run lifecycle" `Quick test_run_lifecycle;
     Alcotest.test_case "killed run keeps prefix" `Quick
       test_run_progress_flush_prefix;
+    Alcotest.test_case "list_runs missing root" `Quick
+      test_list_runs_missing_root;
+    Alcotest.test_case "list_runs skips corrupt" `Quick
+      test_list_runs_skips_corrupt;
     Alcotest.test_case "compare within thresholds" `Quick
       test_compare_within_thresholds;
     Alcotest.test_case "compare reward regression" `Quick

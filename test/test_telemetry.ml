@@ -1,0 +1,359 @@
+(* Tests for the live-telemetry layer: Prometheus exposition (Expo),
+   the HTTP server (Httpd) request/response plumbing and route table,
+   the Chrome trace-event export, and the [posetrl watch] dashboard
+   renderer. Socket behaviour is covered end-to-end on a loopback
+   ephemeral port; everything else is pure. *)
+
+module Obs = Posetrl_obs
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Expo = Obs.Expo
+module Httpd = Obs.Httpd
+module Runlog = Obs.Runlog
+module Run = Obs.Run
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let rec rm_rf (path : string) : unit =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir (f : string -> 'a) : 'a =
+  let dir = Filename.temp_file "posetrl_telemetry" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- Expo: name/label/value formatting ---------------------------------------- *)
+
+let test_sanitize_name () =
+  Alcotest.(check string) "dots" "posetrl_train_mean_reward"
+    (Expo.sanitize_name "posetrl.train.mean-reward");
+  Alcotest.(check string) "kept verbatim" "already_fine:name"
+    (Expo.sanitize_name "already_fine:name");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Expo.sanitize_name "9lives")
+
+let test_escape_label_value () =
+  Alcotest.(check string) "backslash quote newline" "a\\\\b\\\"c\\nd"
+    (Expo.escape_label_value "a\\b\"c\nd");
+  Alcotest.(check string) "plain untouched" "x86-64"
+    (Expo.escape_label_value "x86-64")
+
+let test_format_value () =
+  Alcotest.(check string) "integral without point" "3" (Expo.format_value 3.0);
+  Alcotest.(check string) "fraction" "0.25" (Expo.format_value 0.25);
+  Alcotest.(check string) "+Inf" "+Inf" (Expo.format_value infinity);
+  Alcotest.(check string) "-Inf" "-Inf" (Expo.format_value neg_infinity);
+  Alcotest.(check string) "NaN" "NaN" (Expo.format_value Float.nan)
+
+(* --- Expo: golden scrape -------------------------------------------------------
+   Byte-exact exposition of a counter, a gauge and a labeled histogram:
+   the contract a Prometheus scraper actually parses. *)
+
+let test_scrape_golden () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~r "posetrl.train.steps" in
+  Metrics.inc c; Metrics.inc ~by:2.0 c;
+  Metrics.set (Metrics.gauge ~r "posetrl.train.epsilon") 0.25;
+  let h =
+    Metrics.histogram ~r ~labels:[ ("space", "odg") ]
+      ~buckets:[| 0.1; 1.0 |] "posetrl.odg.walk_len"
+  in
+  Metrics.observe h 0.05; Metrics.observe h 0.5; Metrics.observe h 5.0;
+  let expected =
+    String.concat ""
+      [ "# HELP posetrl_odg_walk_len posetrl.odg.walk_len\n";
+        "# TYPE posetrl_odg_walk_len histogram\n";
+        "posetrl_odg_walk_len_bucket{space=\"odg\",le=\"0.1\"} 1\n";
+        "posetrl_odg_walk_len_bucket{space=\"odg\",le=\"1\"} 2\n";
+        "posetrl_odg_walk_len_bucket{space=\"odg\",le=\"+Inf\"} 3\n";
+        "posetrl_odg_walk_len_sum{space=\"odg\"} 5.55\n";
+        "posetrl_odg_walk_len_count{space=\"odg\"} 3\n";
+        "# HELP posetrl_train_epsilon posetrl.train.epsilon\n";
+        "# TYPE posetrl_train_epsilon gauge\n";
+        "posetrl_train_epsilon 0.25\n";
+        "# HELP posetrl_train_steps posetrl.train.steps\n";
+        "# TYPE posetrl_train_steps counter\n";
+        "posetrl_train_steps 3\n" ]
+  in
+  Alcotest.(check string) "golden exposition" expected (Expo.scrape ~r ())
+
+let test_metrics_sum_accessor () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~r ~buckets:[| 1.0 |] "posetrl.test.h" in
+  Metrics.observe h 0.5; Metrics.observe h 2.0;
+  Metrics.inc (Metrics.counter ~r "posetrl.test.c");
+  (* sum is exact for histograms and None elsewhere; value is the
+     mirror image (histograms have no single scalar reading) *)
+  check_float "histogram sum" 2.5 (Option.get (Metrics.sum ~r "posetrl.test.h"));
+  Alcotest.(check (option (float 0.0))) "sum of a counter" None
+    (Metrics.sum ~r "posetrl.test.c");
+  Alcotest.(check (option (float 0.0))) "value of a histogram" None
+    (Metrics.value ~r "posetrl.test.h");
+  (* the snapshot row carries the mean as row_value, the sum as row_sum *)
+  match
+    List.find_opt
+      (fun row -> row.Metrics.row_name = "posetrl.test.h")
+      (Metrics.snapshot ~r ())
+  with
+  | None -> Alcotest.fail "histogram row missing from snapshot"
+  | Some row ->
+    check_float "row_value is the mean" 1.25 row.Metrics.row_value;
+    check_float "row_sum is the sum" 2.5 row.Metrics.row_sum;
+    Alcotest.(check int) "row_count" 2 row.Metrics.row_count;
+    Alcotest.(check bool) "buckets end at +Inf" true
+      (match List.rev row.Metrics.row_buckets with
+       | (b, _) :: _ -> b = infinity
+       | [] -> false)
+
+(* --- Httpd: request/response plumbing ------------------------------------------ *)
+
+let test_parse_request () =
+  (match Httpd.parse_request "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" with
+   | Ok req ->
+     Alcotest.(check string) "method" "GET" req.Httpd.meth;
+     Alcotest.(check string) "path" "/metrics" req.Httpd.path
+   | Error _ -> Alcotest.fail "GET should parse");
+  (match Httpd.parse_request "GET /metrics?format=text HTTP/1.0\r\n" with
+   | Ok req -> Alcotest.(check string) "query dropped" "/metrics" req.Httpd.path
+   | Error _ -> Alcotest.fail "query string should parse");
+  (match Httpd.parse_request "POST /metrics HTTP/1.1\r\n" with
+   | Error resp -> Alcotest.(check int) "POST is 405" 405 resp.Httpd.status
+   | Ok _ -> Alcotest.fail "POST must be rejected");
+  match Httpd.parse_request "complete garbage" with
+  | Error resp -> Alcotest.(check int) "garbage is 400" 400 resp.Httpd.status
+  | Ok _ -> Alcotest.fail "garbage must be rejected"
+
+let test_render_response () =
+  let wire = Httpd.render_response (Httpd.response "hello") in
+  Alcotest.(check bool) "status line" true
+    (String.starts_with ~prefix:"HTTP/1.1 200 OK\r\n" wire);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no keep-alive" true (contains wire "Connection: close\r\n");
+  Alcotest.(check bool) "content length" true (contains wire "Content-Length: 5\r\n");
+  Alcotest.(check bool) "body last" true (String.ends_with ~suffix:"\r\n\r\nhello" wire)
+
+let test_telemetry_routes () =
+  with_temp_dir (fun root ->
+      let dir = Filename.concat root "r1" in
+      let run = Run.create ~dir ~name:"r1" ~meta:[ ("kind", Json.Str "train") ] () in
+      Run.progress run
+        (Runlog.tick_record ~step:1 ~episode:0 ~epsilon:1.0 ~mean_reward:0.5
+           ~mean_size_gain:0.0 ~r_binsize:0.0 ~r_throughput:0.0 ~loss:0.1 ());
+      Run.finish run;
+      let r = Metrics.create () in
+      Metrics.set (Metrics.gauge ~r "posetrl.train.reward") 1.5;
+      let handler =
+        Httpd.telemetry_handler ~registry:r ~runs_root:root
+          ~health:(fun () -> Json.Obj [ ("status", Json.Str "running") ])
+          ()
+      in
+      let get path = handler { Httpd.meth = "GET"; path } in
+      let metrics = get "/metrics" in
+      Alcotest.(check int) "metrics 200" 200 metrics.Httpd.status;
+      Alcotest.(check bool) "exposition body" true
+        (String.starts_with ~prefix:"# HELP posetrl_train_reward"
+           metrics.Httpd.body);
+      let health = get "/healthz" in
+      Alcotest.(check int) "healthz 200" 200 health.Httpd.status;
+      Alcotest.(check (option string)) "healthz json" (Some "running")
+        (Runlog.str "status" (Json.of_string health.Httpd.body));
+      (match Json.of_string (get "/runs").Httpd.body with
+       | Json.Arr [ one ] ->
+         Alcotest.(check (option string)) "runs lists r1" (Some "r1")
+           (Runlog.str "id" one)
+       | _ -> Alcotest.fail "/runs should list exactly one run");
+      (match Json.of_string (get "/runs/r1/progress").Httpd.body with
+       | doc ->
+         Alcotest.(check (option string)) "progress id" (Some "r1")
+           (Runlog.str "id" doc);
+         (match Runlog.field "records" doc with
+          | Some (Json.Arr [ tick ]) ->
+            Alcotest.(check (option (float 0.0))) "tick round trip" (Some 1.0)
+              (Runlog.num "step" tick)
+          | _ -> Alcotest.fail "expected one progress record"));
+      Alcotest.(check int) "unknown run 404" 404
+        (get "/runs/nope/progress").Httpd.status;
+      Alcotest.(check int) "unknown route 404" 404 (get "/nope").Httpd.status)
+
+(* --- Httpd: live socket -------------------------------------------------------- *)
+
+let test_live_socket () =
+  let server =
+    Httpd.create ~port:0
+      ~handler:(fun req ->
+        if req.Httpd.path = "/healthz" then
+          Httpd.json_response (Json.Obj [ ("status", Json.Str "running") ])
+        else Httpd.response ~status:404 "nope")
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Httpd.close server)
+    (fun () ->
+      Alcotest.(check bool) "ephemeral port assigned" true (Httpd.port server > 0);
+      (* no pending connection: pump returns immediately *)
+      Httpd.pump server;
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sock
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, Httpd.port server));
+          let req = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" in
+          ignore (Unix.write_substring sock req 0 (String.length req));
+          Httpd.pump server;
+          let buf = Bytes.create 8192 in
+          let n = ref 0 and eof = ref false in
+          while not !eof do
+            match Unix.read sock buf !n (Bytes.length buf - !n) with
+            | 0 -> eof := true
+            | k -> n := !n + k
+          done;
+          let raw = Bytes.sub_string buf 0 !n in
+          Alcotest.(check bool) "HTTP 200 over the wire" true
+            (String.starts_with ~prefix:"HTTP/1.1 200" raw);
+          Alcotest.(check bool) "json body served" true
+            (String.ends_with ~suffix:"{\"status\":\"running\"}\n" raw)))
+
+(* --- Chrome trace export -------------------------------------------------------- *)
+
+let mk_event ?(attrs = []) ?(depth = 0) name ~t ~dur =
+  { Obs.Event.name; attrs; t_start = t; dur; self = dur; depth }
+
+let test_chrome_roundtrip () =
+  let events =
+    [ mk_event "posetrl.pass.run" ~t:0.002 ~dur:0.001 ~depth:1
+        ~attrs:[ ("pass", Obs.Event.S "dce") ];
+      mk_event "posetrl.train.episode" ~t:0.001 ~dur:0.004 ]
+  in
+  match Json.of_string (Obs.Chrome.to_string events) with
+  | Json.Arr [ first; second ] ->
+    (* sorted by start time, microsecond timestamps, complete events *)
+    Alcotest.(check (option string)) "outer first" (Some "posetrl.train.episode")
+      (Runlog.str "name" first);
+    Alcotest.(check (option string)) "phase X" (Some "X")
+      (Runlog.str "ph" first);
+    check_float "ts in us" 1000.0 (Option.get (Runlog.num "ts" first));
+    check_float "dur in us" 4000.0 (Option.get (Runlog.num "dur" first));
+    Alcotest.(check (option (float 0.0))) "one shared track" (Some 1.0)
+      (Runlog.num "tid" second);
+    Alcotest.(check (option string)) "attrs land in args" (Some "dce")
+      (Option.bind (Runlog.field "args" second) (Runlog.str "pass"));
+    Alcotest.(check (option (float 0.0))) "depth in args" (Some 1.0)
+      (Option.bind (Runlog.field "args" second) (Runlog.num "depth"))
+  | _ -> Alcotest.fail "expected a two-element trace array"
+
+let test_chrome_write_is_valid_json () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "trace.chrome.json" in
+      Obs.Chrome.write ~path [ mk_event "e" ~t:0.0 ~dur:0.5 ];
+      match Runlog.read_json_file path with
+      | Json.Arr [ _ ] -> ()
+      | _ -> Alcotest.fail "written file should be a one-event JSON array")
+
+(* --- watch dashboard ------------------------------------------------------------ *)
+
+let test_action_histogram () =
+  let ep actions =
+    Runlog.episode_record ~actions ~episode:0 ~step:1 ~reward:0.0 ~r_binsize:0.0
+      ~r_throughput:0.0 ~size_gain_pct:0.0 ~thru_gain_pct:0.0 ~epsilon:1.0
+      ~loss:0.0 ()
+  in
+  let tick =
+    Runlog.tick_record ~step:1 ~episode:0 ~epsilon:1.0 ~mean_reward:0.0
+      ~mean_size_gain:0.0 ~r_binsize:0.0 ~r_throughput:0.0 ~loss:0.0 ()
+  in
+  (* ticks don't contribute; counts sort descending, ties by action id *)
+  Alcotest.(check (list (pair int int))) "fold + sort"
+    [ (2, 3); (0, 1); (5, 1) ]
+    (Obs.Dashboard.action_histogram [ tick; ep [ 2; 0; 2 ]; ep [ 5; 2 ] ]);
+  Alcotest.(check (list (pair int int))) "empty" []
+    (Obs.Dashboard.action_histogram [ tick ])
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_dashboard_render () =
+  let manifest =
+    Json.Obj [ ("kind", Json.Str "train"); ("status", Json.Str "running") ]
+  in
+  let records =
+    [ Runlog.tick_record ~step:200 ~episode:13 ~epsilon:0.9 ~mean_reward:4.5
+        ~mean_size_gain:1.0 ~r_binsize:0.1 ~r_throughput:0.2 ~loss:0.05 ();
+      Runlog.episode_record ~actions:[ 1; 1; 3 ] ~episode:13 ~step:195
+        ~reward:6.0 ~r_binsize:0.5 ~r_throughput:0.25 ~size_gain_pct:8.0
+        ~thru_gain_pct:1.0 ~epsilon:0.9 ~loss:0.04 () ]
+  in
+  let frame =
+    Obs.Dashboard.render ~id:"r7" ~manifest ~records ~dropped:1 ()
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "frame has %S" needle) true
+        (contains frame needle))
+    [ "run r7  [train, running]";
+      "step 200";
+      "eps 0.900";
+      "(1 torn progress line skipped)";
+      "reward";
+      "epsilon";
+      "loss";
+      "action selections";
+      "action 1        2";
+      "action 3        1" ];
+  (* empty ledger: a placeholder, not an exception or a blank screen *)
+  let empty = Obs.Dashboard.render ~id:"r8" ~manifest ~records:[] ~dropped:0 () in
+  Alcotest.(check bool) "placeholder on empty" true
+    (contains empty "(no progress records yet)")
+
+(* --- progress-record diagnostics fields ----------------------------------------- *)
+
+let test_record_diagnostic_fields () =
+  let with_q =
+    Runlog.tick_record ~q_mean:0.5 ~q_max:2.0 ~step:1 ~episode:0 ~epsilon:1.0
+      ~mean_reward:0.0 ~mean_size_gain:0.0 ~r_binsize:0.0 ~r_throughput:0.0
+      ~loss:0.0 ()
+  in
+  check_float "q_mean persisted" 0.5 (Option.get (Runlog.num "q_mean" with_q));
+  check_float "q_max persisted" 2.0 (Option.get (Runlog.num "q_max" with_q));
+  let without_q =
+    Runlog.tick_record ~step:1 ~episode:0 ~epsilon:1.0 ~mean_reward:0.0
+      ~mean_size_gain:0.0 ~r_binsize:0.0 ~r_throughput:0.0 ~loss:0.0 ()
+  in
+  Alcotest.(check (option (float 0.0))) "q fields omitted when absent" None
+    (Runlog.num "q_mean" without_q);
+  let ep =
+    Runlog.episode_record ~actions:[ 4; 2 ] ~episode:0 ~step:15 ~reward:1.0
+      ~r_binsize:0.0 ~r_throughput:0.0 ~size_gain_pct:0.0 ~thru_gain_pct:0.0
+      ~epsilon:1.0 ~loss:0.0 ()
+  in
+  match Runlog.field "actions" ep with
+  | Some (Json.Arr [ Json.Int 4; Json.Int 2 ]) -> ()
+  | _ -> Alcotest.fail "episode actions should persist in order"
+
+let suite =
+  [ Alcotest.test_case "sanitize_name" `Quick test_sanitize_name;
+    Alcotest.test_case "escape_label_value" `Quick test_escape_label_value;
+    Alcotest.test_case "format_value" `Quick test_format_value;
+    Alcotest.test_case "scrape golden" `Quick test_scrape_golden;
+    Alcotest.test_case "Metrics.sum + row fields" `Quick test_metrics_sum_accessor;
+    Alcotest.test_case "parse_request" `Quick test_parse_request;
+    Alcotest.test_case "render_response" `Quick test_render_response;
+    Alcotest.test_case "telemetry routes" `Quick test_telemetry_routes;
+    Alcotest.test_case "live socket" `Quick test_live_socket;
+    Alcotest.test_case "chrome round trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "chrome write" `Quick test_chrome_write_is_valid_json;
+    Alcotest.test_case "action histogram" `Quick test_action_histogram;
+    Alcotest.test_case "dashboard render" `Quick test_dashboard_render;
+    Alcotest.test_case "record diagnostics" `Quick test_record_diagnostic_fields ]
