@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the multicore execution engine.
+
+Usage: bench_gate.py BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
+
+Compares the `gate` section of freshly-benched BENCH_parallel.json files
+against the committed baseline and exits 2 if a gated series regressed
+by more than the tolerance (BENCH_GATE_TOL, default 0.25 = 25%).
+
+The gated values are *calibration-relative*: each kernel's ns/run is
+divided by the ns/run of an untiled 4k dot product benched in the same
+process, so raw machine speed mostly cancels and the committed baseline
+is meaningful on a different runner. Sync-bound rows (pool dispatch)
+are still noisy, so the workflow benches more than once and this script
+takes the best (minimum) candidate value per series before comparing.
+"""
+
+import json
+import os
+import sys
+
+# series enforced by ci; everything else in `gate` is printed for context
+GATED = ("gemm_rel", "pool_dispatch_rel")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("kind") != "bench-parallel" or "gate" not in doc:
+        sys.exit(f"bench_gate: {path} is not a BENCH_parallel.json document")
+    return doc["gate"]
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(f"usage: {argv[0]} BASELINE.json CANDIDATE.json [CANDIDATE.json ...]")
+    tol = float(os.environ.get("BENCH_GATE_TOL", "0.25"))
+    base = load(argv[1])
+    cands = [load(p) for p in argv[2:]]
+
+    regressed = False
+    print(f"bench gate: {len(cands)} candidate run(s), tolerance {tol:.0%}")
+    for key in sorted(base):
+        if key == "calib_ns":
+            continue
+        b = base[key]
+        c = min(x[key] for x in cands)
+        ratio = c / b if b > 0 else float("inf")
+        if key in GATED:
+            bad = ratio > 1.0 + tol
+            regressed |= bad
+            status = "REGRESSED" if bad else "ok"
+        else:
+            status = "(context)"
+        print(f"  {key:20s} base {b:10.3f}  cand {c:10.3f}  ratio {ratio:5.2f}  {status}")
+
+    if regressed:
+        print("bench gate: regression detected")
+        return 2
+    print("bench gate: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

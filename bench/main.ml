@@ -395,10 +395,35 @@ let ablations () =
 (* bechamel micro-benchmarks                                                  *)
 (* ======================================================================== *)
 
+(* Run a grouped test set on the fixed budget and return (name, ns/run)
+   rows, OLS-estimated against the monotonic clock. *)
+let bechamel_run tests : (string * float) list =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      Hashtbl.iter
+        (fun name r ->
+          match Analyze.OLS.estimates r with
+          | Some (est :: _) -> rows := (name, est) :: !rows
+          | _ -> ())
+        tbl)
+    merged;
+  List.sort compare !rows
+
+let print_bechamel_rows rows =
+  List.iter (fun (name, est) -> Printf.printf "  %-38s %14.1f ns/run\n" name est) rows
+
 let micro () =
   section_header "Micro-benchmarks (bechamel)";
   let open Bechamel in
-  let open Bechamel.Toolkit in
   let m = W.Mibench.crc32 () in
   let env = C.Environment.create ~target:x86 ~actions:O.Action_space.odg () in
   ignore (C.Environment.reset env m);
@@ -461,22 +486,129 @@ let micro () =
            in
            Staged.stage (fun () -> ignore (Obs.Chrome.to_string events))) ]
   in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = [ Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
-  let raw = Benchmark.all cfg instances tests in
-  let results = List.map (fun i -> Analyze.all ols i raw) instances in
-  let merged = Analyze.merge ols instances results in
-  Hashtbl.iter
-    (fun _clock tbl ->
-      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) tbl [] in
-      List.iter
-        (fun (name, result) ->
-          match Analyze.OLS.estimates result with
-          | Some (est :: _) -> Printf.printf "  %-34s %14.1f ns/run\n" name est
-          | _ -> Printf.printf "  %-34s (no estimate)\n" name)
-        (List.sort compare rows))
-    merged
+  print_bechamel_rows (bechamel_run tests)
+
+(* ======================================================================== *)
+(* parallel engine: pool + batched gemm micro-benches and speedup probe       *)
+(* ======================================================================== *)
+
+(* Benches the multicore execution engine and writes BENCH_parallel.json,
+   the file the bench-regression CI job diffs against the committed
+   baseline. Raw ns/run numbers don't transfer between machines, so the
+   gate compares each metric *relative to the calibration row* (a plain
+   scalar FMA loop benched in the same process) — see
+   .github/scripts/bench_gate.py. *)
+let parallel () =
+  section_header "Parallel engine (domain pool + batched gemm)";
+  let open Bechamel in
+  let module M = Posetrl_nn.Matrix in
+  let jobs =
+    match Sys.getenv_opt "POSETRL_BENCH_JOBS" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+    | None -> min 4 (Domain.recommended_domain_count ())
+  in
+  let rng = Rng.create 7 in
+  let x = M.init 64 300 (fun _ _ -> Rng.normal rng) in
+  let w = M.init 128 300 (fun _ _ -> Rng.normal rng) in
+  let a = M.init 64 300 (fun _ _ -> Rng.normal rng) in
+  let b = M.init 300 128 (fun _ _ -> Rng.normal rng) in
+  let noops = Array.make 64 () in
+  let pool = Pool.create ~name:"bench" ~jobs () in
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        bechamel_run
+          (Test.make_grouped ~name:"parallel"
+             [ (* calibration: an untiled 4k dot product — the same
+                  load/FMA bottleneck as the gemm inner loop, so the
+                  gemm/calib ratio mostly cancels machine speed and the
+                  committed baseline stays portable across machines *)
+               Test.make ~name:"calib-dot-4k"
+                 (let u = Array.init 4096 (fun i -> float_of_int i *. 1e-3) in
+                  let v = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+                  Staged.stage (fun () ->
+                      let acc = ref 0.0 in
+                      for i = 0 to 4095 do
+                        acc := !acc +. (u.(i) *. v.(i))
+                      done;
+                      ignore (Sys.opaque_identity !acc)));
+               Test.make ~name:"gemm-64x300x128"
+                 (Staged.stage (fun () -> ignore (M.gemm a b)));
+               Test.make ~name:"gemm-nt-64x300x128"
+                 (Staged.stage (fun () -> ignore (M.gemm_nt x w)));
+               Test.make ~name:"gemm-pool-64x300x128"
+                 (Staged.stage (fun () -> ignore (M.gemm ~pool a b)));
+               Test.make ~name:"pool-dispatch-64-noops"
+                 (Staged.stage (fun () ->
+                      ignore (Pool.map pool (fun () -> ()) noops)));
+               Test.make ~name:"expo-scrape-32-series"
+                 (let r = Obs.Metrics.create () in
+                  for i = 0 to 31 do
+                    Obs.Metrics.set
+                      (Obs.Metrics.gauge ~r
+                         ~labels:[ ("action", string_of_int i) ]
+                         "posetrl.bench.gauge")
+                      (float_of_int i)
+                  done;
+                  Staged.stage (fun () -> ignore (Obs.Expo.scrape ~r ()))) ]))
+  in
+  print_bechamel_rows rows;
+  (* eval-shaped speedup probe: the Oz pipeline over every validation
+     program, sequential vs pool — the wall-clock shape `posetrl eval
+     --jobs N` parallelizes (informational; the CI gate keys on the
+     micro rows above) *)
+  let progs =
+    Array.of_list
+      (List.concat_map (fun s -> s.W.Suites.programs) W.Suites.validation_suites)
+  in
+  let work (_name, mk) = ignore (opt P.Pipelines.Oz (mk ())) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let seq_s = time (fun () -> Array.iter work progs) in
+  let par_s =
+    Pool.with_pool ~name:"bench-speedup" ~jobs (fun p ->
+        time (fun () -> ignore (Pool.map p work progs)))
+  in
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  Printf.printf
+    "  oz-pipeline over %d programs: seq %.3fs  pool(j%d) %.3fs  speedup %.2fx\n"
+    (Array.length progs) seq_s jobs par_s speedup;
+  let ns suffix =
+    match List.find_opt (fun (n, _) -> Filename.basename n = suffix) rows with
+    | Some (_, v) -> v
+    | None -> 0.0
+  in
+  let calib = ns "calib-dot-4k" in
+  let rel v = if calib > 0.0 then v /. calib else 0.0 in
+  let gemm_ns = ns "gemm-64x300x128" in
+  let dispatch_ns = ns "pool-dispatch-64-noops" in
+  let scrape_ns = ns "expo-scrape-32-series" in
+  let path = "BENCH_parallel.json" in
+  Obs.Runlog.write_json_file path
+    (Obs.Json.Obj
+       [ ("kind", Obs.Json.Str "bench-parallel");
+         ("jobs", Obs.Json.Int jobs);
+         ("micro_ns",
+          Obs.Json.Obj (List.map (fun (n, v) -> (Filename.basename n, Obs.Json.Float v)) rows));
+         ("gate",
+          (* the two series the CI gate enforces (25% tolerance on the
+             calibration-relative cost), plus the scrape row for context *)
+          Obs.Json.Obj
+            [ ("calib_ns", Obs.Json.Float calib);
+              ("gemm_rel", Obs.Json.Float (rel gemm_ns));
+              ("pool_dispatch_rel", Obs.Json.Float (rel dispatch_ns));
+              ("expo_scrape_rel", Obs.Json.Float (rel scrape_ns)) ]);
+         ("speedup",
+          Obs.Json.Obj
+            [ ("programs", Obs.Json.Int (Array.length progs));
+              ("seq_s", Obs.Json.Float seq_s);
+              ("pool_s", Obs.Json.Float par_s);
+              ("speedup_x", Obs.Json.Float speedup) ]) ]);
+  Printf.printf "  parallel bench baseline written to %s\n" path
 
 (* ======================================================================== *)
 
@@ -489,7 +621,8 @@ let sections : (string * (unit -> unit)) list =
     ("fig5", fig5);
     ("table6", table6);
     ("ablations", ablations);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("parallel", parallel) ]
 
 let () =
   let requested =

@@ -78,6 +78,21 @@ let with_obs ~(trace : string option) ~(metrics : bool) (f : unit -> 'a) : 'a =
   if metrics then Obs.Console.print_metrics ~title:"metrics (posetrl.*)" ();
   r
 
+(* --- worker pool (--jobs, shared by train/eval) ---------------------------- *)
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel work: suite programs in `eval`, \
+               the minibatch gemm rows in `train`. Results are byte-identical \
+               to --jobs 1 (see DESIGN.md §9). Default 1 (sequential, no \
+               domains spawned).")
+
+(* [f] gets [Some pool] only when parallelism was actually requested, so
+   the sequential path stays domain-free. *)
+let with_jobs ~(jobs : int) (f : Posetrl_support.Pool.t option -> 'a) : 'a =
+  if jobs <= 1 then f None
+  else Posetrl_support.Pool.with_pool ~name:"posetrl" ~jobs (fun p -> f (Some p))
+
 (* --- run-ledger plumbing (shared by train/eval) --------------------------- *)
 
 let run_dir_arg =
@@ -308,7 +323,7 @@ let train_cmd =
   let corpus_size =
     Arg.(value & opt int 130 & info [ "corpus" ] ~doc:"Training corpus size (paper: 130).")
   in
-  let go out space target steps fast seed corpus_size trace metrics run_dir
+  let go out space target steps fast seed corpus_size jobs trace metrics run_dir
       run_name serve serve_grace =
     let actions = space_of_string space in
     let tgt = target_of_string target in
@@ -389,9 +404,10 @@ let train_cmd =
         with_run run (fun () ->
             let res =
               with_obs ~trace ~metrics (fun () ->
-                  C.Trainer.train ~hp ~on_progress ~on_episode
-                    ~on_step:(fun _ -> pump ()) ~seed ~corpus
-                    ~actions ~target:tgt ())
+                  with_jobs ~jobs (fun pool ->
+                      C.Trainer.train ?pool ~hp ~on_progress ~on_episode
+                        ~on_step:(fun _ -> pump ()) ~seed ~corpus
+                        ~actions ~target:tgt ()))
             in
             Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
             Obs.Console.info "saved weights to %s (%d episodes)\n" out
@@ -402,7 +418,7 @@ let train_cmd =
   in
   Cmd.v (Cmd.info "train" ~doc:"Train a phase-ordering model")
     Term.(const go $ out $ space $ target $ steps $ fast $ seed $ corpus_size
-          $ trace_arg $ metrics_arg $ run_dir_arg $ run_name_arg
+          $ jobs_arg $ trace_arg $ metrics_arg $ run_dir_arg $ run_name_arg
           $ serve_arg $ serve_grace_arg)
 
 (* --- eval ------------------------------------------------------------------- *)
@@ -418,7 +434,7 @@ let eval_cmd =
   let target =
     Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
   in
-  let go weights space target trace metrics run_dir run_name serve serve_grace =
+  let go weights space target jobs trace metrics run_dir run_name serve serve_grace =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let rng = Posetrl_support.Rng.create 0 in
@@ -440,20 +456,18 @@ let eval_cmd =
       with_run run (fun () ->
         let evaluated =
           with_obs ~trace ~metrics (fun () ->
-              List.map
-                (fun suite ->
-                  let results =
-                    List.map
-                      (fun (name, mk) ->
-                        pump ();
-                        C.Evaluate.evaluate_program ~agent ~actions ~target:tgt
-                          ~name (mk ()))
-                      suite.W.Suites.programs
-                  in
-                  ( C.Evaluate.summarize_suite
-                      ~suite:suite.W.Suites.suite_name results,
-                    results ))
-                W.Suites.validation_suites)
+              with_jobs ~jobs (fun pool ->
+                  List.map
+                    (fun suite ->
+                      pump ();
+                      let results =
+                        C.Evaluate.evaluate_programs ?pool ~agent ~actions
+                          ~target:tgt suite.W.Suites.programs
+                      in
+                      ( C.Evaluate.summarize_suite
+                          ~suite:suite.W.Suites.suite_name results,
+                        results ))
+                    W.Suites.validation_suites))
         in
         List.iter
           (fun ((s : C.Evaluate.suite_summary), results) ->
@@ -482,7 +496,7 @@ let eval_cmd =
            Obs.Json.Float (Posetrl_support.Stats.mean avg_reds)) ]))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a trained model on the validation suites")
-    Term.(const go $ weights $ space $ target $ trace_arg $ metrics_arg
+    Term.(const go $ weights $ space $ target $ jobs_arg $ trace_arg $ metrics_arg
           $ run_dir_arg $ run_name_arg $ serve_arg $ serve_grace_arg)
 
 (* --- report ------------------------------------------------------------------ *)

@@ -54,6 +54,49 @@ let evaluate_program ?(measure_time = true) ~(agent : Rl.Dqn.t)
     time_model = (if measure_time then run_time m_model else None);
     predicted = rollout.Inference.actions }
 
+(* --- parallel suite evaluation (pool) --------------------------------------
+
+   Programs are independent: each worker builds its module fresh (the
+   workload generators carry their own seeded RNGs), runs the greedy
+   rollout and sizes the three binaries. Results come back in input
+   order from [Pool.map_timed], so the output — and everything derived
+   from it (eval.json) — is byte-identical to the sequential path. The
+   owner domain then emits one span per task from the recorded wall
+   timings and feeds the [posetrl.pool.*] series. *)
+
+module Pool = Posetrl_support.Pool
+module Obs = Posetrl_obs
+
+let m_pool_jobs = Obs.Metrics.gauge "posetrl.pool.jobs"
+let m_pool_tasks = Obs.Metrics.counter "posetrl.pool.eval_tasks"
+let m_pool_task_s = Obs.Metrics.histogram "posetrl.pool.task_seconds"
+let m_pool_batch_s = Obs.Metrics.histogram "posetrl.pool.batch_seconds"
+
+let evaluate_programs ?(measure_time = true) ?pool ~(agent : Rl.Dqn.t)
+    ~(actions : Posetrl_odg.Action_space.t)
+    ~(target : Posetrl_codegen.Target.t)
+    (programs : (string * (unit -> Modul.t)) list) : program_result list =
+  let eval_one (name, mk) =
+    evaluate_program ~measure_time ~agent ~actions ~target ~name (mk ())
+  in
+  match pool with
+  | None -> List.map eval_one programs
+  | Some p ->
+    Obs.Metrics.set m_pool_jobs (float_of_int (Pool.jobs p));
+    let t0 = Obs.Clock.now () in
+    let results, timings = Pool.map_timed p eval_one (Array.of_list programs) in
+    Obs.Metrics.observe m_pool_batch_s (Obs.Clock.now () -. t0);
+    let names = Array.of_list (List.map fst programs) in
+    Array.iter
+      (fun (tm : Pool.timing) ->
+        Obs.Metrics.inc m_pool_tasks;
+        Obs.Metrics.observe m_pool_task_s tm.Pool.t_dur;
+        Obs.Span.emit
+          ~attrs:[ ("program", Obs.Event.S names.(tm.Pool.t_index)) ]
+          ~name:"posetrl.pool.task" ~t_start:tm.Pool.t_start ~dur:tm.Pool.t_dur ())
+      timings;
+    Array.to_list results
+
 type suite_summary = {
   suite : string;
   n : int;

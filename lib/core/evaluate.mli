@@ -29,6 +29,19 @@ val evaluate_program :
   name:string ->
   Posetrl_ir.Modul.t -> program_result
 
+val evaluate_programs :
+  ?measure_time:bool ->
+  ?pool:Posetrl_support.Pool.t ->
+  agent:Posetrl_rl.Dqn.t ->
+  actions:Posetrl_odg.Action_space.t ->
+  target:Posetrl_codegen.Target.t ->
+  (string * (unit -> Posetrl_ir.Modul.t)) list -> program_result list
+(** Evaluate a list of (name, module-builder) programs, in input order.
+    With [pool] the programs run across the pool's domains; results are
+    byte-identical to the sequential path (greedy rollouts are RNG-free
+    and [Pool.map] preserves order). Each task feeds the
+    [posetrl.pool.*] metrics and emits a [posetrl.pool.task] span. *)
+
 type suite_summary = {
   suite : string;
   n : int;

@@ -131,6 +131,7 @@ type result = {
 let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     ?(on_episode = fun (_ : episode_summary) -> ())
     ?(on_step = fun (_ : int) -> ())
+    ?pool
     ~(seed : int) ~(corpus : Modul.t array)
     ~(actions : Posetrl_odg.Action_space.t)
     ~(target : Posetrl_codegen.Target.t) () : result =
@@ -140,8 +141,10 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
   let env =
     Environment.create ~max_steps:hp.max_episode_steps ~target ~actions ()
   in
+  (* [pool] parallelizes the batch dimension of the DQN's gemm kernels;
+     row partitioning keeps training byte-identical to --jobs 1 *)
   let agent =
-    Rl.Dqn.create ~gamma:hp.gamma ~lr:hp.lr ~double:hp.double net_rng
+    Rl.Dqn.create ~gamma:hp.gamma ~lr:hp.lr ~double:hp.double ?pool net_rng
       ~state_dim:Environment.state_dim ~hidden:hp.hidden
       ~n_actions:(Environment.n_actions env)
   in

@@ -61,14 +61,17 @@ val train :
   ?on_progress:(progress -> unit) ->
   ?on_episode:(episode_summary -> unit) ->
   ?on_step:(int -> unit) ->
+  ?pool:Posetrl_support.Pool.t ->
   seed:int ->
   corpus:Posetrl_ir.Modul.t array ->
   actions:Posetrl_odg.Action_space.t ->
   target:Posetrl_codegen.Target.t ->
   unit -> result
-(** Train a phase-ordering agent. Deterministic per seed. Returns the
-    best-probe-score snapshot when [hp.snapshot_every > 0], otherwise the
-    final weights.
+(** Train a phase-ordering agent. Deterministic per seed — including
+    under [pool], which parallelizes the batch dimension of the DQN's
+    gemm kernels by row partitioning (byte-identical arithmetic; see
+    DESIGN.md §9). Returns the best-probe-score snapshot when
+    [hp.snapshot_every > 0], otherwise the final weights.
 
     [on_step] fires once per environment step (after the step's metric
     updates) with the global step index — the hook the CLI uses to pump

@@ -22,9 +22,15 @@ let hash_name (s : string) : int =
     s;
   Int64.to_int (Int64.logand !h (Int64.of_int max_int))
 
-let cache : (string, Vecf.t) Hashtbl.t = Hashtbl.create 128
+(* Seed vectors are derived purely from the entity name, so the cache is
+   an idempotent memo — made domain-local (one table per domain) so
+   parallel evaluation never races a shared hashtable, and every domain
+   still computes identical vectors. *)
+let cache_key : (string, Vecf.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 128)
 
 let embedding (entity : string) : Vecf.t =
+  let cache = Domain.DLS.get cache_key in
   match Hashtbl.find_opt cache entity with
   | Some v -> v
   | None ->

@@ -43,6 +43,60 @@ let forward (l : t) (x : float array) : float array * cache =
   let out = if l.relu then Array.map (fun v -> if v > 0.0 then v else 0.0) pre else Array.copy pre in
   (out, { input = x; pre })
 
+(* --- minibatch path --------------------------------------------------------
+
+   One gemm per layer instead of one matvec per sample: rows are batch
+   elements. Term order per output element matches the per-sample loop
+   (ascending input index forward, ascending sample index into the
+   gradients), so switching batch sizes or enabling the pool never
+   changes the arithmetic — see DESIGN.md §9. *)
+
+type bcache = {
+  binput : Matrix.t; (* batch x in_dim *)
+  bpre : Matrix.t;   (* batch x out_dim, pre-activation *)
+}
+
+let forward_batch ?pool (l : t) (x : Matrix.t) : Matrix.t * bcache =
+  if x.Matrix.cols <> l.w.Matrix.cols then
+    invalid_arg "Layer.forward_batch: dimension mismatch";
+  let pre = Matrix.gemm_nt ?pool x l.w in
+  let out_dim = l.w.Matrix.rows in
+  for i = 0 to pre.Matrix.rows - 1 do
+    let base = i * out_dim in
+    for j = 0 to out_dim - 1 do
+      pre.Matrix.data.(base + j) <- pre.Matrix.data.(base + j) +. l.b.(j)
+    done
+  done;
+  let out =
+    if l.relu then
+      { pre with
+        Matrix.data =
+          Array.map (fun v -> if v > 0.0 then v else 0.0) pre.Matrix.data }
+    else Matrix.copy pre
+  in
+  (out, { binput = x; bpre = pre })
+
+(* Accumulates gradients over the whole batch; returns dL/dinput rows. *)
+let backward_batch ?pool (l : t) (c : bcache) (dout : Matrix.t) : Matrix.t =
+  let dpre =
+    if l.relu then
+      { dout with
+        Matrix.data =
+          Array.mapi
+            (fun i d -> if c.bpre.Matrix.data.(i) > 0.0 then d else 0.0)
+            dout.Matrix.data }
+    else dout
+  in
+  Matrix.gemm_tn_acc l.gw dpre c.binput;
+  let out_dim = dpre.Matrix.cols in
+  for i = 0 to dpre.Matrix.rows - 1 do
+    let base = i * out_dim in
+    for j = 0 to out_dim - 1 do
+      l.gb.(j) <- l.gb.(j) +. dpre.Matrix.data.(base + j)
+    done
+  done;
+  Matrix.gemm ?pool dpre l.w
+
 (* Accumulates gradients; returns dL/dinput. *)
 let backward (l : t) (c : cache) (dout : float array) : float array =
   let dpre =

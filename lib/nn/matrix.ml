@@ -60,6 +60,120 @@ let outer_add (m : t) ~(k : float) (a : float array) (b : float array) =
       done
   done
 
+(* --- batched kernels (gemm family) ----------------------------------------
+
+   Minibatch training multiplies (batch x dim) activation matrices
+   against layer weights; these kernels are the hot path of
+   [Dqn.train_batch]. All three stream contiguous rows (the "ikj" /
+   dot-product orders that suit row-major data) and tile the inner loop
+   in blocks of [tile] columns so a C-row segment and a B-row segment
+   stay resident in cache.
+
+   Determinism: every output element accumulates its k-terms in
+   ascending-k order no matter the tiling or the row partition, so the
+   pool-parallel path below is byte-identical to the serial one — and
+   the batched forward/backward are term-order identical to the
+   per-sample [matvec]/[outer_add] loop they replace. *)
+
+let tile = 64
+
+let row_slice rows jobs w =
+  (* chunk [0, rows) into at most [jobs] contiguous (start, stop) spans *)
+  let jobs = max 1 (min jobs rows) in
+  let per = (rows + jobs - 1) / jobs in
+  List.init jobs (fun k -> (k * per, min rows ((k + 1) * per)))
+  |> List.filter (fun (i0, i1) -> i0 < i1)
+  |> List.map w
+
+let parallel_rows ?pool rows (body : int -> int -> unit) : unit =
+  match pool with
+  | Some p when Posetrl_support.Pool.jobs p > 1 && rows >= 2 ->
+    ignore
+      (Posetrl_support.Pool.map p
+         (fun (i0, i1) -> body i0 i1)
+         (Array.of_list (row_slice rows (Posetrl_support.Pool.jobs p) Fun.id)))
+  | _ -> body 0 rows
+
+(* C = A B *)
+let gemm ?pool (a : t) (b : t) : t =
+  if a.cols <> b.rows then invalid_arg "Matrix.gemm: dimension mismatch";
+  let c = create a.rows b.cols in
+  let n = b.cols in
+  parallel_rows ?pool a.rows (fun i0 i1 ->
+      for i = i0 to i1 - 1 do
+        let abase = i * a.cols and cbase = i * n in
+        let j0 = ref 0 in
+        while !j0 < n do
+          let jhi = min n (!j0 + tile) in
+          for k = 0 to a.cols - 1 do
+            let aik = a.data.(abase + k) in
+            if aik <> 0.0 then begin
+              let bbase = k * n in
+              for j = !j0 to jhi - 1 do
+                c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
+              done
+            end
+          done;
+          j0 := jhi
+        done
+      done);
+  c
+
+(* C = A Bᵀ — the minibatch forward ([x · wᵀ]): both operands are read
+   row-wise, so each output element is one contiguous dot product. *)
+let gemm_nt ?pool (a : t) (b : t) : t =
+  if a.cols <> b.cols then invalid_arg "Matrix.gemm_nt: dimension mismatch";
+  let c = create a.rows b.rows in
+  let kdim = a.cols in
+  parallel_rows ?pool a.rows (fun i0 i1 ->
+      for i = i0 to i1 - 1 do
+        let abase = i * kdim and cbase = i * b.rows in
+        for j = 0 to b.rows - 1 do
+          let bbase = j * kdim in
+          let acc = ref 0.0 in
+          for k = 0 to kdim - 1 do
+            acc := !acc +. (a.data.(abase + k) *. b.data.(bbase + k))
+          done;
+          c.data.(cbase + j) <- !acc
+        done
+      done);
+  c
+
+(* C <- C + Aᵀ B — the weight-gradient accumulate ([gw += dpreᵀ · x]).
+   Runs serial: gradient matrices are small (out x in) and the k loop
+   must stay sample-ascending per element for term-order determinism. *)
+let gemm_tn_acc (c : t) (a : t) (b : t) : unit =
+  if a.rows <> b.rows || c.rows <> a.cols || c.cols <> b.cols then
+    invalid_arg "Matrix.gemm_tn_acc: dimension mismatch";
+  let n = b.cols in
+  for k = 0 to a.rows - 1 do
+    let abase = k * a.cols and bbase = k * n in
+    for i = 0 to a.cols - 1 do
+      let aki = a.data.(abase + i) in
+      if aki <> 0.0 then begin
+        let cbase = i * n in
+        for j = 0 to n - 1 do
+          c.data.(cbase + j) <- c.data.(cbase + j) +. (aki *. b.data.(bbase + j))
+        done
+      end
+    done
+  done
+
+(* rows of [m] as freshly allocated arrays / a matrix from row vectors *)
+let of_rows (rows : float array array) : t =
+  let r = Array.length rows in
+  if r = 0 then invalid_arg "Matrix.of_rows: empty";
+  let c = Array.length rows.(0) in
+  let m = create r c in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_rows: ragged rows";
+      Array.blit row 0 m.data (i * c) c)
+    rows;
+  m
+
+let row (m : t) (i : int) : float array = Array.sub m.data (i * m.cols) m.cols
+
 let map_inplace f m =
   for i = 0 to Array.length m.data - 1 do
     m.data.(i) <- f m.data.(i)

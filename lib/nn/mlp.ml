@@ -42,6 +42,33 @@ let backward (net : t) (caches : caches) (dout : float array) : unit =
     d := Layer.backward net.layers.(k) caches.(k) !d
   done
 
+(* --- minibatch path: one gemm per layer over the whole batch ------------- *)
+
+type bcaches = Layer.bcache array
+
+let forward_batch_cached ?pool (net : t) (x : Matrix.t) : Matrix.t * bcaches =
+  let n = Array.length net.layers in
+  let caches = Array.make n { Layer.binput = x; Layer.bpre = x } in
+  let out = ref x in
+  Array.iteri
+    (fun k l ->
+      let o, c = Layer.forward_batch ?pool l !out in
+      caches.(k) <- c;
+      out := o)
+    net.layers;
+  (!out, caches)
+
+let forward_batch ?pool (net : t) (x : Matrix.t) : Matrix.t =
+  fst (forward_batch_cached ?pool net x)
+
+(* Backpropagate per-row dL/doutput, accumulating parameter gradients
+   over the whole batch. *)
+let backward_batch ?pool (net : t) (caches : bcaches) (dout : Matrix.t) : unit =
+  let d = ref dout in
+  for k = Array.length net.layers - 1 downto 0 do
+    d := Layer.backward_batch ?pool net.layers.(k) caches.(k) !d
+  done
+
 let zero_grad (net : t) = Array.iter Layer.zero_grad net.layers
 
 let copy_params ~(src : t) ~(dst : t) =

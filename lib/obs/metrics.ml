@@ -21,11 +21,23 @@ type cell =
 
 type key = string * (string * string) list
 
-type t = { cells : (key, cell) Hashtbl.t }
+(* The registry hashtable is guarded by a mutex so series registration
+   and snapshots stay safe when worker domains look up labeled handles
+   lazily (a racing [Hashtbl.add] can corrupt the table structurally).
+   Handle updates ([inc]/[set]/[observe]) stay lock-free: they are plain
+   mutable-cell writes — memory-safe under the OCaml memory model, with
+   the documented caveat that concurrent updates to the same cell may
+   lose increments (see DESIGN.md §9). *)
+type t = { cells : (key, cell) Hashtbl.t; lock : Mutex.t }
 
-let create () = { cells = Hashtbl.create 64 }
+let create () = { cells = Hashtbl.create 64; lock = Mutex.create () }
 let global = create ()
-let reset (r : t) = Hashtbl.reset r.cells
+
+let locked (r : t) (f : unit -> 'a) : 'a =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
+
+let reset (r : t) = locked r (fun () -> Hashtbl.reset r.cells)
 
 let norm_labels labels = List.sort compare labels
 
@@ -37,12 +49,13 @@ let kind_name = function
 let lookup (r : t) (name : string) (labels : (string * string) list)
     (make : unit -> cell) : cell =
   let key = (name, norm_labels labels) in
-  match Hashtbl.find_opt r.cells key with
-  | Some c -> c
-  | None ->
-    let c = make () in
-    Hashtbl.add r.cells key c;
-    c
+  locked r (fun () ->
+      match Hashtbl.find_opt r.cells key with
+      | Some c -> c
+      | None ->
+        let c = make () in
+        Hashtbl.add r.cells key c;
+        c)
 
 let counter ?(r = global) ?(labels = []) name : counter =
   match lookup r name labels (fun () -> Counter (ref 0.0)) with
@@ -99,13 +112,13 @@ let observe (h : histogram) (v : float) =
   h.h_count <- h.h_count + 1
 
 let value ?(r = global) ?(labels = []) name : float option =
-  match Hashtbl.find_opt r.cells (name, norm_labels labels) with
+  match locked r (fun () -> Hashtbl.find_opt r.cells (name, norm_labels labels)) with
   | Some (Counter c) -> Some !c
   | Some (Gauge g) -> Some !g
   | _ -> None
 
 let sum ?(r = global) ?(labels = []) name : float option =
-  match Hashtbl.find_opt r.cells (name, norm_labels labels) with
+  match locked r (fun () -> Hashtbl.find_opt r.cells (name, norm_labels labels)) with
   | Some (Hist h) -> Some h.h_sum
   | _ -> None
 
@@ -172,7 +185,7 @@ let row_of_cell ((name, labels) : key) (c : cell) : row =
           (quantile_bound h 0.95) h.h_sum }
 
 let snapshot ?(r = global) () : row list =
-  Hashtbl.fold (fun k c acc -> row_of_cell k c :: acc) r.cells []
+  locked r (fun () -> Hashtbl.fold (fun k c acc -> row_of_cell k c :: acc) r.cells [])
   |> List.sort (fun a b ->
          compare (a.row_name, a.row_labels) (b.row_name, b.row_labels))
 

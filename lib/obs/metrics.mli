@@ -7,7 +7,15 @@
     hot-path increments cost a float add — instrument freely.
 
     The [global] registry backs the whole pipeline; tests create their
-    own with [create] to stay isolated. *)
+    own with [create] to stay isolated.
+
+    Domain safety: registration, lookup and snapshots are serialized by
+    a per-registry lock, so worker domains may create labeled handles
+    concurrently. Handle updates ([inc]/[set]/[observe]) stay lock-free
+    plain writes — concurrent updates to the same cell from several
+    domains are memory-safe but may lose increments under contention.
+    Telemetry tolerates that; anything determinism-critical must not
+    read metrics. *)
 
 type t
 (** A registry: a set of (name, labels) series. *)

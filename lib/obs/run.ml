@@ -151,14 +151,28 @@ let list_runs ?(root = default_root) () : info list =
   with
   | exception Sys_error _ -> []
   | entries ->
-    Array.to_list entries |> List.sort compare
+    (* creation order: manifest mtime first, run id as the tiebreak —
+       same-second manifests (parallel CI jobs, fast smoke runs) would
+       otherwise list in filesystem order, which is not stable across
+       machines or reruns *)
+    Array.to_list entries
     |> List.filter_map (fun entry ->
            let dir = Filename.concat root entry in
            if Sys.file_exists (manifest_path dir) then
              match load dir with
-             | info -> Some info
+             | info ->
+               let mtime =
+                 try (Unix.stat (manifest_path dir)).Unix.st_mtime
+                 with Unix.Unix_error _ -> 0.0
+               in
+               Some (mtime, info)
              | exception (Sys_error _ | Failure _ | Json.Parse_error _) -> None
            else None)
+    |> List.sort (fun (ma, a) (mb, b) ->
+           match compare ma mb with
+           | 0 -> compare a.run_id b.run_id
+           | c -> c)
+    |> List.map snd
 
 let find ?(root = default_root) (id_or_dir : string) : info =
   if Sys.file_exists (manifest_path id_or_dir) then load id_or_dir

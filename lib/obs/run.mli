@@ -55,10 +55,11 @@ val load : string -> info
     @raise Failure if it has no [manifest.json]. *)
 
 val list_runs : ?root:string -> unit -> info list
-(** Every run directory under [root], sorted by id (creation order for
-    auto-named runs). Never raises: a missing/unreadable [root] yields
-    [[]], and entries whose manifest is unreadable or corrupt are
-    skipped. *)
+(** Every run directory under [root], in creation order: manifest mtime
+    first, run id as the tiebreak — so same-second manifests (parallel
+    CI jobs) list deterministically. Never raises: a missing/unreadable
+    [root] yields [[]], and entries whose manifest is unreadable or
+    corrupt are skipped. *)
 
 val find : ?root:string -> string -> info
 (** Resolve an id (under [root]) or a direct run-directory path.

@@ -25,7 +25,17 @@ let disabled_span =
     s_live = false }
 
 let sinks : Sink.t list ref = ref []
-let stack : t list ref = ref []
+
+(* The span stack is domain-local: a worker domain nests its own spans
+   without racing the owner's stack or inheriting its depth. Sinks stay
+   global (installed from the owner domain around parallel regions);
+   the emit path below serializes writers so JSONL lines never tear. *)
+let stack_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let emit_lock = Mutex.create ()
 
 let enabled () = !sinks <> []
 
@@ -43,26 +53,32 @@ let with_sink (s : Sink.t) (f : unit -> 'a) : 'a =
 let set_attr (sp : t) (k : string) (v : Event.value) =
   if sp.s_live then sp.s_attrs <- (k, v) :: sp.s_attrs
 
+let emit_event (ev : Event.t) =
+  Mutex.lock emit_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock emit_lock)
+    (fun () -> List.iter (fun (s : Sink.t) -> s.Sink.emit ev) !sinks)
+
 let finish (sp : t) =
   let t1 = Clock.now () in
+  let stack = stack () in
   (match !stack with _ :: rest -> stack := rest | [] -> ());
   let dur = t1 -. sp.s_start in
   (match !stack with
    | parent :: _ -> parent.s_children <- parent.s_children +. dur
    | [] -> ());
-  let ev =
+  emit_event
     { Event.name = sp.s_name;
       attrs = List.rev sp.s_attrs;
       t_start = sp.s_start;
       dur;
       self = Float.max 0.0 (dur -. sp.s_children);
       depth = sp.s_depth }
-  in
-  List.iter (fun (s : Sink.t) -> s.Sink.emit ev) !sinks
 
 let with_ ?(attrs = []) (name : string) (f : t -> 'a) : 'a =
   if !sinks == [] then f disabled_span
   else begin
+    let stack = stack () in
     let sp =
       { s_name = name;
         s_attrs = List.rev attrs;
@@ -81,3 +97,17 @@ let with_ ?(attrs = []) (name : string) (f : t -> 'a) : 'a =
       finish sp;
       raise e
   end
+
+(* Emit a pre-timed complete event at the caller's current depth — used
+   by pool owners to record per-task spans measured on worker domains
+   without threading sink state through the workers. *)
+let emit ?(attrs = []) ~(name : string) ~(t_start : float) ~(dur : float) () :
+    unit =
+  if !sinks != [] then
+    emit_event
+      { Event.name;
+        attrs;
+        t_start;
+        dur;
+        self = dur;
+        depth = List.length !(stack ()) }

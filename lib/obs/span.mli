@@ -34,3 +34,17 @@ val remove : Sink.t -> unit
 val with_sink : Sink.t -> (unit -> 'a) -> 'a
 (** Install the sink, run the thunk, then remove and close the sink —
     exception-safe. *)
+
+val emit :
+  ?attrs:(string * Event.value) list ->
+  name:string -> t_start:float -> dur:float -> unit -> unit
+(** Emit a pre-timed complete event (self = dur) at the caller's current
+    nesting depth; a no-op with no sink installed. This is how a pool
+    owner records per-task spans that were measured on worker domains:
+    the workers only take timestamps, and the owner emits after the
+    batch drains, so sink state never crosses domains.
+
+    The span stack itself is domain-local and the emit path is
+    serialized, so spans opened {e on} worker domains (deep inside pass
+    or environment code) also trace safely — they nest per-domain and
+    their JSONL lines never interleave. *)

@@ -168,6 +168,122 @@ let test_grad_clip () =
   let after = net.Mlp.layers.(0).Layer.w.Matrix.data.(0) in
   Alcotest.(check bool) "clipped step bounded" true (Float.abs (after -. before) < 1.0)
 
+(* --- batched gemm kernels ---------------------------------------------------
+
+   The determinism contract (DESIGN.md §9): every gemm accumulates each
+   output element in ascending inner-index order, so the tiled, the
+   pool-parallel and the naive triple loop all produce *equal floats*,
+   not merely close ones. These properties cross the tile boundary
+   (tile = 64) on purpose. *)
+
+let random_matrix rng rows cols =
+  Matrix.init rows cols (fun _ _ -> Rng.normal rng)
+
+let naive_mm (a : Matrix.t) (b : Matrix.t) : Matrix.t =
+  let c = Matrix.create a.Matrix.rows b.Matrix.cols in
+  for i = 0 to a.Matrix.rows - 1 do
+    for j = 0 to b.Matrix.cols - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to a.Matrix.cols - 1 do
+        acc := !acc +. (Matrix.get a i k *. Matrix.get b k j)
+      done;
+      Matrix.set c i j !acc
+    done
+  done;
+  c
+
+let prop_gemm_matches_naive =
+  QCheck2.Test.make ~count:40 ~name:"gemm = naive matmul (exact floats)"
+    QCheck2.Gen.(
+      quad (int_range 1 20) (int_range 1 90) (int_range 1 90) (int_range 0 10_000))
+    (fun (m, k, n, seed) ->
+      let rng = Rng.create seed in
+      let a = random_matrix rng m k in
+      let b = random_matrix rng k n in
+      (Matrix.gemm a b).Matrix.data = (naive_mm a b).Matrix.data)
+
+let prop_gemm_pool_matches_serial =
+  QCheck2.Test.make ~count:20 ~name:"gemm ~pool = gemm (exact floats)"
+    QCheck2.Gen.(
+      quad (int_range 1 20) (int_range 1 90) (int_range 1 90) (int_range 0 10_000))
+    (fun (m, k, n, seed) ->
+      let rng = Rng.create seed in
+      let a = random_matrix rng m k in
+      let b = random_matrix rng k n in
+      Pool.with_pool ~jobs:3 (fun pool ->
+          (Matrix.gemm ~pool a b).Matrix.data = (Matrix.gemm a b).Matrix.data))
+
+let prop_gemm_nt_matches_naive =
+  QCheck2.Test.make ~count:40 ~name:"gemm_nt = a * b^T (exact floats)"
+    QCheck2.Gen.(
+      quad (int_range 1 20) (int_range 1 90) (int_range 1 90) (int_range 0 10_000))
+    (fun (m, k, n, seed) ->
+      let rng = Rng.create seed in
+      let a = random_matrix rng m k in
+      let b = random_matrix rng n k in
+      let bt = Matrix.init k n (fun i j -> Matrix.get b j i) in
+      (Matrix.gemm_nt a b).Matrix.data = (naive_mm a bt).Matrix.data)
+
+let test_gemm_tn_acc () =
+  (* c += a^T b, accumulating sample-major (ascending row of a/b) — the
+     weight-gradient kernel. Must equal the per-sample outer_add loop
+     exactly, including on a non-zero initial c. *)
+  let rng = Rng.create 99 in
+  let samples = 17 and d_out = 5 and d_in = 9 in
+  let a = random_matrix rng samples d_out in
+  let b = random_matrix rng samples d_in in
+  let c_gemm = random_matrix rng d_out d_in in
+  let c_ref = Matrix.copy c_gemm in
+  Matrix.gemm_tn_acc c_gemm a b;
+  for s = 0 to samples - 1 do
+    Matrix.outer_add c_ref ~k:1.0 (Matrix.row a s) (Matrix.row b s)
+  done;
+  Alcotest.(check bool) "gemm_tn_acc = outer_add loop" true
+    (c_gemm.Matrix.data = c_ref.Matrix.data)
+
+let test_batch_forward_matches_per_sample () =
+  let rng = Rng.create 21 in
+  let net = Mlp.create rng [ 6; 11; 4 ] in
+  let xs = Array.init 9 (fun _ -> Array.init 6 (fun _ -> Rng.normal rng)) in
+  let q = Mlp.forward_batch net (Matrix.of_rows xs) in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row %d equals per-sample forward" i)
+        true
+        (Matrix.row q i = Mlp.forward net x))
+    xs
+
+let test_batch_backward_matches_per_sample () =
+  let rng = Rng.create 22 in
+  let net_b = Mlp.create rng [ 6; 11; 4 ] in
+  let net_s = Mlp.create rng [ 6; 11; 4 ] in
+  Mlp.copy_params ~src:net_b ~dst:net_s;
+  let xs = Array.init 9 (fun _ -> Array.init 6 (fun _ -> Rng.normal rng)) in
+  let douts = Array.init 9 (fun _ -> Array.init 4 (fun _ -> Rng.normal rng)) in
+  (* batched *)
+  Mlp.zero_grad net_b;
+  let _, caches = Mlp.forward_batch_cached net_b (Matrix.of_rows xs) in
+  Mlp.backward_batch net_b caches (Matrix.of_rows douts);
+  (* per-sample reference, samples ascending *)
+  Mlp.zero_grad net_s;
+  Array.iteri
+    (fun i x ->
+      let _, caches = Mlp.forward_cached net_s x in
+      Mlp.backward net_s caches douts.(i))
+    xs;
+  Array.iteri
+    (fun k (lb : Layer.t) ->
+      let ls = net_s.Mlp.layers.(k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "layer %d weight grads exact" k)
+        true
+        (lb.Layer.gw.Matrix.data = ls.Layer.gw.Matrix.data);
+      Alcotest.(check bool)
+        (Printf.sprintf "layer %d bias grads exact" k)
+        true (lb.Layer.gb = ls.Layer.gb))
+    net_b.Mlp.layers
+
 let suite =
   [ Alcotest.test_case "matvec" `Quick test_matvec;
     Alcotest.test_case "matvec transpose" `Quick test_matvec_t;
@@ -179,4 +295,12 @@ let suite =
     Alcotest.test_case "copy params" `Quick test_copy_params;
     Alcotest.test_case "param count" `Quick test_param_count;
     Alcotest.test_case "huber regions" `Quick test_huber_regions;
-    Alcotest.test_case "grad clip" `Quick test_grad_clip ]
+    Alcotest.test_case "grad clip" `Quick test_grad_clip;
+    QCheck_alcotest.to_alcotest prop_gemm_matches_naive;
+    QCheck_alcotest.to_alcotest prop_gemm_pool_matches_serial;
+    QCheck_alcotest.to_alcotest prop_gemm_nt_matches_naive;
+    Alcotest.test_case "gemm_tn_acc accumulates" `Quick test_gemm_tn_acc;
+    Alcotest.test_case "batch forward = per-sample" `Quick
+      test_batch_forward_matches_per_sample;
+    Alcotest.test_case "batch backward = per-sample" `Quick
+      test_batch_backward_matches_per_sample ]

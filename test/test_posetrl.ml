@@ -5,6 +5,7 @@
 let () =
   Alcotest.run "posetrl"
     [ ("support", Test_support.suite);
+      ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
       ("runledger", Test_runledger.suite);
       ("telemetry", Test_telemetry.suite);

@@ -211,6 +211,25 @@ let test_list_runs_skips_corrupt () =
         [ "good" ]
         (List.map (fun i -> i.Run.run_id) (Run.list_runs ~root ())))
 
+let test_list_runs_same_second_order () =
+  (* manifests written within the same clock second must still list in a
+     stable order: mtime first, run id as the tiebreak *)
+  with_temp_dir (fun root ->
+      List.iter
+        (fun id ->
+          Run.finish
+            (Run.create ~dir:(Filename.concat root id) ~name:id ~meta:[] ()))
+        [ "b"; "c"; "a" ];
+      (* force identical mtimes, as a same-second burst would produce *)
+      let t = Unix.time () in
+      List.iter
+        (fun id ->
+          Unix.utimes (Run.manifest_path (Filename.concat root id)) t t)
+        [ "a"; "b"; "c" ];
+      Alcotest.(check (list string)) "run id breaks the mtime tie"
+        [ "a"; "b"; "c" ]
+        (List.map (fun i -> i.Run.run_id) (Run.list_runs ~root ())))
+
 (* --- Run: comparison / regression gate ---------------------------------------- *)
 
 let mk_run ~root ~id ~reward ~suites () =
@@ -354,6 +373,8 @@ let suite =
       test_list_runs_missing_root;
     Alcotest.test_case "list_runs skips corrupt" `Quick
       test_list_runs_skips_corrupt;
+    Alcotest.test_case "list_runs same-second order" `Quick
+      test_list_runs_same_second_order;
     Alcotest.test_case "compare within thresholds" `Quick
       test_compare_within_thresholds;
     Alcotest.test_case "compare reward regression" `Quick
