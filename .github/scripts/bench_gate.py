@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the multicore execution engine.
+"""Perf-regression gate for the benched subsystems.
 
 Usage: bench_gate.py BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
 
-Compares the `gate` section of freshly-benched BENCH_parallel.json files
+Compares the `gate` section of freshly-benched BENCH_*.json files
 against the committed baseline and exits 2 if a gated series regressed
-by more than the tolerance (BENCH_GATE_TOL, default 0.25 = 25%).
+by more than the tolerance (BENCH_GATE_TOL, default 0.25 = 25%). The
+document `kind` selects which series are enforced; all files on one
+invocation must share a kind (one gate run per subsystem).
 
 The gated values are *calibration-relative*: each kernel's ns/run is
 divided by the ns/run of an untiled 4k dot product benched in the same
@@ -19,34 +21,45 @@ import json
 import os
 import sys
 
-# series enforced by ci; everything else in `gate` is printed for context
-GATED = ("gemm_rel", "pool_dispatch_rel")
+# series enforced by ci, per document kind; everything else in `gate`
+# is printed for context
+GATED = {
+    "bench-parallel": ("gemm_rel", "pool_dispatch_rel"),
+    "bench-analysis": ("liveness_rel", "sanitize_rel", "lint_rel"),
+}
 
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("kind") != "bench-parallel" or "gate" not in doc:
-        sys.exit(f"bench_gate: {path} is not a BENCH_parallel.json document")
-    return doc["gate"]
+    kind = doc.get("kind")
+    if kind not in GATED or "gate" not in doc:
+        sys.exit(f"bench_gate: {path} is not a gated BENCH_*.json document")
+    return kind, doc["gate"]
 
 
 def main(argv):
     if len(argv) < 3:
         sys.exit(f"usage: {argv[0]} BASELINE.json CANDIDATE.json [CANDIDATE.json ...]")
     tol = float(os.environ.get("BENCH_GATE_TOL", "0.25"))
-    base = load(argv[1])
-    cands = [load(p) for p in argv[2:]]
+    kind, base = load(argv[1])
+    cands = []
+    for p in argv[2:]:
+        k, g = load(p)
+        if k != kind:
+            sys.exit(f"bench_gate: {p} is {k}, baseline is {kind}")
+        cands.append(g)
+    gated = GATED[kind]
 
     regressed = False
-    print(f"bench gate: {len(cands)} candidate run(s), tolerance {tol:.0%}")
+    print(f"bench gate [{kind}]: {len(cands)} candidate run(s), tolerance {tol:.0%}")
     for key in sorted(base):
         if key == "calib_ns":
             continue
         b = base[key]
         c = min(x[key] for x in cands)
         ratio = c / b if b > 0 else float("inf")
-        if key in GATED:
+        if key in gated:
             bad = ratio > 1.0 + tol
             regressed |= bad
             status = "REGRESSED" if bad else "ok"

@@ -7,8 +7,8 @@
 
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: fig1 tables123 fig4 table4 table5 fig5 table6 ablations micro
-   (default: all). The training budget per model is configurable with
-   POSETRL_BENCH_STEPS (default 12000). *)
+   parallel analysis (default: all). The training budget per model is
+   configurable with POSETRL_BENCH_STEPS (default 12000). *)
 
 open Posetrl_ir
 open Posetrl_support
@@ -611,6 +611,86 @@ let parallel () =
   Printf.printf "  parallel bench baseline written to %s\n" path
 
 (* ======================================================================== *)
+(* static analysis: dataflow solver, sanitizer and lint micro-benches         *)
+(* ======================================================================== *)
+
+(* Benches Posetrl_analysis on the largest bundled workload and writes
+   BENCH_analysis.json for the bench-regression CI job. Same
+   calibration-relative scheme as the parallel section: every gated
+   metric is reported as a ratio to the calib-dot-4k row benched in the
+   same process, so the committed baseline transfers across machines. *)
+let analysis () =
+  section_header "Static analysis (dataflow solver + sanitizer + lint)";
+  let open Bechamel in
+  let module A = Posetrl_analysis in
+  (* largest validation program by instruction count — the worst case
+     the sanitizer sees once per pass under --sanitize *)
+  let name, big =
+    List.fold_left
+      (fun (bn, bm) (n, m) ->
+        if Modul.insn_count m > Modul.insn_count bm then (n, m) else (bn, bm))
+      ("?", Modul.mk ~name:"empty" [])
+      (W.Suites.all_programs ())
+  in
+  let big_oz = opt P.Pipelines.Oz big in
+  Printf.printf "subject: %s (%d insns raw, %d after Oz)\n" name
+    (Modul.insn_count big) (Modul.insn_count big_oz);
+  let funcs = Modul.defined_funcs big in
+  let rows =
+    bechamel_run
+      (Test.make_grouped ~name:"analysis"
+         [ Test.make ~name:"calib-dot-4k"
+             (let u = Array.init 4096 (fun i -> float_of_int i *. 1e-3) in
+              let v = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+              Staged.stage (fun () ->
+                  let acc = ref 0.0 in
+                  for i = 0 to 4095 do
+                    acc := !acc +. (u.(i) *. v.(i))
+                  done;
+                  ignore (Sys.opaque_identity !acc)));
+           Test.make ~name:"liveness-largest"
+             (Staged.stage (fun () ->
+                  List.iter (fun f -> ignore (A.Liveness.of_func f)) funcs));
+           Test.make ~name:"reaching-largest"
+             (Staged.stage (fun () ->
+                  List.iter (fun f -> ignore (A.Reaching.of_func f)) funcs));
+           Test.make ~name:"effects-summary"
+             (Staged.stage (fun () -> ignore (A.Effects.summarize big)));
+           Test.make ~name:"sanitize-ssa-largest"
+             (Staged.stage (fun () ->
+                  ignore (A.Sanitize.check_module A.Sanitize.Ssa big_oz)));
+           Test.make ~name:"lint-largest"
+             (Staged.stage (fun () -> ignore (A.Lint.lint_module big_oz))) ])
+  in
+  print_bechamel_rows rows;
+  let ns suffix =
+    match List.find_opt (fun (n, _) -> Filename.basename n = suffix) rows with
+    | Some (_, v) -> v
+    | None -> 0.0
+  in
+  let calib = ns "calib-dot-4k" in
+  let rel v = if calib > 0.0 then v /. calib else 0.0 in
+  let path = "BENCH_analysis.json" in
+  Obs.Runlog.write_json_file path
+    (Obs.Json.Obj
+       [ ("kind", Obs.Json.Str "bench-analysis");
+         ("subject", Obs.Json.Str name);
+         ("subject_insns", Obs.Json.Int (Modul.insn_count big));
+         ("micro_ns",
+          Obs.Json.Obj (List.map (fun (n, v) -> (Filename.basename n, Obs.Json.Float v)) rows));
+         ("gate",
+          (* the series the CI gate enforces (calibration-relative cost;
+             see .github/scripts/bench_gate.py), plus context rows *)
+          Obs.Json.Obj
+            [ ("calib_ns", Obs.Json.Float calib);
+              ("liveness_rel", Obs.Json.Float (rel (ns "liveness-largest")));
+              ("sanitize_rel", Obs.Json.Float (rel (ns "sanitize-ssa-largest")));
+              ("lint_rel", Obs.Json.Float (rel (ns "lint-largest")));
+              ("reaching_rel", Obs.Json.Float (rel (ns "reaching-largest")));
+              ("effects_rel", Obs.Json.Float (rel (ns "effects-summary"))) ]) ]);
+  Printf.printf "  analysis bench baseline written to %s\n" path
+
+(* ======================================================================== *)
 
 let sections : (string * (unit -> unit)) list =
   [ ("fig1", fig1);
@@ -622,7 +702,8 @@ let sections : (string * (unit -> unit)) list =
     ("table6", table6);
     ("ablations", ablations);
     ("micro", micro);
-    ("parallel", parallel) ]
+    ("parallel", parallel);
+    ("analysis", analysis) ]
 
 let () =
   let requested =

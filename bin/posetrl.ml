@@ -27,13 +27,16 @@ module C = Posetrl_core
 module O = Posetrl_odg
 module CG = Posetrl_codegen
 module Obs = Posetrl_obs
+module A = Posetrl_analysis
 
 let read_module path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  Parser.parse_module s
+  try Parser.parse_module s
+  with Parser.Parse_error msg ->
+    failwith (Printf.sprintf "%s: parse error: %s" path msg)
 
 let load_program (spec : string) : Modul.t =
   (* a benchmark name from the suites, or a path to a textual module *)
@@ -77,6 +80,32 @@ let with_obs ~(trace : string option) ~(metrics : bool) (f : unit -> 'a) : 'a =
   let r = run () in
   if metrics then Obs.Console.print_metrics ~title:"metrics (posetrl.*)" ();
   r
+
+(* --- IR checking (--verify-each / --sanitize, shared by opt/train/eval) ---- *)
+
+let verify_each_arg =
+  Arg.(value & flag & info [ "verify-each" ]
+         ~doc:"Run the structural IR verifier after every pass (slower; \
+               catches miscompiling passes at the pass that broke the IR).")
+
+let sanitize_arg =
+  Arg.(value & opt string "off" & info [ "sanitize" ] ~docv:"LEVEL"
+         ~doc:"Semantic sanitizer level: off, structural (re-verify after \
+               every pass), or ssa (structural + SSA dominance checking). On \
+               failure a delta-minimized repro is written to the run ledger's \
+               repros/ directory (or runs/repros without a ledger run) and \
+               the command aborts.")
+
+let sanitize_of_string (s : string) : A.Sanitize.level =
+  match A.Sanitize.level_of_string s with
+  | Ok l -> l
+  | Error e -> failwith e
+
+(* Repros land next to the ledger run when one is open. *)
+let repro_dir_of_run (run : Obs.Run.t option) : string =
+  match run with
+  | Some r -> Filename.concat (Obs.Run.dir r) "repros"
+  | None -> Filename.concat "runs" "repros"
 
 (* --- worker pool (--jobs, shared by train/eval) ---------------------------- *)
 
@@ -237,9 +266,11 @@ let opt_cmd =
   let emit =
     Arg.(value & flag & info [ "emit" ] ~doc:"Print the optimized module.")
   in
-  let run program level passes target emit trace metrics =
+  let run program level passes target emit sanitize trace metrics =
     let m = load_program program in
     let tgt = target_of_string target in
+    let sanitize = sanitize_of_string sanitize in
+    let repro_dir = repro_dir_of_run None in
     report_module tgt "input" m;
     let m' =
       with_obs ~trace ~metrics (fun () ->
@@ -249,17 +280,18 @@ let opt_cmd =
             List.iter
               (fun n -> if Option.is_none (P.Registry.find n) then failwith ("unknown pass " ^ n))
               names;
-            P.Pass_manager.run ~verify:true P.Config.oz names m
+            P.Pass_manager.run ~verify:true ~sanitize ~repro_dir P.Config.oz names m
           | None ->
             (match P.Pipelines.level_of_string level with
-             | Some l -> P.Pass_manager.run_level ~verify:true l m
+             | Some l -> P.Pass_manager.run_level ~verify:true ~sanitize ~repro_dir l m
              | None -> failwith ("unknown level " ^ level)))
     in
     report_module tgt "output" m';
     if emit then print_string (Printer.module_to_string m')
   in
   Cmd.v (Cmd.info "opt" ~doc:"Apply an optimization pipeline to a module")
-    Term.(const run $ program $ level $ passes $ target $ emit $ trace_arg $ metrics_arg)
+    Term.(const run $ program $ level $ passes $ target $ emit $ sanitize_arg
+          $ trace_arg $ metrics_arg)
 
 (* --- run ------------------------------------------------------------------- *)
 
@@ -323,10 +355,11 @@ let train_cmd =
   let corpus_size =
     Arg.(value & opt int 130 & info [ "corpus" ] ~doc:"Training corpus size (paper: 130).")
   in
-  let go out space target steps fast seed corpus_size jobs trace metrics run_dir
-      run_name serve serve_grace =
+  let go out space target steps fast seed corpus_size jobs verify_each sanitize
+      trace metrics run_dir run_name serve serve_grace =
     let actions = space_of_string space in
     let tgt = target_of_string target in
+    let sanitize = sanitize_of_string sanitize in
     let corpus = W.Suites.training_corpus ~n:corpus_size () in
     let base = if fast then C.Trainer.fast else C.Trainer.paper in
     let hp =
@@ -406,8 +439,9 @@ let train_cmd =
               with_obs ~trace ~metrics (fun () ->
                   with_jobs ~jobs (fun pool ->
                       C.Trainer.train ?pool ~hp ~on_progress ~on_episode
-                        ~on_step:(fun _ -> pump ()) ~seed ~corpus
-                        ~actions ~target:tgt ()))
+                        ~on_step:(fun _ -> pump ()) ~verify:verify_each
+                        ~sanitize ~repro_dir:(repro_dir_of_run run) ~seed
+                        ~corpus ~actions ~target:tgt ()))
             in
             Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
             Obs.Console.info "saved weights to %s (%d episodes)\n" out
@@ -418,8 +452,8 @@ let train_cmd =
   in
   Cmd.v (Cmd.info "train" ~doc:"Train a phase-ordering model")
     Term.(const go $ out $ space $ target $ steps $ fast $ seed $ corpus_size
-          $ jobs_arg $ trace_arg $ metrics_arg $ run_dir_arg $ run_name_arg
-          $ serve_arg $ serve_grace_arg)
+          $ jobs_arg $ verify_each_arg $ sanitize_arg $ trace_arg $ metrics_arg
+          $ run_dir_arg $ run_name_arg $ serve_arg $ serve_grace_arg)
 
 (* --- eval ------------------------------------------------------------------- *)
 
@@ -434,9 +468,11 @@ let eval_cmd =
   let target =
     Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
   in
-  let go weights space target jobs trace metrics run_dir run_name serve serve_grace =
+  let go weights space target jobs verify_each sanitize trace metrics run_dir
+      run_name serve serve_grace =
     let actions = space_of_string space in
     let tgt = target_of_string target in
+    let sanitize = sanitize_of_string sanitize in
     let rng = Posetrl_support.Rng.create 0 in
     let agent =
       Posetrl_rl.Dqn.create rng ~state_dim:C.Environment.state_dim
@@ -461,8 +497,9 @@ let eval_cmd =
                     (fun suite ->
                       pump ();
                       let results =
-                        C.Evaluate.evaluate_programs ?pool ~agent ~actions
-                          ~target:tgt suite.W.Suites.programs
+                        C.Evaluate.evaluate_programs ?pool ~verify:verify_each
+                          ~sanitize ~repro_dir:(repro_dir_of_run run) ~agent
+                          ~actions ~target:tgt suite.W.Suites.programs
                       in
                       ( C.Evaluate.summarize_suite
                           ~suite:suite.W.Suites.suite_name results,
@@ -496,8 +533,9 @@ let eval_cmd =
            Obs.Json.Float (Posetrl_support.Stats.mean avg_reds)) ]))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a trained model on the validation suites")
-    Term.(const go $ weights $ space $ target $ jobs_arg $ trace_arg $ metrics_arg
-          $ run_dir_arg $ run_name_arg $ serve_arg $ serve_grace_arg)
+    Term.(const go $ weights $ space $ target $ jobs_arg $ verify_each_arg
+          $ sanitize_arg $ trace_arg $ metrics_arg $ run_dir_arg $ run_name_arg
+          $ serve_arg $ serve_grace_arg)
 
 (* --- report ------------------------------------------------------------------ *)
 
@@ -850,14 +888,139 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List passes, benchmarks or the Oz sequence")
     Term.(const go $ what)
 
+(* --- lint -------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let program =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Benchmark name or path to a textual MiniIR file \
+                 (omit with --suite).")
+  in
+  let suite =
+    Arg.(value & flag & info [ "suite" ]
+           ~doc:"Lint every program of the bundled validation suites.")
+  in
+  let level =
+    Arg.(value & opt (some string) None & info [ "O"; "level" ] ~docv:"LEVEL"
+           ~doc:"Run pipeline \\$(docv) (O0 O1 O2 O3 Os Oz) before linting — \
+                 `--suite -O Oz --fail-on error` is the CI gate over the \
+                 optimized workloads.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the findings as a JSON document instead of a table.")
+  in
+  let fail_on =
+    Arg.(value & opt (some string) None & info [ "fail-on" ] ~docv:"SEVERITY"
+           ~doc:"Exit 4 when any finding of severity \\$(docv) (error, \
+                 warning or info) or higher is present — the CI gate.")
+  in
+  let go program suite level json fail_on trace metrics =
+    let threshold =
+      Option.map
+        (fun s ->
+          match A.Lint.severity_of_string s with
+          | Ok sev -> sev
+          | Error e -> failwith e)
+        fail_on
+    in
+    let opt_level =
+      Option.map
+        (fun l ->
+          match P.Pipelines.level_of_string l with
+          | Some l -> l
+          | None -> failwith ("unknown level " ^ l))
+        level
+    in
+    let programs =
+      if suite then
+        List.concat_map (fun s -> s.W.Suites.programs) W.Suites.validation_suites
+      else
+        match program with
+        | Some p -> [ (p, fun () -> load_program p) ]
+        | None -> failwith "lint: give a PROGRAM or --suite"
+    in
+    let reports =
+      with_obs ~trace ~metrics (fun () ->
+          List.map
+            (fun (name, mk) ->
+              let m = mk () in
+              let m =
+                match opt_level with
+                | Some l -> P.Pass_manager.run_level l m
+                | None -> m
+              in
+              (name, A.Lint.lint_module m))
+            programs)
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("kind", Obs.Json.Str "lint-run");
+                ("level",
+                 match level with
+                 | Some l -> Obs.Json.Str l
+                 | None -> Obs.Json.Null);
+                ("modules",
+                 Obs.Json.Arr
+                   (List.map (fun (n, fs) -> A.Lint.to_json ~name:n fs) reports)) ]))
+    else begin
+      let t =
+        Tbl.create ~title:"posetrl lint"
+          ~headers:[ "module"; "severity"; "rule"; "location"; "message" ]
+          ~aligns:[ Tbl.Left; Tbl.Left; Tbl.Left; Tbl.Left; Tbl.Left ]
+          ()
+      in
+      let total = ref 0 in
+      List.iter
+        (fun (name, fs) ->
+          List.iter
+            (fun (f : A.Lint.finding) ->
+              incr total;
+              Tbl.add_row t
+                [ name;
+                  A.Lint.severity_to_string f.A.Lint.severity;
+                  f.A.Lint.rule;
+                  (f.A.Lint.func
+                   ^ match f.A.Lint.block with Some b -> "/" ^ b | None -> "");
+                  f.A.Lint.message ])
+            fs)
+        reports;
+      if !total > 0 then Tbl.print t;
+      let all = List.concat_map snd reports in
+      Printf.printf "%d module%s linted: %d error%s, %d warning%s, %d info\n"
+        (List.length reports)
+        (if List.length reports = 1 then "" else "s")
+        (A.Lint.count A.Lint.Error all)
+        (if A.Lint.count A.Lint.Error all = 1 then "" else "s")
+        (A.Lint.count A.Lint.Warning all)
+        (if A.Lint.count A.Lint.Warning all = 1 then "" else "s")
+        (A.Lint.count A.Lint.Info all)
+    end;
+    match threshold with
+    | Some sev when A.Lint.reaches sev (List.concat_map snd reports) ->
+      Printf.eprintf "lint: findings at or above --fail-on %s\n"
+        (A.Lint.severity_to_string sev);
+      exit 4
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static findings over a module or the bundled suites: verifier \
+             and SSA dominance errors, attribute contradictions, dead \
+             stores, unreachable blocks, dead code")
+    Term.(const go $ program $ suite $ level $ json $ fail_on $ trace_arg
+          $ metrics_arg)
+
 let () =
   let doc = "POSET-RL: phase ordering for size and execution time with RL" in
   let info = Cmd.info "posetrl" ~version:"1.0.0" ~doc in
   match
     Cmd.eval ~catch:false
       (Cmd.group info
-         [ opt_cmd; run_cmd; train_cmd; eval_cmd; report_cmd; runs_cmd;
-           watch_cmd; odg_cmd; list_cmd ])
+         [ opt_cmd; run_cmd; train_cmd; eval_cmd; lint_cmd; report_cmd;
+           runs_cmd; watch_cmd; odg_cmd; list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

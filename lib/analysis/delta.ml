@@ -1,0 +1,60 @@
+(* Greedy delta-debug minimizer for sanitizer failures.
+
+   Given a module on which some predicate [check] holds ("this input
+   still makes the pass produce invalid IR"), shrink it while keeping
+   the predicate true: first drop whole function definitions, then drop
+   individual non-entry blocks (with phi-predecessor fixup). Candidates
+   must also satisfy [valid] — the same verifier standard the original
+   module met — so the minimized repro fails for the original reason,
+   not because shrinking broke it structurally.
+
+   Greedy one-pass-per-level is deliberate: repro inputs are small
+   (one workload module) and each [check] re-runs the offending pass,
+   so we optimise for few predicate evaluations over minimality. *)
+
+open Posetrl_ir
+
+let drop_func (m : Modul.t) (name : string) : Modul.t =
+  { m with
+    Modul.funcs =
+      List.filter (fun (f : Func.t) -> not (String.equal f.Func.name name)) m.Modul.funcs }
+
+let drop_block (f : Func.t) (label : string) : Func.t =
+  let blocks =
+    List.filter (fun (b : Block.t) -> not (String.equal b.Block.label label)) f.Func.blocks
+  in
+  let blocks = List.map (Block.remove_phi_pred ~pred:label) blocks in
+  Func.with_blocks f blocks
+
+let replace_func (m : Modul.t) (f : Func.t) : Modul.t = Modul.replace_func m f
+
+(* still_fails candidate = candidate is well-formed AND reproduces *)
+let minimize ~(valid : Modul.t -> bool) ~(check : Modul.t -> bool) (m : Modul.t) :
+    Modul.t =
+  let still_fails c = valid c && check c in
+  (* level 1: drop whole function definitions *)
+  let m =
+    List.fold_left
+      (fun acc (f : Func.t) ->
+        if Func.is_declaration f then acc
+        else
+          let candidate = drop_func acc f.Func.name in
+          if candidate.Modul.funcs <> [] && still_fails candidate then candidate
+          else acc)
+      m (Modul.defined_funcs m)
+  in
+  (* level 2: drop non-entry blocks inside the survivors *)
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      let shrunk =
+        List.fold_left
+          (fun (g : Func.t) (b : Block.t) ->
+            match g.Func.blocks with
+            | entry :: _ when not (String.equal entry.Block.label b.Block.label) ->
+              let candidate = replace_func acc (drop_block g b.Block.label) in
+              if still_fails candidate then drop_block g b.Block.label else g
+            | _ -> g)
+          f f.Func.blocks
+      in
+      replace_func acc shrunk)
+    m (Modul.defined_funcs m)

@@ -1,0 +1,195 @@
+(* posetrl lint: static findings over a MiniIR module.
+
+   Severity policy (what the CI gate keys on):
+     - Error:   structural verifier failures, SSA dominance violations,
+                purity attributes contradicted by the function body —
+                each of these means a pass produced or would consume
+                wrong IR.
+     - Warning: dead stores and unreachable blocks — wasted size the
+                pipeline should have cleaned up, but semantically fine.
+     - Info:    dead pure code, recomputed available expressions and
+                missing purity attributes — optimisation opportunities.
+
+   The bundled workload suite at -Oz must lint with zero errors; CI
+   runs [posetrl lint --suite --fail-on error] to keep it that way. *)
+
+open Posetrl_ir
+module Obs = Posetrl_obs
+module SSet = Set.Make (String)
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Result.Ok Error
+  | "warning" -> Result.Ok Warning
+  | "info" -> Result.Ok Info
+  | s ->
+    Result.Error (Printf.sprintf "unknown severity %S (error|warning|info)" s)
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type finding = {
+  severity : severity;
+  rule : string;          (* stable kebab-case rule id *)
+  func : string;
+  block : string option;
+  message : string;
+}
+
+let finding_to_string f =
+  Printf.sprintf "%-7s %-22s %s%s: %s"
+    (severity_to_string f.severity)
+    f.rule
+    f.func
+    (match f.block with Some b -> "/" ^ b | None -> "")
+    f.message
+
+let verifier_findings (m : Modul.t) : finding list =
+  let structural = Verifier.verify_module m in
+  let with_dom = Verifier.verify_module ~dom:true m in
+  let structural_keys =
+    SSet.of_list (List.map Verifier.error_to_string structural)
+  in
+  let of_err rule (e : Verifier.error) =
+    { severity = Error;
+      rule;
+      func = e.Verifier.func;
+      block = e.Verifier.block;
+      message = e.Verifier.message }
+  in
+  List.map (of_err "structural") structural
+  @ List.filter_map
+      (fun e ->
+        if SSet.mem (Verifier.error_to_string e) structural_keys then None
+        else Some (of_err "undominated-use" e))
+      with_dom
+
+let unreachable_findings (f : Func.t) : finding list =
+  let cfg = Cfg.of_func f in
+  let reach = Cfg.reachable cfg in
+  List.filter_map
+    (fun (b : Block.t) ->
+      if Cfg.SSet.mem b.Block.label reach then None
+      else
+        Some
+          { severity = Warning;
+            rule = "unreachable-block";
+            func = f.Func.name;
+            block = Some b.Block.label;
+            message = "block is unreachable from the entry" })
+    f.Func.blocks
+
+let dead_store_findings (f : Func.t) : finding list =
+  List.map
+    (fun (block, idx, reason) ->
+      { severity = Warning;
+        rule = "dead-store";
+        func = f.Func.name;
+        block = Some block;
+        message = Printf.sprintf "store at index %d is dead: %s" idx reason })
+    (Effects.dead_stores f)
+
+let dead_code_findings (f : Func.t) : finding list =
+  List.map
+    (fun (block, id) ->
+      { severity = Info;
+        rule = "dead-code";
+        func = f.Func.name;
+        block = Some block;
+        message = Printf.sprintf "result of %%%d is never demanded" id })
+    (Usedef.undemanded f)
+
+let redundant_expr_findings (f : Func.t) : finding list =
+  let avail = Available.of_func f in
+  List.map
+    (fun (block, id) ->
+      { severity = Info;
+        rule = "redundant-expr";
+        func = f.Func.name;
+        block = Some block;
+        message =
+          Printf.sprintf "%%%d recomputes an expression available on every path" id })
+    (Available.redundant avail f)
+
+let effects_findings (m : Modul.t) : finding list =
+  let summary = Effects.summarize m in
+  List.map
+    (fun (func, attr, e) ->
+      { severity = Error;
+        rule = "attr-contradiction";
+        func;
+        block = None;
+        message =
+          Printf.sprintf "attribute %s contradicted by body (computed effect: %s)"
+            attr (Effects.effect_to_string e) })
+    (Effects.contradicted_attrs summary m)
+  @ List.map
+      (fun (func, e) ->
+        { severity = Info;
+          rule = "missing-purity-attr";
+          func;
+          block = None;
+          message =
+            Printf.sprintf "body is %s but carries no purity attribute"
+              (Effects.effect_to_string e) })
+      (Effects.missing_purity_attrs summary m)
+
+let lint_module (m : Modul.t) : finding list =
+  Obs.Span.with_ "posetrl.analysis.lint"
+    ~attrs:[ ("module", Obs.Event.S m.Modul.name) ]
+    (fun sp ->
+      Obs.Metrics.inc (Obs.Metrics.counter "posetrl.analysis.lint.modules");
+      let per_func =
+        List.concat_map
+          (fun f ->
+            unreachable_findings f @ dead_store_findings f
+            @ dead_code_findings f @ redundant_expr_findings f)
+          (Modul.defined_funcs m)
+      in
+      let findings = verifier_findings m @ effects_findings m @ per_func in
+      Obs.Metrics.inc
+        ~by:(float_of_int (List.length findings))
+        (Obs.Metrics.counter "posetrl.analysis.lint.findings");
+      Obs.Span.set_attr sp "findings" (Obs.Event.I (List.length findings));
+      (* stable order: severity first, then rule, then location *)
+      List.stable_sort
+        (fun a b ->
+          let c = compare (severity_rank b.severity) (severity_rank a.severity) in
+          if c <> 0 then c
+          else
+            let c = String.compare a.rule b.rule in
+            if c <> 0 then c
+            else
+              let c = String.compare a.func b.func in
+              if c <> 0 then c else compare a.block b.block)
+        findings)
+
+let count (sev : severity) (fs : finding list) : int =
+  List.length (List.filter (fun f -> f.severity = sev) fs)
+
+(* Does any finding reach severity [s]? *)
+let reaches (s : severity) (fs : finding list) : bool =
+  List.exists (fun f -> severity_rank f.severity >= severity_rank s) fs
+
+let finding_to_json (f : finding) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("severity", Obs.Json.Str (severity_to_string f.severity));
+      ("rule", Obs.Json.Str f.rule);
+      ("func", Obs.Json.Str f.func);
+      ("block",
+       match f.block with Some b -> Obs.Json.Str b | None -> Obs.Json.Null);
+      ("message", Obs.Json.Str f.message) ]
+
+let to_json ~(name : string) (fs : finding list) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("kind", Obs.Json.Str "lint-report");
+      ("module", Obs.Json.Str name);
+      ("errors", Obs.Json.Int (count Error fs));
+      ("warnings", Obs.Json.Int (count Warning fs));
+      ("infos", Obs.Json.Int (count Info fs));
+      ("findings", Obs.Json.Arr (List.map finding_to_json fs)) ]

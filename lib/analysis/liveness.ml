@@ -1,0 +1,104 @@
+(* Register liveness, as a backward dataflow problem over register sets.
+
+   Phi semantics follow SSA convention: a phi's incoming value is a use
+   on the edge from the corresponding predecessor (added by the solver's
+   edge function), not a use at the top of the phi's block, and phi
+   definitions are killed in their own block like any other def. This
+   makes live-in sets exact — a register feeding only a phi is live out
+   of the matching predecessor but never live into the phi's block. *)
+
+open Posetrl_ir
+module ISet = Set.Make (Int)
+module SMap = Map.Make (String)
+
+module Lattice = struct
+  type t = ISet.t
+
+  let bottom = ISet.empty
+  let equal = ISet.equal
+  let join = ISet.union
+end
+
+module Solver = Dataflow.Make (Lattice)
+
+let add_reg acc = function Value.Reg r -> ISet.add r acc | _ -> acc
+
+let regs_of_values vs = List.fold_left add_reg ISet.empty vs
+
+(* Registers a phi in [b] consumes when control arrives from [pred]. *)
+let phi_uses_from (b : Block.t) ~(pred : string) : ISet.t =
+  List.fold_left
+    (fun acc (i : Instr.t) ->
+      match i.Instr.op with
+      | Instr.Phi (_, incs) ->
+        (match List.assoc_opt pred incs with
+         | Some (Value.Reg r) -> ISet.add r acc
+         | _ -> acc)
+      | _ -> acc)
+    ISet.empty b.Block.insns
+
+(* One backward sweep over a block: kill the def, add the (non-phi)
+   uses, starting from the live-out set. *)
+let transfer (b : Block.t) (out : ISet.t) : ISet.t =
+  let live = List.fold_left add_reg out (Instr.term_operands b.Block.term) in
+  List.fold_left
+    (fun live (i : Instr.t) ->
+      let live = if i.Instr.id >= 0 then ISet.remove i.Instr.id live else live in
+      match i.Instr.op with
+      | Instr.Phi _ -> live (* incoming values are edge uses, not block uses *)
+      | op -> List.fold_left add_reg live (Instr.operands op))
+    live
+    (List.rev b.Block.insns)
+
+type t = {
+  live_in : ISet.t SMap.t;
+  live_out : ISet.t SMap.t;
+  iterations : int;
+}
+
+let of_func (f : Func.t) : t =
+  let bmap = Func.block_map f in
+  let edge ~pred ~succ fact =
+    match SMap.find_opt succ bmap with
+    | Some sb -> ISet.union fact (phi_uses_from sb ~pred)
+    | None -> fact
+  in
+  let r = Solver.solve ~direction:Dataflow.Backward ~edge ~transfer f in
+  { live_in = r.Solver.at_entry;
+    live_out = r.Solver.at_exit;
+    iterations = r.Solver.iterations }
+
+let live_in (t : t) label =
+  Option.value (SMap.find_opt label t.live_in) ~default:ISet.empty
+
+let live_out (t : t) label =
+  Option.value (SMap.find_opt label t.live_out) ~default:ISet.empty
+
+(* live set just before the terminator *)
+let transfer_start (b : Block.t) (out : ISet.t) : ISet.t =
+  List.fold_left add_reg out (Instr.term_operands b.Block.term)
+
+(* Registers whose defining pure instruction computes a value that is
+   never live — dead code a cleanup pass could delete. Walks each block
+   backward from its live-out set, so same-block later uses count. *)
+let dead_defs (t : t) (f : Func.t) : ISet.t =
+  List.fold_left
+    (fun dead (b : Block.t) ->
+      let live = ref (transfer_start b (live_out t b.Block.label)) in
+      List.fold_left
+        (fun dead (i : Instr.t) ->
+          let dead =
+            if i.Instr.id >= 0
+               && (not (ISet.mem i.Instr.id !live))
+               && Instr.is_pure i.Instr.op
+            then ISet.add i.Instr.id dead
+            else dead
+          in
+          (if i.Instr.id >= 0 then live := ISet.remove i.Instr.id !live);
+          (match i.Instr.op with
+           | Instr.Phi _ -> ()
+           | op -> live := List.fold_left add_reg !live (Instr.operands op));
+          dead)
+        dead
+        (List.rev b.Block.insns))
+    ISet.empty f.Func.blocks

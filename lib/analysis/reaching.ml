@@ -1,0 +1,50 @@
+(* Reaching definitions, as a forward dataflow problem.
+
+   In SSA there is exactly one definition per register, so the analysis
+   degenerates to "which registers have a definition on some path from
+   the entry" — still useful: a use of a register that does NOT reach it
+   is exactly a dominance violation the sanitizer reports, and the
+   forward direction exercises the half of the framework liveness does
+   not. Parameters reach everything from the entry. *)
+
+open Posetrl_ir
+module ISet = Set.Make (Int)
+module SMap = Map.Make (String)
+
+module Lattice = struct
+  type t = ISet.t
+
+  let bottom = ISet.empty
+  let equal = ISet.equal
+  let join = ISet.union
+end
+
+module Solver = Dataflow.Make (Lattice)
+
+let defs_of_block (b : Block.t) : ISet.t =
+  List.fold_left
+    (fun acc (i : Instr.t) ->
+      if i.Instr.id >= 0 then ISet.add i.Instr.id acc else acc)
+    ISet.empty b.Block.insns
+
+let transfer (b : Block.t) (inb : ISet.t) : ISet.t =
+  ISet.union inb (defs_of_block b)
+
+type t = {
+  reach_in : ISet.t SMap.t;
+  reach_out : ISet.t SMap.t;
+  iterations : int;
+}
+
+let of_func (f : Func.t) : t =
+  let params = ISet.of_list (Func.param_regs f) in
+  let r = Solver.solve ~direction:Dataflow.Forward ~init:params ~transfer f in
+  { reach_in = r.Solver.at_entry;
+    reach_out = r.Solver.at_exit;
+    iterations = r.Solver.iterations }
+
+let reach_in (t : t) label =
+  Option.value (SMap.find_opt label t.reach_in) ~default:ISet.empty
+
+let reach_out (t : t) label =
+  Option.value (SMap.find_opt label t.reach_out) ~default:ISet.empty

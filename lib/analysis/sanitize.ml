@@ -1,0 +1,136 @@
+(* The semantic sanitizer: structural verification plus SSA dominance
+   checking, run after every pass when the pass manager's [~sanitize]
+   level asks for it, with a minimized repro written out on failure.
+
+   Levels:
+     - [Off]        — no checking (production default)
+     - [Structural] — the structural verifier only
+     - [Ssa]        — structural + dominance ([Verifier ~dom:true])
+
+   Instrumentation follows the repo convention: counters
+   [posetrl.analysis.sanitize.checks] / [.failures], span
+   [posetrl.analysis.sanitize.check]. All checking state is per-call
+   (the verifier and dominator computation allocate locally), so
+   sanitized evaluation is safe under [--jobs N]. *)
+
+open Posetrl_ir
+module Obs = Posetrl_obs
+
+type level = Off | Structural | Ssa
+
+let level_to_string = function
+  | Off -> "off"
+  | Structural -> "structural"
+  | Ssa -> "ssa"
+
+let level_of_string = function
+  | "off" -> Ok Off
+  | "structural" -> Ok Structural
+  | "ssa" | "full" -> Ok Ssa
+  | s -> Error (Printf.sprintf "unknown sanitize level %S (off|structural|ssa)" s)
+
+(* Verifier errors for [m] at [level]; [] at [Off]. *)
+let check_module (level : level) (m : Modul.t) : Verifier.error list =
+  match level with
+  | Off -> []
+  | Structural | Ssa ->
+    Obs.Span.with_ "posetrl.analysis.sanitize.check"
+      ~attrs:[ ("level", Obs.Event.S (level_to_string level)) ]
+      (fun sp ->
+        Obs.Metrics.inc (Obs.Metrics.counter "posetrl.analysis.sanitize.checks");
+        let errs = Verifier.verify_module ~dom:(level = Ssa) m in
+        if errs <> [] then begin
+          Obs.Metrics.inc
+            ~by:(float_of_int (List.length errs))
+            (Obs.Metrics.counter "posetrl.analysis.sanitize.failures");
+          Obs.Span.set_attr sp "errors" (Obs.Event.I (List.length errs))
+        end;
+        errs)
+
+exception Failed of {
+  pass : string;
+  errors : Verifier.error list;
+  repro_path : string option;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Failed { pass; errors; repro_path } ->
+      Some
+        (Printf.sprintf "sanitizer: pass %s produced invalid IR (%d error%s)%s\n%s"
+           pass (List.length errors)
+           (if List.length errors = 1 then "" else "s")
+           (match repro_path with
+            | Some p -> Printf.sprintf "; repro at %s" p
+            | None -> "")
+           (String.concat "\n" (List.map Verifier.error_to_string errors)))
+    | _ -> None)
+
+(* Shrink the failing input with the greedy delta debugger. [run_pass]
+   re-runs the offending pass on a candidate input; a candidate counts
+   as still-failing when the pass either raises or produces IR the
+   sanitizer rejects. Validity = the candidate input itself passes the
+   same check the original input passed. *)
+let minimize_input ~(level : level) ~(run_pass : Modul.t -> Modul.t)
+    (input : Modul.t) : Modul.t =
+  let dom = level = Ssa in
+  let valid c = Verifier.verify_module ~dom c = [] in
+  let check c =
+    match run_pass c with
+    | exception _ -> true
+    | out -> Verifier.verify_module ~dom out <> []
+  in
+  Obs.Span.with_ "posetrl.analysis.sanitize.minimize" (fun sp ->
+      let minimized = Delta.minimize ~valid ~check input in
+      Obs.Span.set_attr sp "funcs"
+        (Obs.Event.I (List.length minimized.Modul.funcs));
+      minimized)
+
+(* Write the minimized repro as a .mir next to a .json describing the
+   failure; returns the .mir path. [dir] is created if missing. *)
+let rec mkdir_p (dir : string) : unit =
+  if not (Sys.file_exists dir) && not (String.equal dir "") then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_repro ~(dir : string) ~(pass : string) ~(level : level)
+    ~(errors : Verifier.error list) (repro : Modul.t) : string =
+  mkdir_p dir;
+  let base =
+    (* distinct per (pass, module); repeated failures overwrite, which
+       is what a debugging loop wants *)
+    Printf.sprintf "sanitize-%s-%s" pass repro.Modul.name
+  in
+  let mir_path = Filename.concat dir (base ^ ".mir") in
+  let oc = open_out mir_path in
+  output_string oc (Printer.module_to_string repro);
+  close_out oc;
+  let meta =
+    Obs.Json.Obj
+      [ ("kind", Obs.Json.Str "sanitize-repro");
+        ("pass", Obs.Json.Str pass);
+        ("level", Obs.Json.Str (level_to_string level));
+        ("module", Obs.Json.Str repro.Modul.name);
+        ("input", Obs.Json.Str (Filename.basename mir_path));
+        ("errors",
+         Obs.Json.Arr
+           (List.map
+              (fun e -> Obs.Json.Str (Verifier.error_to_string e))
+              errors)) ]
+  in
+  Obs.Runlog.write_json_file (Filename.concat dir (base ^ ".json")) meta;
+  Obs.Metrics.inc (Obs.Metrics.counter "posetrl.analysis.sanitize.repros");
+  mir_path
+
+(* Full failure protocol used by the pass manager: the output of [pass]
+   on [input] failed the [level] check — minimize, write the repro (when
+   a directory is given) and raise [Failed]. *)
+let fail ~(pass : string) ~(level : level) ~(repro_dir : string option)
+    ~(run_pass : Modul.t -> Modul.t) ~(errors : Verifier.error list)
+    (input : Modul.t) : 'a =
+  let repro = minimize_input ~level ~run_pass input in
+  let repro_path =
+    Option.map (fun dir -> write_repro ~dir ~pass ~level ~errors repro) repro_dir
+  in
+  raise (Failed { pass; errors; repro_path })

@@ -27,6 +27,9 @@ type t = {
   pass_cfg : Posetrl_passes.Config.t;
   weights : Reward.weights;
   max_steps : int;
+  verify : bool;
+  sanitize : Posetrl_analysis.Sanitize.level;
+  repro_dir : string option;
   (* episode state *)
   mutable current : Modul.t option;
   mutable base : Reward.baseline;
@@ -37,13 +40,17 @@ type t = {
 let default_max_steps = 15
 
 let create ?(weights = Reward.paper_weights) ?(max_steps = default_max_steps)
-    ?(pass_cfg = Posetrl_passes.Config.oz) ~(target : Posetrl_codegen.Target.t)
-    ~(actions : Odg.Action_space.t) () : t =
+    ?(pass_cfg = Posetrl_passes.Config.oz) ?(verify = false)
+    ?(sanitize = Posetrl_analysis.Sanitize.Off) ?repro_dir
+    ~(target : Posetrl_codegen.Target.t) ~(actions : Odg.Action_space.t) () : t =
   { target;
     actions;
     pass_cfg;
     weights;
     max_steps;
+    verify;
+    sanitize;
+    repro_dir;
     current = None;
     base = { Reward.bin_size = 0.0; Reward.throughput = 0.0 };
     last = { Reward.bin_size = 0.0; Reward.throughput = 0.0 };
@@ -84,7 +91,10 @@ let step (t : t) (action : int) : step_result =
         [ ("action", Obs.Event.I action);
           ("passes", Obs.Event.S (String.concat " " names)) ]
       (fun sp ->
-        let m' = Posetrl_passes.Pass_manager.run t.pass_cfg names m in
+        let m' =
+          Posetrl_passes.Pass_manager.run ~verify:t.verify ~sanitize:t.sanitize
+            ?repro_dir:t.repro_dir t.pass_cfg names m
+        in
         let curr = Reward.measure t.target m' in
         let comps =
           Reward.decompose ~weights:t.weights ~base:t.base ~last:t.last ~curr ()

@@ -7,6 +7,9 @@ type rollout = {
 
 val predict :
   ?max_steps:int ->
+  ?verify:bool ->
+  ?sanitize:Posetrl_analysis.Sanitize.level ->
+  ?repro_dir:string ->
   agent:Posetrl_rl.Dqn.t ->
   actions:Posetrl_odg.Action_space.t ->
   target:Posetrl_codegen.Target.t ->

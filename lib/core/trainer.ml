@@ -131,7 +131,8 @@ type result = {
 let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     ?(on_episode = fun (_ : episode_summary) -> ())
     ?(on_step = fun (_ : int) -> ())
-    ?pool
+    ?pool ?(verify = false) ?(sanitize = Posetrl_analysis.Sanitize.Off)
+    ?repro_dir
     ~(seed : int) ~(corpus : Modul.t array)
     ~(actions : Posetrl_odg.Action_space.t)
     ~(target : Posetrl_codegen.Target.t) () : result =
@@ -139,7 +140,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
   let rng = Rng.create seed in
   let net_rng = Rng.split rng in
   let env =
-    Environment.create ~max_steps:hp.max_episode_steps ~target ~actions ()
+    Environment.create ~max_steps:hp.max_episode_steps ~verify ~sanitize
+      ?repro_dir ~target ~actions ()
   in
   (* [pool] parallelizes the batch dimension of the DQN's gemm kernels;
      row partitioning keeps training byte-identical to --jobs 1 *)
@@ -172,7 +174,10 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     Array.init (min 8 (Array.length corpus)) (fun k ->
         corpus.(k * Array.length corpus / max 1 (min 8 (Array.length corpus))))
   in
-  let probe_env = Environment.create ~max_steps:hp.max_episode_steps ~target ~actions () in
+  let probe_env =
+    Environment.create ~max_steps:hp.max_episode_steps ~verify ~sanitize
+      ?repro_dir ~target ~actions ()
+  in
   let probe_score () =
     Array.fold_left
       (fun acc m ->

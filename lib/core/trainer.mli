@@ -62,6 +62,9 @@ val train :
   ?on_episode:(episode_summary -> unit) ->
   ?on_step:(int -> unit) ->
   ?pool:Posetrl_support.Pool.t ->
+  ?verify:bool ->
+  ?sanitize:Posetrl_analysis.Sanitize.level ->
+  ?repro_dir:string ->
   seed:int ->
   corpus:Posetrl_ir.Modul.t array ->
   actions:Posetrl_odg.Action_space.t ->

@@ -15,7 +15,92 @@ let error_to_string e =
   | Some b -> Printf.sprintf "%s/%s: %s" e.func b e.message
   | None -> Printf.sprintf "%s: %s" e.func e.message
 
-let verify_func (m : Modul.t) (f : Func.t) : error list =
+(* SSA dominance checking (enabled with [~dom:true]): every use of a
+   register must be dominated by its definition — same-block uses by
+   instruction position, cross-block uses via the dominator tree — and a
+   phi's incoming value must be dominated at the corresponding
+   predecessor (reflexively: defined in the predecessor itself or above
+   it). Parameters dominate everything; uses inside unreachable blocks
+   are skipped (no path reaches them), but a definition sitting in an
+   unreachable block never dominates a reachable use. *)
+let dominance_errors (f : Func.t) (cfg : Cfg.t) (reach : SSet.t) : error list =
+  let errors = ref [] in
+  let err ~block fmt =
+    Printf.ksprintf
+      (fun message -> errors := { func = f.Func.name; block = Some block; message } :: !errors)
+      fmt
+  in
+  let dom = Dom.compute cfg in
+  (* def site: register -> (block label, index in block); params absent *)
+  let def_site = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iteri
+        (fun idx (i : Instr.t) ->
+          if i.Instr.id >= 0 then Hashtbl.replace def_site i.Instr.id (b.Block.label, idx))
+        b.Block.insns)
+    f.Func.blocks;
+  let params = Hashtbl.create 8 in
+  List.iter (fun (r, _) -> Hashtbl.replace params r ()) f.Func.params;
+  let is_param r = Hashtbl.mem params r in
+  (* [r] used at position [idx] of reachable block [block]; [idx] =
+     max_int for terminator uses *)
+  let check_use ~block ~idx ~what r =
+    if not (is_param r) then
+      match Hashtbl.find_opt def_site r with
+      | None -> () (* undefined register: the structural check reports it *)
+      | Some (db, didx) ->
+        if not (SSet.mem db reach) then
+          err ~block "%s %%%d not dominated by its definition (defined in unreachable %s)" what r db
+        else if String.equal db block then begin
+          if didx >= idx then
+            err ~block "%s %%%d before its definition in the same block" what r
+        end
+        else if not (Dom.strictly_dominates dom db block) then
+          err ~block "%s %%%d not dominated by its definition in %s" what r db
+  in
+  let check_phi_incoming ~block ~phi (pred, v) =
+    match v with
+    | Value.Reg r when not (is_param r) ->
+      if SSet.mem pred reach then begin
+        match Hashtbl.find_opt def_site r with
+        | None -> ()
+        | Some (db, _) ->
+          if not (SSet.mem db reach) then
+            err ~block "phi %%%d incoming %%%d from %s defined in unreachable %s" phi r pred db
+          else if not (Dom.dominates dom db pred) then
+            err ~block "phi %%%d incoming %%%d does not dominate predecessor %s" phi r pred
+      end
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      let block = b.Block.label in
+      if SSet.mem block reach then begin
+        List.iteri
+          (fun idx (i : Instr.t) ->
+            match i.Instr.op with
+            | Instr.Phi (_, incs) ->
+              List.iter (check_phi_incoming ~block ~phi:i.Instr.id) incs
+            | op ->
+              List.iter
+                (fun v ->
+                  match v with
+                  | Value.Reg r -> check_use ~block ~idx ~what:"use of" r
+                  | _ -> ())
+                (Instr.operands op))
+          b.Block.insns;
+        List.iter
+          (fun v ->
+            match v with
+            | Value.Reg r -> check_use ~block ~idx:max_int ~what:"terminator use of" r
+            | _ -> ())
+          (Instr.term_operands b.Block.term)
+      end)
+    f.Func.blocks;
+  List.rev !errors
+
+let verify_func ?(dom = false) (m : Modul.t) (f : Func.t) : error list =
   if Func.is_declaration f then []
   else begin
     let errors = ref [] in
@@ -116,10 +201,11 @@ let verify_func (m : Modul.t) (f : Func.t) : error list =
               (Types.to_string ty) (Types.to_string f.Func.ret)
         | _ -> ())
       f.Func.blocks;
-    List.rev !errors
+    let structural = List.rev !errors in
+    if dom then structural @ dominance_errors f cfg reach else structural
   end
 
-let verify_module (m : Modul.t) : error list =
+let verify_module ?(dom = false) (m : Modul.t) : error list =
   let dup_names =
     let seen = Hashtbl.create 16 in
     List.filter_map
@@ -129,15 +215,15 @@ let verify_module (m : Modul.t) : error list =
         else begin Hashtbl.add seen n (); None end)
       m.Modul.funcs
   in
-  dup_names @ List.concat_map (verify_func m) m.Modul.funcs
+  dup_names @ List.concat_map (verify_func ~dom m) m.Modul.funcs
 
 (* Raise on invalid IR; used in tests and by the pass manager's debug mode. *)
 exception Invalid of string
 
-let check m =
-  match verify_module m with
+let check ?(dom = false) m =
+  match verify_module ~dom m with
   | [] -> ()
   | errs ->
     raise (Invalid (String.concat "\n" (List.map error_to_string errs)))
 
-let is_valid m = verify_module m = []
+let is_valid ?(dom = false) m = verify_module ~dom m = []

@@ -11,41 +11,15 @@
 
 open Posetrl_ir
 module ISet = Set.Make (Int)
+module Usedef = Posetrl_analysis.Usedef
 
 (* --- adce ---------------------------------------------------------------- *)
 
+(* The mark phase (roots + demand propagation) lives in
+   [Posetrl_analysis.Usedef.demand_closure], shared with the lint
+   dead-code report; this sweep keeps exactly what it demands. *)
 let adce_func (_cfg : Config.t) (f : Func.t) : Func.t =
-  let defs = Func.def_map f in
-  let live = Hashtbl.create 64 in
-  let work = Queue.create () in
-  let mark v =
-    match v with
-    | Value.Reg r when not (Hashtbl.mem live r) ->
-      Hashtbl.replace live r ();
-      Queue.add r work
-    | _ -> ()
-  in
-  (* roots: terminator operands and side-effecting instructions *)
-  List.iter
-    (fun (b : Block.t) ->
-      List.iter mark (Instr.term_operands b.Block.term);
-      List.iter
-        (fun (i : Instr.t) ->
-          if Instr.has_side_effects i.Instr.op then begin
-            if i.Instr.id >= 0 then begin
-              Hashtbl.replace live i.Instr.id ();
-              Queue.add i.Instr.id work
-            end;
-            List.iter mark (Instr.operands i.Instr.op)
-          end)
-        b.Block.insns)
-    f.Func.blocks;
-  while not (Queue.is_empty work) do
-    let r = Queue.pop work in
-    match Hashtbl.find_opt defs r with
-    | Some (_, i) -> List.iter mark (Instr.operands i.Instr.op)
-    | None -> () (* parameter *)
-  done;
+  let live = Usedef.demand_closure f in
   let keep (i : Instr.t) =
     if i.Instr.id < 0 then true (* side-effecting, kept above as root *)
     else Hashtbl.mem live i.Instr.id || Instr.has_side_effects i.Instr.op

@@ -7,72 +7,26 @@
 
 open Posetrl_ir
 module ISet = Set.Make (Int)
+module Effects = Posetrl_analysis.Effects
 
-(* pointers that never escape the function: allocas used only by
-   load/store addressing *)
-let private_allocas (f : Func.t) : ISet.t =
-  let allocas =
-    Func.fold_insns
-      (fun acc _ i ->
-        match i.Instr.op with Instr.Alloca _ -> ISet.add i.Instr.id acc | _ -> acc)
-      ISet.empty f
-  in
-  let escaped = ref ISet.empty in
-  let check v =
-    match v with
-    | Value.Reg r when ISet.mem r allocas -> escaped := ISet.add r !escaped
-    | _ -> ()
-  in
-  List.iter
-    (fun (b : Block.t) ->
-      List.iter
-        (fun (i : Instr.t) ->
-          match i.Instr.op with
-          | Instr.Load (_, _) -> ()
-          | Instr.Store (_, v, _) -> check v
-          | Instr.Gep (_, base, idx) -> check base; check idx
-          | op -> List.iter check (Instr.operands op))
-        b.Block.insns;
-      List.iter check (Instr.term_operands b.Block.term))
-    f.Func.blocks;
-  ISet.diff allocas !escaped
-
+(* The escape classification ([Effects.private_allocas]), the read-root
+   scan ([Effects.read_roots]) and the same-block overwrite scan
+   ([Effects.overwritten_store_indices]) are shared with the lint
+   dead-store report; this pass only does the deleting. *)
 let run_func (_cfg : Config.t) (f : Func.t) : Func.t =
-  let priv = private_allocas f in
+  let priv = Effects.private_allocas f in
   (* does any load from [r] (directly, geps excluded since gep of private
      alloca with distinct indices is separate, we stay conservative and
      treat any gep on it as a load barrier) exist after? We precompute
      whether each private alloca is loaded at all. *)
-  let loaded = ref ISet.empty in
-  let gep_based = ref ISet.empty in
-  Func.iter_insns
-    (fun _ i ->
-      match i.Instr.op with
-      | Instr.Load (_, Value.Reg r) -> loaded := ISet.add r !loaded
-      | Instr.Gep (_, Value.Reg r, _) -> gep_based := ISet.add r !gep_based
-      | Instr.Memcpy (_, Value.Reg r, _) -> loaded := ISet.add r !loaded
-      | _ -> ())
-    f;
+  let loaded, gep_based = Effects.read_roots f in
   let never_read r =
-    ISet.mem r priv && (not (ISet.mem r !loaded)) && not (ISet.mem r !gep_based)
+    ISet.mem r priv && (not (ISet.mem r loaded)) && not (ISet.mem r gep_based)
   in
   (* same-block overwrite: scan forward remembering the last store per
      pointer; a read/call/memcpy clears the pending map *)
   let rewrite_block (b : Block.t) =
-    let pending : (Value.t, int ref) Hashtbl.t = Hashtbl.create 8 in
-    let dead : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-    List.iteri
-      (fun idx (i : Instr.t) ->
-        match i.Instr.op with
-        | Instr.Store (_, _, p) ->
-          (match Hashtbl.find_opt pending p with
-           | Some prev -> Hashtbl.replace dead !prev ()
-           | None -> ());
-          Hashtbl.replace pending p (ref idx)
-        | Instr.Load _ | Instr.Call _ | Instr.Callind _ | Instr.Memcpy _ ->
-          Hashtbl.reset pending
-        | _ -> ())
-      b.Block.insns;
+    let dead = Effects.overwritten_store_indices b in
     let insns =
       List.filteri (fun idx _ -> not (Hashtbl.mem dead idx)) b.Block.insns
     in

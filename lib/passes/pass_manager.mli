@@ -1,4 +1,8 @@
-(** Sequencing of passes by name, with optional per-pass IR verification. *)
+(** Sequencing of passes by name, with optional per-pass structural
+    verification ([~verify]) and semantic sanitizing ([~sanitize]): at
+    [Structural] or [Ssa] level every pass's output is re-verified, and
+    on failure the failing input is delta-minimized and written to
+    [~repro_dir] before {!Posetrl_analysis.Sanitize.Failed} is raised. *)
 
 open Posetrl_ir
 
@@ -9,13 +13,33 @@ type stats = {
   seconds : float;
 }
 
+val run_pass :
+  ?verify:bool ->
+  ?sanitize:Posetrl_analysis.Sanitize.level ->
+  ?repro_dir:string ->
+  Pass.t -> Config.t -> Modul.t -> Modul.t
+(** Run a single (possibly unregistered) pass through the production
+    verify/sanitize path. Tests use this to prove the sanitizer catches
+    a deliberately miscompiling pass. *)
+
 val run_names :
-  ?verify:bool -> ?collect:bool -> Config.t -> string list -> Modul.t ->
-  Modul.t * stats list
+  ?verify:bool ->
+  ?sanitize:Posetrl_analysis.Sanitize.level ->
+  ?repro_dir:string ->
+  ?collect:bool ->
+  Config.t -> string list -> Modul.t -> Modul.t * stats list
 (** Run the named passes in order; with [~collect:true] per-pass stats
     are gathered. Unknown names raise [Invalid_argument]. *)
 
-val run : ?verify:bool -> Config.t -> string list -> Modul.t -> Modul.t
+val run :
+  ?verify:bool ->
+  ?sanitize:Posetrl_analysis.Sanitize.level ->
+  ?repro_dir:string ->
+  Config.t -> string list -> Modul.t -> Modul.t
 
-val run_level : ?verify:bool -> Pipelines.level -> Modul.t -> Modul.t
+val run_level :
+  ?verify:bool ->
+  ?sanitize:Posetrl_analysis.Sanitize.level ->
+  ?repro_dir:string ->
+  Pipelines.level -> Modul.t -> Modul.t
 (** Run a standard -O level pipeline with its matching config. *)

@@ -1,0 +1,516 @@
+(* Posetrl_analysis: dataflow framework, analyses, sanitizer, delta
+   minimizer and lint.
+
+   The framework is checked against an independent brute-force liveness
+   recompute on generated programs (qcheck); the sanitizer against a
+   deliberately miscompiling pass whose minimized repro must re-fail
+   verification; the dce/dse ports against verbatim copies of the
+   pre-port implementations (byte-identical printer output). *)
+
+open Posetrl_ir
+module A = Posetrl_analysis
+module P = Posetrl_passes
+module W = Posetrl_workloads
+module Pool = Posetrl_support.Pool
+module ISet = Set.Make (Int)
+module SMap = Map.Make (String)
+
+(* --- brute-force liveness oracle ------------------------------------------ *)
+
+(* Naive round-robin per-block recompute, sharing no code with the
+   worklist framework: iterate the dataflow equations over the plain
+   block list until nothing changes. *)
+let brute_liveness (f : Func.t) : ISet.t SMap.t * ISet.t SMap.t =
+  let cfg = Cfg.of_func f in
+  let bmap = Func.block_map f in
+  let regs vs =
+    ISet.of_list (List.filter_map (function Value.Reg r -> Some r | _ -> None) vs)
+  in
+  let block_in (b : Block.t) (out : ISet.t) : ISet.t =
+    let live = ref (ISet.union out (regs (Instr.term_operands b.Block.term))) in
+    List.iter
+      (fun (i : Instr.t) ->
+        if i.Instr.id >= 0 then live := ISet.remove i.Instr.id !live;
+        match i.Instr.op with
+        | Instr.Phi _ -> ()
+        | op -> live := ISet.union !live (regs (Instr.operands op)))
+      (List.rev b.Block.insns);
+    !live
+  in
+  let phi_uses ~(succ : string) ~(pred : string) : ISet.t =
+    match SMap.find_opt succ bmap with
+    | None -> ISet.empty
+    | Some sb ->
+      List.fold_left
+        (fun acc (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Phi (_, incs) ->
+            (match List.assoc_opt pred incs with
+             | Some (Value.Reg r) -> ISet.add r acc
+             | _ -> acc)
+          | _ -> acc)
+        ISet.empty sb.Block.insns
+  in
+  let live_in = ref SMap.empty and live_out = ref SMap.empty in
+  let get m l = Option.value (SMap.find_opt l !m) ~default:ISet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Block.t) ->
+        let l = b.Block.label in
+        let out =
+          List.fold_left
+            (fun acc s ->
+              ISet.union acc (ISet.union (get live_in s) (phi_uses ~succ:s ~pred:l)))
+            ISet.empty (Cfg.succs cfg l)
+        in
+        let inn = block_in b out in
+        if not (ISet.equal out (get live_out l)) || not (ISet.equal inn (get live_in l))
+        then begin
+          changed := true;
+          live_out := SMap.add l out !live_out;
+          live_in := SMap.add l inn !live_in
+        end)
+      f.Func.blocks
+  done;
+  (!live_in, !live_out)
+
+let liveness_matches_brute (m : Modul.t) : bool =
+  List.for_all
+    (fun (f : Func.t) ->
+      let lv = A.Liveness.of_func f in
+      let bin, bout = brute_liveness f in
+      List.for_all
+        (fun (b : Block.t) ->
+          let l = b.Block.label in
+          ISet.equal (A.Liveness.live_in lv l)
+            (Option.value (SMap.find_opt l bin) ~default:ISet.empty)
+          && ISet.equal (A.Liveness.live_out lv l)
+               (Option.value (SMap.find_opt l bout) ~default:ISet.empty))
+        f.Func.blocks)
+    (Modul.defined_funcs m)
+
+let prop_liveness_eq_brute =
+  QCheck2.Test.make ~count:60 ~name:"framework liveness = brute-force recompute"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let m =
+        if seed mod 2 = 0 then W.Templates.generate ~seed
+        else W.Genprog.generate ~seed
+      in
+      liveness_matches_brute m)
+
+let test_liveness_on_suites () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check bool) (name ^ ": liveness = brute force") true
+        (liveness_matches_brute m))
+    (W.Suites.all_programs ())
+
+(* --- forward analyses ------------------------------------------------------ *)
+
+(* entry defines %x, a diamond rejoins, both arms use %x *)
+let diamond_module () : Modul.t =
+  Testutil.wrap_main (fun b ->
+      Builder.block b "entry";
+      let x = Builder.add b Types.I64 (Value.ci64 2) (Value.ci64 3) in
+      let c = Builder.icmp b Instr.Slt Types.I64 x (Value.ci64 10) in
+      Builder.cbr b c "left" "right";
+      Builder.block b "left";
+      let l = Builder.add b Types.I64 x (Value.ci64 1) in
+      Builder.br b "join";
+      Builder.block b "right";
+      let r = Builder.add b Types.I64 x (Value.ci64 2) in
+      Builder.br b "join";
+      Builder.block b "join";
+      let p = Builder.phi b Types.I64 [ ("left", l); ("right", r) ] in
+      Builder.ret b Types.I64 p)
+
+let test_reaching_defs () =
+  let m = diamond_module () in
+  let f = Testutil.main_func m in
+  let rd = A.Reaching.of_func f in
+  let x_id =
+    match (List.hd f.Func.blocks).Block.insns with
+    | i :: _ -> i.Instr.id
+    | [] -> Alcotest.fail "empty entry"
+  in
+  Alcotest.(check bool) "entry def reaches join" true
+    (ISet.mem x_id (A.Reaching.reach_in rd "join"));
+  Alcotest.(check bool) "join defs do not reach entry" false
+    (ISet.mem x_id (A.Reaching.reach_in rd "entry"))
+
+let test_available_exprs () =
+  (* the same pure expression on both arms is available (and redundant)
+     when recomputed at the join *)
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let c = Builder.icmp b Instr.Slt Types.I64 (Value.ci64 1) (Value.ci64 2) in
+        Builder.cbr b c "left" "right";
+        Builder.block b "left";
+        let _ = Builder.add b Types.I64 (Value.ci64 4) (Value.ci64 5) in
+        Builder.br b "join";
+        Builder.block b "right";
+        let _ = Builder.add b Types.I64 (Value.ci64 4) (Value.ci64 5) in
+        Builder.br b "join";
+        Builder.block b "join";
+        let again = Builder.add b Types.I64 (Value.ci64 4) (Value.ci64 5) in
+        Builder.ret b Types.I64 again)
+  in
+  let f = Testutil.main_func m in
+  let av = A.Available.of_func f in
+  let red = A.Available.redundant av f in
+  Alcotest.(check bool) "join recompute flagged" true
+    (List.exists (fun (blk, _) -> String.equal blk "join") red)
+
+let test_effects_summary () =
+  let m = Testutil.sum_squares_module () in
+  let s = A.Effects.summarize m in
+  Alcotest.(check string) "square is pure" "pure"
+    (A.Effects.effect_to_string (A.Effects.effect_of s "square"));
+  Alcotest.(check string) "main reads+writes memory" "readwrite"
+    (A.Effects.effect_to_string (A.Effects.effect_of s "main"))
+
+(* --- delta minimizer ------------------------------------------------------- *)
+
+let test_delta_minimize () =
+  (* three functions; the predicate only needs "bad", which drags an
+     unreachable junk block the minimizer must also drop *)
+  let simple name =
+    let b = Builder.create ~name ~params:[] ~ret:Types.I64 () in
+    Builder.block b "entry";
+    Builder.ret b Types.I64 (Value.ci64 1);
+    Builder.finish b
+  in
+  let bad =
+    let b = Builder.create ~name:"bad" ~params:[] ~ret:Types.I64 () in
+    Builder.block b "entry";
+    Builder.ret b Types.I64 (Value.ci64 7);
+    Builder.block b "junk";
+    Builder.ret b Types.I64 (Value.ci64 8);
+    Builder.finish b
+  in
+  let m = Modul.mk ~name:"delta" [ simple "keep1"; bad; simple "keep2" ] in
+  let valid c = Verifier.verify_module c = [] in
+  let check c = Option.is_some (Modul.find_func c "bad") in
+  let mini = A.Delta.minimize ~valid ~check m in
+  Alcotest.(check int) "only bad survives" 1 (List.length mini.Modul.funcs);
+  let bad' = Modul.find_func_exn mini "bad" in
+  Alcotest.(check int) "junk block dropped" 1 (List.length bad'.Func.blocks);
+  Alcotest.(check bool) "minimized module still valid" true (valid mini)
+
+(* --- sanitizer vs a seeded miscompile -------------------------------------- *)
+
+(* Deliberately broken transform: sink the entry block's first def into
+   the next block. Uses in other blocks become undominated — the IR
+   stays structurally valid (the def still exists) but violates SSA
+   dominance. *)
+let sink_pass : P.Pass.t =
+  P.Pass.mk "sink-bug" ~description:"moves a def below some of its uses"
+    (fun _ m ->
+      Modul.map_defined
+        (fun (f : Func.t) ->
+          match f.Func.blocks with
+          | ({ Block.insns = i :: tl; _ } as entry) :: next :: rest
+            when i.Instr.id >= 0 ->
+            let entry' = { entry with Block.insns = tl } in
+            let next' = { next with Block.insns = next.Block.insns @ [ i ] } in
+            Func.with_blocks f (entry' :: next' :: rest)
+          | _ -> f)
+        m)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_sanitizer_catches_miscompile () =
+  let m = diamond_module () in
+  (* the broken output is structurally fine — only dominance sees it *)
+  let broken = sink_pass.P.Pass.run P.Config.oz m in
+  Alcotest.(check bool) "structural verifier is blind to the bug" true
+    (Verifier.verify_module broken = []);
+  Alcotest.(check bool) "dominance check sees the bug" true
+    (Verifier.verify_module ~dom:true broken <> []);
+  let repro_dir = Filename.concat (Filename.get_temp_dir_name ()) "posetrl-test-repros" in
+  match
+    P.Pass_manager.run_pass ~sanitize:A.Sanitize.Ssa ~repro_dir sink_pass
+      P.Config.oz m
+  with
+  | _ -> Alcotest.fail "sanitizer did not catch the sunk def"
+  | exception A.Sanitize.Failed { pass; errors; repro_path } ->
+    Alcotest.(check string) "failure names the pass" "sink-bug" pass;
+    Alcotest.(check bool) "failure carries errors" true (errors <> []);
+    let path =
+      match repro_path with
+      | Some p -> p
+      | None -> Alcotest.fail "no repro written"
+    in
+    let repro = Parser.parse_module (read_file path) in
+    Alcotest.(check bool) "repro input is itself dominance-clean" true
+      (Verifier.verify_module ~dom:true repro = []);
+    (* the minimized repro re-fails: running the pass on it still
+       produces dominance-invalid IR *)
+    let out = sink_pass.P.Pass.run P.Config.oz repro in
+    Alcotest.(check bool) "repro re-fails dominance verification" true
+      (Verifier.verify_module ~dom:true out <> []);
+    Alcotest.(check bool) "structural sanitize level would miss it" true
+      (A.Sanitize.check_module A.Sanitize.Structural out = [])
+
+let test_sanitize_levels () =
+  Alcotest.(check bool) "off level checks nothing" true
+    (A.Sanitize.check_module A.Sanitize.Off (diamond_module ()) = []);
+  (match A.Sanitize.level_of_string "ssa" with
+   | Ok A.Sanitize.Ssa -> ()
+   | _ -> Alcotest.fail "ssa level parse");
+  (match A.Sanitize.level_of_string "bogus" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bogus level accepted")
+
+(* --- dce/dse ports: byte-identical vs the pre-port implementations --------- *)
+
+(* Verbatim copy of the adce mark/sweep as it existed before the port to
+   Usedef.demand_closure. *)
+let legacy_adce (f : Func.t) : Func.t =
+  let defs = Func.def_map f in
+  let live = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let mark v =
+    match v with
+    | Value.Reg r when not (Hashtbl.mem live r) ->
+      Hashtbl.replace live r ();
+      Queue.add r work
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter mark (Instr.term_operands b.Block.term);
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.has_side_effects i.Instr.op then begin
+            if i.Instr.id >= 0 then begin
+              Hashtbl.replace live i.Instr.id ();
+              Queue.add i.Instr.id work
+            end;
+            List.iter mark (Instr.operands i.Instr.op)
+          end)
+        b.Block.insns)
+    f.Func.blocks;
+  while not (Queue.is_empty work) do
+    let r = Queue.pop work in
+    match Hashtbl.find_opt defs r with
+    | Some (_, i) -> List.iter mark (Instr.operands i.Instr.op)
+    | None -> ()
+  done;
+  let keep (i : Instr.t) =
+    if i.Instr.id < 0 then true
+    else Hashtbl.mem live i.Instr.id || Instr.has_side_effects i.Instr.op
+  in
+  Func.map_blocks (Block.filter_insns keep) f
+
+(* Verbatim copy of the dse body as it existed before the port to the
+   Effects helpers. *)
+let legacy_dse (f : Func.t) : Func.t =
+  let allocas =
+    Func.fold_insns
+      (fun acc _ i ->
+        match i.Instr.op with Instr.Alloca _ -> ISet.add i.Instr.id acc | _ -> acc)
+      ISet.empty f
+  in
+  let escaped = ref ISet.empty in
+  let check v =
+    match v with
+    | Value.Reg r when ISet.mem r allocas -> escaped := ISet.add r !escaped
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Load (_, _) -> ()
+          | Instr.Store (_, v, _) -> check v
+          | Instr.Gep (_, base, idx) -> check base; check idx
+          | op -> List.iter check (Instr.operands op))
+        b.Block.insns;
+      List.iter check (Instr.term_operands b.Block.term))
+    f.Func.blocks;
+  let priv = ISet.diff allocas !escaped in
+  let loaded = ref ISet.empty in
+  let gep_based = ref ISet.empty in
+  Func.iter_insns
+    (fun _ i ->
+      match i.Instr.op with
+      | Instr.Load (_, Value.Reg r) -> loaded := ISet.add r !loaded
+      | Instr.Gep (_, Value.Reg r, _) -> gep_based := ISet.add r !gep_based
+      | Instr.Memcpy (_, Value.Reg r, _) -> loaded := ISet.add r !loaded
+      | _ -> ())
+    f;
+  let never_read r =
+    ISet.mem r priv && (not (ISet.mem r !loaded)) && not (ISet.mem r !gep_based)
+  in
+  let rewrite_block (b : Block.t) =
+    let pending : (Value.t, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let dead : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    List.iteri
+      (fun idx (i : Instr.t) ->
+        match i.Instr.op with
+        | Instr.Store (_, _, p) ->
+          (match Hashtbl.find_opt pending p with
+           | Some prev -> Hashtbl.replace dead !prev ()
+           | None -> ());
+          Hashtbl.replace pending p (ref idx)
+        | Instr.Load _ | Instr.Call _ | Instr.Callind _ | Instr.Memcpy _ ->
+          Hashtbl.reset pending
+        | _ -> ())
+      b.Block.insns;
+    let insns =
+      List.filteri (fun idx _ -> not (Hashtbl.mem dead idx)) b.Block.insns
+    in
+    { b with Block.insns }
+  in
+  let f = Func.map_blocks rewrite_block f in
+  let keep (i : Instr.t) =
+    match i.Instr.op with
+    | Instr.Store (_, _, Value.Reg r) when never_read r -> false
+    | _ -> true
+  in
+  let f = Func.map_blocks (Block.filter_insns keep) f in
+  P.Utils.trivial_dce f
+
+let check_port_identical ~(pass : string) ~(legacy : Func.t -> Func.t)
+    (progs : (string * Modul.t) list) =
+  let p = P.Registry.find_exn pass in
+  List.iter
+    (fun (name, m) ->
+      let ported = p.P.Pass.run P.Config.oz m in
+      let reference = Modul.map_defined legacy m in
+      Alcotest.(check string)
+        (Printf.sprintf "%s on %s is byte-identical to the pre-port pass" pass name)
+        (Printer.module_to_string reference)
+        (Printer.module_to_string ported))
+    progs
+
+let port_corpus () =
+  W.Suites.all_programs ()
+  @ [ ("fixture/sum_squares", Testutil.sum_squares_module ()) ]
+  @ List.init 8 (fun k -> (Printf.sprintf "gen/%d" k, W.Genprog.generate ~seed:(900 + k)))
+
+let test_adce_port_identical () =
+  check_port_identical ~pass:"adce" ~legacy:legacy_adce (port_corpus ())
+
+let test_dse_port_identical () =
+  check_port_identical ~pass:"dse" ~legacy:legacy_dse (port_corpus ())
+
+(* --- lint ------------------------------------------------------------------ *)
+
+let test_lint_flags_dead_store () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let p = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 1) p;
+        Builder.store b Types.I64 (Value.ci64 2) p;
+        let v = Builder.load b Types.I64 p in
+        Builder.ret b Types.I64 v)
+  in
+  let fs = A.Lint.lint_module m in
+  Alcotest.(check bool) "dead store reported" true
+    (List.exists (fun (f : A.Lint.finding) -> f.A.Lint.rule = "dead-store") fs)
+
+let test_lint_flags_undominated_use () =
+  let broken = sink_pass.P.Pass.run P.Config.oz (diamond_module ()) in
+  let fs = A.Lint.lint_module broken in
+  Alcotest.(check bool) "undominated use reported as error" true
+    (List.exists
+       (fun (f : A.Lint.finding) ->
+         f.A.Lint.rule = "undominated-use" && f.A.Lint.severity = A.Lint.Error)
+       fs)
+
+let test_lint_suite_oz_zero_errors () =
+  (* the full-suite run is CI's job (posetrl lint --suite -O Oz
+     --fail-on error); here a sample of each suite keeps runtest fast *)
+  let sample = [ "541.leela"; "462.libquantum"; "crc32"; "sha"; "fft" ] in
+  List.iter
+    (fun name ->
+      match W.Suites.find_program name with
+      | None -> Alcotest.fail ("unknown sample program " ^ name)
+      | Some mk ->
+        let m = P.Pass_manager.run_level P.Pipelines.Oz (mk ()) in
+        let fs = A.Lint.lint_module m in
+        Alcotest.(check int)
+          (name ^ " at -Oz lints with zero errors")
+          0 (A.Lint.count A.Lint.Error fs))
+    sample
+
+(* --- domain safety: parallel sanitized evaluation -------------------------- *)
+
+let test_parallel_sanitize_deterministic () =
+  let progs =
+    Array.of_list
+      [ ("crc32", Option.get (W.Suites.find_program "crc32"));
+        ("sha", Option.get (W.Suites.find_program "sha"));
+        ("fft", Option.get (W.Suites.find_program "fft"));
+        ("dijkstra", Option.get (W.Suites.find_program "dijkstra")) ]
+  in
+  let work (name, mk) =
+    let m = mk () in
+    let m' = P.Pass_manager.run_level ~sanitize:A.Sanitize.Ssa P.Pipelines.Oz m in
+    let fs = A.Lint.lint_module m' in
+    (name, Modul.insn_count m', List.length fs, A.Lint.count A.Lint.Error fs)
+  in
+  let seq = Array.map work progs in
+  let par = Pool.with_pool ~name:"test-analysis" ~jobs:4 (fun p -> Pool.map p work progs) in
+  Alcotest.(check bool) "parallel sanitized runs = sequential" true (seq = par)
+
+(* --- solver guard ---------------------------------------------------------- *)
+
+let test_solver_rejects_non_monotone () =
+  let module Osc = struct
+    type t = int
+
+    let bottom = 0
+    let equal = Int.equal
+    let join = max
+  end in
+  let module S = A.Dataflow.Make (Osc) in
+  let m = Testutil.sum_squares_module () in
+  let f = Modul.find_func_exn m "main" in
+  (* transfer that never stabilizes: strictly increases every visit *)
+  let counter = ref 0 in
+  let transfer _ x = incr counter; x + 1 in
+  match S.solve ~transfer f with
+  | _ -> Alcotest.fail "non-monotone transfer reached a fixpoint"
+  | exception Failure msg ->
+    Alcotest.(check bool) "diagnostic names the solver" true
+      (String.length msg > 0)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_liveness_eq_brute;
+    Alcotest.test_case "liveness = brute force on all suites" `Quick
+      test_liveness_on_suites;
+    Alcotest.test_case "reaching definitions on a diamond" `Quick test_reaching_defs;
+    Alcotest.test_case "available expressions flag a redundant recompute" `Quick
+      test_available_exprs;
+    Alcotest.test_case "effect summaries over the callgraph" `Quick
+      test_effects_summary;
+    Alcotest.test_case "delta minimizer shrinks to the failing function" `Quick
+      test_delta_minimize;
+    Alcotest.test_case "sanitizer catches a seeded miscompile with repro" `Quick
+      test_sanitizer_catches_miscompile;
+    Alcotest.test_case "sanitize levels parse and gate" `Quick test_sanitize_levels;
+    Alcotest.test_case "adce port byte-identical" `Slow test_adce_port_identical;
+    Alcotest.test_case "dse port byte-identical" `Slow test_dse_port_identical;
+    Alcotest.test_case "lint flags a dead store" `Quick test_lint_flags_dead_store;
+    Alcotest.test_case "lint flags an undominated use as error" `Quick
+      test_lint_flags_undominated_use;
+    Alcotest.test_case "lint: sampled suites at -Oz have zero errors" `Slow
+      test_lint_suite_oz_zero_errors;
+    Alcotest.test_case "sanitized evaluation is pool-deterministic" `Slow
+      test_parallel_sanitize_deterministic;
+    Alcotest.test_case "solver budget rejects non-monotone transfers" `Quick
+      test_solver_rejects_non_monotone ]

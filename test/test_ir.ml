@@ -135,6 +135,53 @@ let test_verifier_accepts_suites () =
         (List.map Verifier.error_to_string (Verifier.verify_module m)))
     (Posetrl_workloads.Suites.all_programs ())
 
+(* a cbr diamond where "right" uses a reg defined only on "left":
+   structurally fine, SSA-dominance invalid *)
+let undominated_use_module () =
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let c = Builder.icmp b Instr.Slt Types.I64 (Value.ci64 1) (Value.ci64 2) in
+  Builder.cbr b c "left" "right";
+  Builder.block b "left";
+  let x = Builder.add b Types.I64 (Value.ci64 1) (Value.ci64 2) in
+  Builder.ret b Types.I64 x;
+  Builder.block b "right";
+  let y = Builder.add b Types.I64 x (Value.ci64 3) in
+  Builder.ret b Types.I64 y;
+  Modul.mk ~name:"undom" [ Builder.finish b ]
+
+let test_verifier_dom_catches_undominated_use () =
+  let m = undominated_use_module () in
+  Alcotest.(check bool) "structural check passes" true (Verifier.is_valid m);
+  Alcotest.(check bool) "dominance check fails" false (Verifier.is_valid ~dom:true m)
+
+let test_verifier_dom_phi_pred_rule () =
+  (* a phi may name a value defined in the predecessor itself — that is
+     dominance-legal (def-block dominates the incoming edge's source) *)
+  let b = Builder.create ~linkage:Func.External ~name:"main" ~params:[] ~ret:Types.I64 () in
+  Builder.block b "entry";
+  let c = Builder.icmp b Instr.Slt Types.I64 (Value.ci64 1) (Value.ci64 2) in
+  Builder.cbr b c "left" "right";
+  Builder.block b "left";
+  let l = Builder.add b Types.I64 (Value.ci64 1) (Value.ci64 2) in
+  Builder.br b "join";
+  Builder.block b "right";
+  let r = Builder.add b Types.I64 (Value.ci64 3) (Value.ci64 4) in
+  Builder.br b "join";
+  Builder.block b "join";
+  let p = Builder.phi b Types.I64 [ ("left", l); ("right", r) ] in
+  Builder.ret b Types.I64 p;
+  let m = Modul.mk ~name:"phi_ok" [ Builder.finish b ] in
+  Alcotest.(check (list string)) "phi incoming from defining pred is legal" []
+    (List.map Verifier.error_to_string (Verifier.verify_module ~dom:true m))
+
+let test_verifier_dom_accepts_suites () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check (list string)) (name ^ " verifies with ~dom") []
+        (List.map Verifier.error_to_string (Verifier.verify_module ~dom:true m)))
+    (Posetrl_workloads.Suites.all_programs ())
+
 let test_roundtrip_sum_squares () =
   let m = Testutil.sum_squares_module () in
   let text = Printer.module_to_string m in
@@ -261,6 +308,10 @@ let suite =
     Alcotest.test_case "verifier phi position" `Quick test_verifier_catches_phi_after_insn;
     Alcotest.test_case "verifier ret type" `Quick test_verifier_ret_type;
     Alcotest.test_case "verifier accepts suites" `Quick test_verifier_accepts_suites;
+    Alcotest.test_case "verifier ~dom catches undominated use" `Quick
+      test_verifier_dom_catches_undominated_use;
+    Alcotest.test_case "verifier ~dom phi-pred rule" `Quick test_verifier_dom_phi_pred_rule;
+    Alcotest.test_case "verifier ~dom accepts suites" `Quick test_verifier_dom_accepts_suites;
     Alcotest.test_case "roundtrip sum_squares" `Quick test_roundtrip_sum_squares;
     Alcotest.test_case "roundtrip suites" `Quick test_roundtrip_suites;
     Alcotest.test_case "parser rejects garbage" `Quick test_parser_rejects_garbage;

@@ -10,6 +10,7 @@ let () =
       ("runledger", Test_runledger.suite);
       ("telemetry", Test_telemetry.suite);
       ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
       ("interp", Test_interp.suite);
       ("passes.scalar", Test_passes_scalar.suite);
       ("passes.loop", Test_passes_loop.suite);
