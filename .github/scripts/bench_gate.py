@@ -26,6 +26,9 @@ import sys
 GATED = {
     "bench-parallel": ("gemm_rel", "pool_dispatch_rel"),
     "bench-analysis": ("liveness_rel", "sanitize_rel", "lint_rel"),
+    # profiling-disabled overhead: the span no-sink fast path and the
+    # atomic counter / row-locked histogram updates every run pays
+    "bench-prof": ("span_disabled_rel", "counter_inc_rel", "hist_observe_rel"),
 }
 
 

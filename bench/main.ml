@@ -482,7 +482,7 @@ let micro () =
                  { Obs.Event.name = "posetrl.pass.run";
                    attrs = [ ("pass", Obs.Event.S "dce") ];
                    t_start = float_of_int i *. 1e-3;
-                   dur = 5e-4; self = 5e-4; depth = i mod 4 })
+                   dur = 5e-4; self = 5e-4; depth = i mod 4; tid = 0 })
            in
            Staged.stage (fun () -> ignore (Obs.Chrome.to_string events))) ]
   in
@@ -691,6 +691,92 @@ let analysis () =
   Printf.printf "  analysis bench baseline written to %s\n" path
 
 (* ======================================================================== *)
+(* profiling: disabled-path overhead + atomic metrics + collector costs       *)
+(* ======================================================================== *)
+
+(* Benches the observability hot paths the profiling subsystem leans on
+   and writes BENCH_prof.json for the bench-regression CI job. The gated
+   rows are the *disabled* costs — a span with no sink and an atomic
+   counter/histogram update — i.e. the overhead every training and eval
+   run pays whether or not profiling is on. Each row batches 100
+   operations so the calibration-relative ratio sits well above timer
+   noise. Collector-side costs (folding an event, GC sampling) are
+   reported for context but not gated: they only run when profiling is
+   explicitly requested. *)
+let prof_bench () =
+  section_header "Profiling overhead (span fast path + atomic metrics)";
+  let open Bechamel in
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~r "posetrl.bench.ctr" in
+  let g = Obs.Metrics.gauge ~r "posetrl.bench.g" in
+  let h = Obs.Metrics.histogram ~r "posetrl.bench.h" in
+  let collector = Obs.Prof.create () in
+  let ev =
+    { Obs.Event.name = "posetrl.bench.span";
+      attrs = [];
+      t_start = 0.0; dur = 1e-5; self = 1e-5; depth = 0; tid = 0 }
+  in
+  let rows =
+    bechamel_run
+      (Test.make_grouped ~name:"prof"
+         [ Test.make ~name:"calib-dot-4k"
+             (let u = Array.init 4096 (fun i -> float_of_int i *. 1e-3) in
+              let v = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+              Staged.stage (fun () ->
+                  let acc = ref 0.0 in
+                  for i = 0 to 4095 do
+                    acc := !acc +. (u.(i) *. v.(i))
+                  done;
+                  ignore (Sys.opaque_identity !acc)));
+           Test.make ~name:"span-disabled-100"
+             (Staged.stage (fun () ->
+                  for _i = 1 to 100 do
+                    Obs.Span.with_ "posetrl.bench.noop" (fun _ -> ())
+                  done));
+           Test.make ~name:"counter-inc-100"
+             (Staged.stage (fun () ->
+                  for _i = 1 to 100 do Obs.Metrics.inc c done));
+           Test.make ~name:"gauge-set-100"
+             (Staged.stage (fun () ->
+                  for _i = 1 to 100 do Obs.Metrics.set g 42.0 done));
+           Test.make ~name:"hist-observe-100"
+             (Staged.stage (fun () ->
+                  for _i = 1 to 100 do Obs.Metrics.observe h 1e-4 done));
+           Test.make ~name:"prof-add-event"
+             (Staged.stage (fun () -> Obs.Prof.add collector ev));
+           Test.make ~name:"sample-gc"
+             (Staged.stage (fun () -> ignore (Obs.Prof.sample_gc ~r ()))) ])
+  in
+  print_bechamel_rows rows;
+  let ns suffix =
+    match List.find_opt (fun (n, _) -> Filename.basename n = suffix) rows with
+    | Some (_, v) -> v
+    | None -> 0.0
+  in
+  let calib = ns "calib-dot-4k" in
+  let rel v = if calib > 0.0 then v /. calib else 0.0 in
+  let path = "BENCH_prof.json" in
+  Obs.Runlog.write_json_file path
+    (Obs.Json.Obj
+       [ ("kind", Obs.Json.Str "bench-prof");
+         ("micro_ns",
+          Obs.Json.Obj
+            (List.map (fun (n, v) -> (Filename.basename n, Obs.Json.Float v)) rows));
+         ("gate",
+          (* the series the CI gate enforces (calibration-relative cost
+             of the always-on paths; see .github/scripts/bench_gate.py),
+             plus context rows *)
+          Obs.Json.Obj
+            [ ("calib_ns", Obs.Json.Float calib);
+              ("span_disabled_rel", Obs.Json.Float (rel (ns "span-disabled-100")));
+              ("counter_inc_rel", Obs.Json.Float (rel (ns "counter-inc-100")));
+              ("hist_observe_rel", Obs.Json.Float (rel (ns "hist-observe-100")));
+              ("gauge_set_rel", Obs.Json.Float (rel (ns "gauge-set-100")));
+              ("prof_add_rel", Obs.Json.Float (rel (ns "prof-add-event")));
+              ("sample_gc_rel", Obs.Json.Float (rel (ns "sample-gc"))) ]) ]);
+  Printf.printf "  profiling bench baseline written to %s\n" path
+
+(* ======================================================================== *)
 
 let sections : (string * (unit -> unit)) list =
   [ ("fig1", fig1);
@@ -703,7 +789,8 @@ let sections : (string * (unit -> unit)) list =
     ("ablations", ablations);
     ("micro", micro);
     ("parallel", parallel);
-    ("analysis", analysis) ]
+    ("analysis", analysis);
+    ("prof", prof_bench) ]
 
 let () =
   let requested =

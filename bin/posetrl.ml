@@ -7,8 +7,11 @@
      train  train a DQN phase-ordering model and save its weights
      eval   evaluate a saved model against the validation suites
      report aggregate a --trace JSONL file into per-span/per-pass tables
+     profile run train/eval under the hotspot profiler: ranked self-time
+            table, jobs-1-vs-N comparison, GC/alloc totals, folded export
      runs   the run ledger: list past runs, show one (manifest +
-            training curves), compare two with regression detection
+            training curves), compare two with regression detection,
+            rebuild a profile from a run's trace
      watch  live terminal dashboard tailing a (running) ledger run
      odg    inspect the Oz Dependence Graph (stats, dot, derived walks)
      list   list registered passes / benchmark programs
@@ -409,6 +412,17 @@ let train_cmd =
             (Obs.Runlog.tick_record
                ?q_mean:(Obs.Metrics.value "posetrl.dqn.q_mean")
                ?q_max:(Obs.Metrics.value "posetrl.dqn.q_max")
+               ?gc_minor:
+                 (Option.map int_of_float
+                    (Obs.Metrics.value "posetrl.gc.minor_collections"))
+               ?gc_major:
+                 (Option.map int_of_float
+                    (Obs.Metrics.value "posetrl.gc.major_collections"))
+               ?gc_heap_mb:
+                 (Option.map
+                    (fun w -> w *. 8.0 /. 1e6)
+                    (Obs.Metrics.value "posetrl.gc.heap_words"))
+               ?gc_alloc_mb_s:(Obs.Metrics.value "posetrl.gc.alloc_rate_mb_s")
                ~step:p.C.Trainer.step
                ~episode:p.C.Trainer.episode ~epsilon:p.C.Trainer.epsilon_now
                ~mean_reward:p.C.Trainer.mean_reward
@@ -553,7 +567,12 @@ let report_cmd =
            ~doc:"Also export the trace as Chrome trace-event JSON — load it \
                  in ui.perfetto.dev or chrome://tracing for a flamegraph view.")
   in
-  let go file top_k chrome =
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"OUT.folded"
+           ~doc:"Also export the trace as folded stacks (self-time in µs) for \
+                 flamegraph.pl / inferno / speedscope.")
+  in
+  let go file top_k chrome folded =
     let events = Obs.Report.read_jsonl file in
     (match chrome with
      | Some out ->
@@ -561,12 +580,192 @@ let report_cmd =
        Printf.printf "chrome trace written to %s (%d events)\n" out
          (List.length events)
      | None -> ());
+    (match folded with
+     | Some out ->
+       Obs.Prof.write_folded ~path:out (Obs.Prof.of_events events);
+       Printf.printf "folded stacks written to %s (%d events)\n" out
+         (List.length events)
+     | None -> ());
     print_string (Obs.Report.render ~top_k events)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Aggregate a span trace into per-span, per-pass and per-action tables")
-    Term.(const go $ file $ top_k $ chrome)
+    Term.(const go $ file $ top_k $ chrome $ folded)
+
+(* --- profile ----------------------------------------------------------------- *)
+
+(* Runs a workload under a profiling collector (plus per-span allocation
+   attribution) and prints hotspot attribution. The sequential (jobs=1)
+   run is the attribution baseline; unless --once, the same workload
+   re-runs at --jobs N and the per-span self-times are tabled side by
+   side — the measured answer to "where does the pooled run spend its
+   time". *)
+let profile_cmd =
+  let mode =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODE"
+           ~doc:"Workload to profile: train (a short fast-schedule training \
+                 run) or eval (the validation suites under a fixed-seed \
+                 model).")
+  in
+  let suite =
+    Arg.(value & opt ~vopt:"all" string "all" & info [ "suite" ] ~docv:"SUITE"
+           ~doc:"Restrict eval mode to one validation suite (default: all).")
+  in
+  let level =
+    Arg.(value & opt (some string) None & info [ "O"; "level" ] ~docv:"L"
+           ~doc:"Eval mode: profile the \\$(docv) pass pipeline over the suite \
+                 programs instead of the model rollout.")
+  in
+  let jobs =
+    Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Pool size for the comparison run (default 4).")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Profile the sequential run only; skip the jobs-1-vs-N \
+                 comparison (CI smoke).")
+  in
+  let top =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows in the hotspot table.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"OUT.folded"
+           ~doc:"Write the sequential run's folded stacks (flamegraph.pl \
+                 format) to \\$(docv).")
+  in
+  let steps =
+    Arg.(value & opt int 600 & info [ "steps" ]
+           ~doc:"Training steps for profile train (fast schedule).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let go mode suite level jobs once top folded steps seed =
+    let module SPool = Posetrl_support.Pool in
+    let actions = O.Action_space.odg in
+    let tgt = CG.Target.x86_64 in
+    let suites =
+      if suite = "all" then W.Suites.validation_suites
+      else
+        match
+          List.filter
+            (fun s -> s.W.Suites.suite_name = suite)
+            W.Suites.validation_suites
+        with
+        | [] ->
+          failwith
+            (Printf.sprintf "unknown suite %s (have: %s)" suite
+               (String.concat ", "
+                  (List.map
+                     (fun s -> s.W.Suites.suite_name)
+                     W.Suites.validation_suites)))
+        | l -> l
+    in
+    let eval_workload pool =
+      match level with
+      | Some l ->
+        let lvl =
+          match P.Pipelines.level_of_string l with
+          | Some lv -> lv
+          | None -> failwith ("unknown level " ^ l)
+        in
+        let progs =
+          Array.of_list (List.concat_map (fun s -> s.W.Suites.programs) suites)
+        in
+        (match pool with
+         | None ->
+           Array.iter
+             (fun (name, mk) ->
+               Obs.Span.with_
+                 ~attrs:[ ("program", Obs.Event.S name) ]
+                 "posetrl.profile.program"
+                 (fun _ -> ignore (P.Pass_manager.run_level lvl (mk ()))))
+             progs
+         | Some p ->
+           let t0 = Unix.gettimeofday () in
+           let _, timings =
+             SPool.map_timed p
+               (fun (_, mk) -> ignore (P.Pass_manager.run_level lvl (mk ())))
+               progs
+           in
+           let t1 = Unix.gettimeofday () in
+           ignore
+             (Obs.Prof.note_pool_batch ~jobs:(SPool.jobs p) ~t0 ~t1 timings);
+           Array.iter
+             (fun (tm : SPool.timing) ->
+               Obs.Span.emit
+                 ~attrs:
+                   [ ("program", Obs.Event.S (fst progs.(tm.SPool.t_index))) ]
+                 ~tid:tm.SPool.t_domain ~name:"posetrl.pool.task"
+                 ~t_start:tm.SPool.t_start ~dur:tm.SPool.t_dur ())
+             timings)
+      | None ->
+        let rng = Posetrl_support.Rng.create seed in
+        let agent =
+          Posetrl_rl.Dqn.create rng ~state_dim:C.Environment.state_dim
+            ~hidden:[ 128; 64 ] ~n_actions:(O.Action_space.n_actions actions)
+        in
+        List.iter
+          (fun s ->
+            ignore
+              (C.Evaluate.evaluate_programs ?pool ~measure_time:false ~agent
+                 ~actions ~target:tgt s.W.Suites.programs))
+          suites
+    in
+    let train_workload pool =
+      let hp =
+        { C.Trainer.fast with
+          C.Trainer.total_steps = steps;
+          C.Trainer.epsilon =
+            Posetrl_rl.Schedule.create ~start:1.0 ~stop:0.05
+              ~decay_steps:(max 1 (steps * 2 / 3)) () }
+      in
+      let corpus = W.Suites.training_corpus ~n:16 () in
+      ignore (C.Trainer.train ?pool ~hp ~seed ~corpus ~actions ~target:tgt ())
+    in
+    let workload =
+      match mode with
+      | "eval" -> eval_workload
+      | "train" -> train_workload
+      | m -> failwith ("unknown profile mode " ^ m ^ " (expected train or eval)")
+    in
+    let run_one jobs =
+      let mark = Obs.Prof.gc_mark () in
+      let (), prof =
+        Obs.Prof.collect (fun () -> with_jobs ~jobs (fun pool -> workload pool))
+      in
+      (prof, Obs.Prof.gc_delta mark)
+    in
+    let prof1, gc1 = run_one 1 in
+    print_string (Obs.Prof.render ~top ~title:"hotspots (jobs=1)" prof1);
+    print_string (Obs.Prof.render_gc gc1);
+    (match folded with
+     | Some out ->
+       Obs.Prof.write_folded ~path:out prof1;
+       Printf.printf "folded stacks written to %s\n" out
+     | None -> ());
+    if (not once) && jobs > 1 then begin
+      let profN, gcN = run_one jobs in
+      print_newline ();
+      print_string (Obs.Prof.render_compare ~jobs prof1 profN);
+      (match Obs.Metrics.value "posetrl.pool.busy_frac" with
+       | Some busy ->
+         Printf.printf "pool: busy=%.1f%% mean queue wait %.1f us\n"
+           (100.0 *. busy)
+           (1e6
+            *. Option.value ~default:0.0
+                 (Obs.Metrics.value "posetrl.pool.queue_wait_mean_s"))
+       | None -> ());
+      print_string (Obs.Prof.render_gc gcN)
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a workload under the hotspot profiler: ranked self-time \
+             table, jobs-1-vs-N comparison, GC/alloc totals, optional \
+             flamegraph export")
+    Term.(const go $ mode $ suite $ level $ jobs $ once $ top $ folded $ steps
+          $ seed)
 
 (* --- runs (the ledger) ------------------------------------------------------- *)
 
@@ -760,11 +959,47 @@ let runs_compare_cmd =
              (usable as a CI gate)")
     Term.(const go $ root_arg $ base $ cand $ reward_drop $ size_drop $ wall_factor)
 
+let runs_profile_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN"
+           ~doc:"Run id (under --root) or a run directory path.")
+  in
+  let top =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows in the hotspot table.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"OUT.folded"
+           ~doc:"Also write folded stacks (flamegraph.pl format) to \\$(docv).")
+  in
+  let go root id top folded =
+    let info = Obs.Run.find ~root id in
+    let trace = Obs.Run.trace_path info.Obs.Run.run_dir in
+    if not (Sys.file_exists trace) then
+      failwith
+        (Printf.sprintf "run %s has no trace.jsonl" info.Obs.Run.run_id);
+    let prof = Obs.Prof.of_events (Obs.Report.read_jsonl trace) in
+    print_string
+      (Obs.Prof.render ~top
+         ~title:(Printf.sprintf "hotspots (%s)" info.Obs.Run.run_id)
+         prof);
+    match folded with
+    | Some out ->
+      Obs.Prof.write_folded ~path:out prof;
+      Printf.printf "folded stacks written to %s\n" out
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Rebuild a hotspot profile (and optionally folded stacks) from a \
+             persisted run's trace.jsonl")
+    Term.(const go $ root_arg $ id $ top $ folded)
+
 let runs_cmd =
   Cmd.group
     (Cmd.info "runs"
        ~doc:"The run ledger: list, inspect and compare persisted runs")
-    [ runs_list_cmd; runs_show_cmd; runs_compare_cmd ]
+    [ runs_list_cmd; runs_show_cmd; runs_compare_cmd; runs_profile_cmd ]
 
 (* --- watch (live dashboard) -------------------------------------------------- *)
 
@@ -1020,7 +1255,7 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ opt_cmd; run_cmd; train_cmd; eval_cmd; lint_cmd; report_cmd;
-           runs_cmd; watch_cmd; odg_cmd; list_cmd ])
+           profile_cmd; runs_cmd; watch_cmd; odg_cmd; list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

@@ -92,8 +92,13 @@ let evaluate_programs ?(measure_time = true) ?(verify = false)
   | Some p ->
     Obs.Metrics.set m_pool_jobs (float_of_int (Pool.jobs p));
     let t0 = Obs.Clock.now () in
+    (* pool timings are Unix.gettimeofday stamps; bracket the batch on
+       that same clock for the utilization aggregates *)
+    let t0u = Unix.gettimeofday () in
     let results, timings = Pool.map_timed p eval_one (Array.of_list programs) in
+    let t1u = Unix.gettimeofday () in
     Obs.Metrics.observe m_pool_batch_s (Obs.Clock.now () -. t0);
+    ignore (Obs.Prof.note_pool_batch ~jobs:(Pool.jobs p) ~t0:t0u ~t1:t1u timings);
     let names = Array.of_list (List.map fst programs) in
     Array.iter
       (fun (tm : Pool.timing) ->
@@ -101,6 +106,7 @@ let evaluate_programs ?(measure_time = true) ?(verify = false)
         Obs.Metrics.observe m_pool_task_s tm.Pool.t_dur;
         Obs.Span.emit
           ~attrs:[ ("program", Obs.Event.S names.(tm.Pool.t_index)) ]
+          ~tid:tm.Pool.t_domain
           ~name:"posetrl.pool.task" ~t_start:tm.Pool.t_start ~dur:tm.Pool.t_dur ())
       timings;
     Array.to_list results

@@ -262,6 +262,7 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
         Obs.Metrics.set m_mean_size_gain (window_mean size_window);
         Obs.Metrics.set m_r_binsize (window_mean bin_window);
         Obs.Metrics.set m_r_throughput (window_mean thr_window);
+        ignore (Obs.Prof.sample_gc ());
         on_progress
           { step = !step;
             episode = !episode;

@@ -1,10 +1,13 @@
 (* Chrome Trace Event Format export.
 
-   One complete ("ph":"X") event per span. The viewer nests X events on
-   a (pid, tid) track by interval containment, and the span layer
-   guarantees proper nesting (children start and end inside their
-   parents), so a single track reproduces the span stack as a
-   flamegraph. ts/dur are microseconds per the format; the original
+   One complete ("ph":"X") event per span, placed on the track of the
+   domain that emitted it ([Event.tid]): the viewer nests X events on a
+   (pid, tid) track by interval containment, and the span layer
+   guarantees proper nesting per domain, so each domain's span stack
+   renders as its own flamegraph — pool-worker tasks no longer collapse
+   onto the owner's track. A "thread_name" metadata ("ph":"M") event per
+   distinct tid labels the tracks ("main" for domain 0, "domain-N"
+   otherwise). ts/dur are microseconds per the format; the original
    attrs, the computed self-time and the recorded depth go to args. *)
 
 let usec (s : float) : Json.t = Json.Float (s *. 1e6)
@@ -16,7 +19,7 @@ let event_json (e : Event.t) : Json.t =
       ("ts", usec e.Event.t_start);
       ("dur", usec e.Event.dur);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int e.Event.tid);
       ("args",
        Json.Obj
          (("self_us", Json.Float (e.Event.self *. 1e6))
@@ -25,13 +28,25 @@ let event_json (e : Event.t) : Json.t =
                (fun (k, v) -> (k, Event.value_to_json v))
                e.Event.attrs)) ]
 
+let thread_name_json (tid : int) : Json.t =
+  let name = if tid = 0 then "main" else Printf.sprintf "domain-%d" tid in
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
 let of_events (events : Event.t list) : Json.t =
   let sorted =
     List.stable_sort
       (fun (a : Event.t) (b : Event.t) -> compare a.Event.t_start b.Event.t_start)
       events
   in
-  Json.Arr (List.map event_json sorted)
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.tid) events)
+  in
+  Json.Arr (List.map thread_name_json tids @ List.map event_json sorted)
 
 let to_string (events : Event.t list) : string = Json.to_string (of_events events)
 

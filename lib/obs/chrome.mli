@@ -5,11 +5,13 @@
     [posetrl report FILE.jsonl --chrome out.json]. *)
 
 val of_events : Event.t list -> Json.t
-(** A JSON array of complete (["ph":"X"]) events, sorted by start time.
-    Timestamps and durations are microseconds ([ts]/[dur]); all events
-    share one pid/tid so the viewer reconstructs nesting from interval
-    containment; span attrs plus the computed self-time and depth land
-    in [args]. *)
+(** A JSON array of complete (["ph":"X"]) events, sorted by start time,
+    preceded by one ["thread_name"] metadata (["ph":"M"]) event per
+    distinct domain id. Timestamps and durations are microseconds
+    ([ts]/[dur]); each event lands on its emitting domain's track
+    ([tid], labeled "main" / "domain-N") so per-domain nesting is
+    reconstructed by interval containment within that track; span attrs
+    plus the computed self-time and depth land in [args]. *)
 
 val to_string : Event.t list -> string
 

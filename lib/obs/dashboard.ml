@@ -47,6 +47,14 @@ let render ?(width = 60) ~(id : string) ~(manifest : Json.t)
        (fmt_opt "%.3f" (last_tick "mean_reward"))
        (fmt_opt "%.4f" (last_tick "loss"))
    | [] -> add "(no progress records yet)\n");
+  (* GC row: present once ticks carry Prof.sample_gc fields *)
+  (match last_tick "gc_minor" with
+   | Some minor ->
+     add "gc   minor %-8.0f major %-6s heap %s MB  alloc %s MB/s\n" minor
+       (fmt_opt "%.0f" (last_tick "gc_major"))
+       (fmt_opt "%.1f" (last_tick "gc_heap_mb"))
+       (fmt_opt "%.1f" (last_tick "gc_alloc_mb_s"))
+   | None -> ());
   if dropped > 0 then
     add "(%d torn progress line%s skipped)\n" dropped
       (if dropped = 1 then "" else "s");

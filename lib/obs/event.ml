@@ -1,10 +1,14 @@
 (* The trace event: one record per completed span. Events carry their
    own self-time (duration minus direct children), computed at runtime
    by the span layer, so offline aggregation never has to reconstruct
-   the nesting tree.
+   the nesting tree. [tid] is the emitting domain's id (0 on the main
+   domain), which lets the profiler and the Chrome export keep
+   per-domain stacks apart without interval heuristics.
 
    JSONL schema (one object per line, see DESIGN.md "Observability"):
-     {"name":..., "t":..., "dur":..., "self":..., "depth":..., "attrs":{...}} *)
+     {"name":..., "t":..., "dur":..., "self":..., "depth":..., "tid":...,
+      "attrs":{...}}
+   Traces written before the tid field read back with tid 0. *)
 
 type value =
   | S of string
@@ -18,6 +22,7 @@ type t = {
   dur : float;                        (* wall duration, seconds *)
   self : float;                       (* dur minus direct children *)
   depth : int;                        (* nesting depth at emit time *)
+  tid : int;                          (* emitting domain id (0 = main) *)
 }
 
 let value_to_string = function
@@ -45,6 +50,7 @@ let to_json (e : t) : Json.t =
       ("dur", Json.Float e.dur);
       ("self", Json.Float e.self);
       ("depth", Json.Int e.depth);
+      ("tid", Json.Int e.tid);
       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) e.attrs)) ]
 
 let number_to_float = function
@@ -67,7 +73,12 @@ let of_json (j : Json.t) : t =
     t_start = number_to_float (get "t");
     dur = number_to_float (get "dur");
     self = number_to_float (get "self");
-    depth = (match get "depth" with Json.Int i -> i | v -> int_of_float (number_to_float v)) }
+    depth = (match get "depth" with Json.Int i -> i | v -> int_of_float (number_to_float v));
+    tid =
+      (match Json.member "tid" j with
+       | Some (Json.Int i) -> i
+       | Some v -> int_of_float (number_to_float v)
+       | None -> 0) }
 
 (* attr accessors used by the report aggregator *)
 

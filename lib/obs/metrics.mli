@@ -11,11 +11,12 @@
 
     Domain safety: registration, lookup and snapshots are serialized by
     a per-registry lock, so worker domains may create labeled handles
-    concurrently. Handle updates ([inc]/[set]/[observe]) stay lock-free
-    plain writes — concurrent updates to the same cell from several
-    domains are memory-safe but may lose increments under contention.
-    Telemetry tolerates that; anything determinism-critical must not
-    read metrics. *)
+    concurrently. Handle updates are domain-safe without losing
+    increments: counters and gauges are atomics ([inc] is a CAS retry
+    loop, [set] an atomic store) and each histogram row carries its own
+    mutex, so bucket counts, sum and count always agree. Anything
+    determinism-critical must still not read metrics — timing series
+    vary run to run by nature. *)
 
 type t
 (** A registry: a set of (name, labels) series. *)

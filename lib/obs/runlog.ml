@@ -84,9 +84,12 @@ let path_num (keys : string list) (j : Json.t) : float option =
    "episode" — one record per finished episode with the full reward
    decomposition (unweighted Eqn-2/3 component sums). *)
 
-let tick_record ?q_mean ?q_max ~(step : int) ~(episode : int)
+let tick_record ?q_mean ?q_max ?gc_minor ?gc_major ?gc_heap_mb ?gc_alloc_mb_s
+    ~(step : int) ~(episode : int)
     ~(epsilon : float) ~(mean_reward : float) ~(mean_size_gain : float)
     ~(r_binsize : float) ~(r_throughput : float) ~(loss : float) () : Json.t =
+  let opt_f k = function Some v -> [ (k, Json.Float v) ] | None -> [] in
+  let opt_i k = function Some v -> [ (k, Json.Int v) ] | None -> [] in
   Json.Obj
     ([ ("kind", Json.Str "tick");
        ("step", Json.Int step);
@@ -97,8 +100,12 @@ let tick_record ?q_mean ?q_max ~(step : int) ~(episode : int)
        ("r_binsize", Json.Float r_binsize);
        ("r_throughput", Json.Float r_throughput);
        ("loss", Json.Float loss) ]
-     @ (match q_mean with Some q -> [ ("q_mean", Json.Float q) ] | None -> [])
-     @ (match q_max with Some q -> [ ("q_max", Json.Float q) ] | None -> []))
+     @ opt_f "q_mean" q_mean
+     @ opt_f "q_max" q_max
+     @ opt_i "gc_minor" gc_minor
+     @ opt_i "gc_major" gc_major
+     @ opt_f "gc_heap_mb" gc_heap_mb
+     @ opt_f "gc_alloc_mb_s" gc_alloc_mb_s)
 
 let episode_record ?(actions = []) ~(episode : int) ~(step : int)
     ~(reward : float) ~(r_binsize : float) ~(r_throughput : float)

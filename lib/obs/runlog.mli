@@ -31,13 +31,17 @@ val path_num : string list -> Json.t -> float option
 
 val tick_record :
   ?q_mean:float -> ?q_max:float ->
+  ?gc_minor:int -> ?gc_major:int -> ?gc_heap_mb:float ->
+  ?gc_alloc_mb_s:float ->
   step:int -> episode:int -> epsilon:float -> mean_reward:float ->
   mean_size_gain:float -> r_binsize:float -> r_throughput:float ->
   loss:float -> unit -> Json.t
 (** A ["kind":"tick"] progress record: the trainer's periodic windowed
     means (one per [on_progress] tick). [q_mean]/[q_max] carry the
-    agent's latest Q-value diagnostics when available (omitted from the
-    record otherwise). *)
+    agent's latest Q-value diagnostics when available; the [gc_*]
+    fields carry the tick's {!Prof.sample_gc} reading (cumulative
+    minor/major collection counts, major heap MB, allocation MB/s).
+    All optional fields are omitted from the record when absent. *)
 
 val episode_record :
   ?actions:int list ->

@@ -42,6 +42,7 @@ type timing = {
   t_index : int;               (* task index within the batch *)
   t_start : float;             (* Unix.gettimeofday at task start *)
   t_dur : float;               (* wall seconds spent in the task *)
+  t_domain : int;              (* id of the domain that ran the task *)
 }
 
 let jobs (t : t) = t.p_jobs
@@ -109,14 +110,17 @@ let map_timed (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array * timing array =
   if n = 0 then ([||], [||])
   else if t.p_jobs = 1 then begin
     (* inline sequential path: same code shape, no queue traffic *)
-    let timings = Array.make n { t_index = 0; t_start = 0.0; t_dur = 0.0 } in
+    let timings =
+      Array.make n { t_index = 0; t_start = 0.0; t_dur = 0.0; t_domain = 0 }
+    in
     let results =
       Array.mapi
         (fun i x ->
           let t0 = Unix.gettimeofday () in
           let r = f x in
           timings.(i) <-
-            { t_index = i; t_start = t0; t_dur = Unix.gettimeofday () -. t0 };
+            { t_index = i; t_start = t0; t_dur = Unix.gettimeofday () -. t0;
+              t_domain = (Domain.self () :> int) };
           r)
         xs
     in
@@ -124,7 +128,9 @@ let map_timed (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array * timing array =
   end
   else begin
     let results : 'b option array = Array.make n None in
-    let timings = Array.make n { t_index = 0; t_start = 0.0; t_dur = 0.0 } in
+    let timings =
+      Array.make n { t_index = 0; t_start = 0.0; t_dur = 0.0; t_domain = 0 }
+    in
     let first_err : (int * exn * Printexc.raw_backtrace) option ref = ref None in
     let remaining = ref n in
     let task i () =
@@ -136,7 +142,9 @@ let map_timed (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array * timing array =
       in
       let dur = Unix.gettimeofday () -. t0 in
       Mutex.lock t.p_lock;
-      timings.(i) <- { t_index = i; t_start = t0; t_dur = dur };
+      timings.(i) <-
+        { t_index = i; t_start = t0; t_dur = dur;
+          t_domain = (Domain.self () :> int) };
       (match outcome with
        | Ok v -> results.(i) <- Some v
        | Error (e, bt) ->

@@ -35,6 +35,7 @@ type timing = {
   t_index : int;   (** task index within the batch *)
   t_start : float; (** wall-clock task start (Unix epoch seconds) *)
   t_dur : float;   (** wall seconds spent in the task *)
+  t_domain : int;  (** id of the domain that ran the task (0 = main) *)
 }
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array

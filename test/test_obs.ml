@@ -282,7 +282,8 @@ let test_json_values () =
       t_start = 1.5;
       dur = 0.25;
       self = 0.125;
-      depth = 2 }
+      depth = 2;
+      tid = 0 }
   in
   let e' = Event.of_json (Obs.Json.of_string (Obs.Json.to_string (Event.to_json e))) in
   Alcotest.(check bool) "event equal after round trip" true (e = e')

@@ -326,7 +326,8 @@ let read_lines path =
       go [])
 
 let mk_event name =
-  { Obs.Event.name; attrs = []; t_start = 0.0; dur = 1.0; self = 1.0; depth = 0 }
+  { Obs.Event.name; attrs = []; t_start = 0.0; dur = 1.0; self = 1.0; depth = 0;
+    tid = 0 }
 
 let test_sink_flush_every () =
   with_temp_dir (fun dir ->

@@ -226,8 +226,8 @@ let test_live_socket () =
 
 (* --- Chrome trace export -------------------------------------------------------- *)
 
-let mk_event ?(attrs = []) ?(depth = 0) name ~t ~dur =
-  { Obs.Event.name; attrs; t_start = t; dur; self = dur; depth }
+let mk_event ?(attrs = []) ?(depth = 0) ?(tid = 0) name ~t ~dur =
+  { Obs.Event.name; attrs; t_start = t; dur; self = dur; depth; tid }
 
 let test_chrome_roundtrip () =
   let events =
@@ -236,29 +236,49 @@ let test_chrome_roundtrip () =
       mk_event "posetrl.train.episode" ~t:0.001 ~dur:0.004 ]
   in
   match Json.of_string (Obs.Chrome.to_string events) with
-  | Json.Arr [ first; second ] ->
-    (* sorted by start time, microsecond timestamps, complete events *)
+  | Json.Arr [ meta; first; second ] ->
+    (* thread_name metadata first, then X events sorted by start time *)
+    Alcotest.(check (option string)) "thread metadata" (Some "M")
+      (Runlog.str "ph" meta);
+    Alcotest.(check (option string)) "main track named" (Some "main")
+      (Option.bind (Runlog.field "args" meta) (Runlog.str "name"));
     Alcotest.(check (option string)) "outer first" (Some "posetrl.train.episode")
       (Runlog.str "name" first);
     Alcotest.(check (option string)) "phase X" (Some "X")
       (Runlog.str "ph" first);
     check_float "ts in us" 1000.0 (Option.get (Runlog.num "ts" first));
     check_float "dur in us" 4000.0 (Option.get (Runlog.num "dur" first));
-    Alcotest.(check (option (float 0.0))) "one shared track" (Some 1.0)
+    Alcotest.(check (option (float 0.0))) "track = emitting domain" (Some 0.0)
       (Runlog.num "tid" second);
     Alcotest.(check (option string)) "attrs land in args" (Some "dce")
       (Option.bind (Runlog.field "args" second) (Runlog.str "pass"));
     Alcotest.(check (option (float 0.0))) "depth in args" (Some 1.0)
       (Option.bind (Runlog.field "args" second) (Runlog.num "depth"))
-  | _ -> Alcotest.fail "expected a two-element trace array"
+  | _ -> Alcotest.fail "expected metadata + two trace events"
+
+let test_chrome_worker_tracks () =
+  (* events from two domains get distinct labeled tracks *)
+  let events =
+    [ mk_event "posetrl.pool.task" ~t:0.001 ~dur:0.002 ~tid:3;
+      mk_event "posetrl.eval.batch" ~t:0.0 ~dur:0.004 ]
+  in
+  match Json.of_string (Obs.Chrome.to_string events) with
+  | Json.Arr [ m0; m3; _batch; task ] ->
+    Alcotest.(check (option string)) "main label" (Some "main")
+      (Option.bind (Runlog.field "args" m0) (Runlog.str "name"));
+    Alcotest.(check (option string)) "worker label" (Some "domain-3")
+      (Option.bind (Runlog.field "args" m3) (Runlog.str "name"));
+    Alcotest.(check (option (float 0.0))) "task on worker track" (Some 3.0)
+      (Runlog.num "tid" task)
+  | _ -> Alcotest.fail "expected two metadata + two trace events"
 
 let test_chrome_write_is_valid_json () =
   with_temp_dir (fun dir ->
       let path = Filename.concat dir "trace.chrome.json" in
       Obs.Chrome.write ~path [ mk_event "e" ~t:0.0 ~dur:0.5 ];
       match Runlog.read_json_file path with
-      | Json.Arr [ _ ] -> ()
-      | _ -> Alcotest.fail "written file should be a one-event JSON array")
+      | Json.Arr [ _meta; _event ] -> ()
+      | _ -> Alcotest.fail "written file should be metadata + one event")
 
 (* --- watch dashboard ------------------------------------------------------------ *)
 
@@ -353,6 +373,7 @@ let suite =
     Alcotest.test_case "telemetry routes" `Quick test_telemetry_routes;
     Alcotest.test_case "live socket" `Quick test_live_socket;
     Alcotest.test_case "chrome round trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "chrome worker tracks" `Quick test_chrome_worker_tracks;
     Alcotest.test_case "chrome write" `Quick test_chrome_write_is_valid_json;
     Alcotest.test_case "action histogram" `Quick test_action_histogram;
     Alcotest.test_case "dashboard render" `Quick test_dashboard_render;
