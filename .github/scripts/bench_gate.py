@@ -29,6 +29,9 @@ GATED = {
     # profiling-disabled overhead: the span no-sink fast path and the
     # atomic counter / row-locked histogram updates every run pays
     "bench-prof": ("span_disabled_rel", "counter_inc_rel", "hist_observe_rel"),
+    # training-health overhead: the watchdog rule pass (once per trainer
+    # tick) and the streaming attribution update (once per env step)
+    "bench-health": ("watchdog_tick_rel", "attrib_observe_rel"),
 }
 
 

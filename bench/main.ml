@@ -777,6 +777,86 @@ let prof_bench () =
   Printf.printf "  profiling bench baseline written to %s\n" path
 
 (* ======================================================================== *)
+(* training-health: per-tick watchdog cost + attribution-update cost          *)
+(* ======================================================================== *)
+
+(* Benches the health layer's always-on costs and writes
+   BENCH_health.json for the bench-regression CI job. Two gated rows:
+   the full watchdog rule pass (runs once per 200-step trainer tick) and
+   the streaming attribution update (runs once per environment step).
+   Both are batched ×100 so the calibration-relative ratio sits well
+   above timer noise. The samples are healthy — the gate bounds the cost
+   of a quiet watchdog, the common case; alert formatting is rare and
+   off the hot path. *)
+let health_bench () =
+  section_header "Training-health overhead (watchdog tick + attribution update)";
+  let open Bechamel in
+  let r = Obs.Metrics.create () in
+  let watchdog = Obs.Health.create ~registry:r () in
+  let healthy step =
+    { Obs.Health.s_step = step;
+      s_episode = step / 15;
+      s_loss = 0.5;
+      s_mean_reward = 5.0;
+      s_q_max = 12.0;
+      s_replay_size = 4096;
+      s_replay_capacity = 10_000;
+      s_replay_age_mean = 800.0;
+      s_weights_finite = true;
+      s_actions = Array.init 34 (fun i -> (i * 7) mod 13) }
+  in
+  let attrib = Posetrl_rl.Attrib.create ~n_actions:34 ~max_pos:15 () in
+  let step = ref 0 in
+  let rows =
+    bechamel_run
+      (Test.make_grouped ~name:"health"
+         [ Test.make ~name:"calib-dot-4k"
+             (let u = Array.init 4096 (fun i -> float_of_int i *. 1e-3) in
+              let v = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+              Staged.stage (fun () ->
+                  let acc = ref 0.0 in
+                  for i = 0 to 4095 do
+                    acc := !acc +. (u.(i) *. v.(i))
+                  done;
+                  ignore (Sys.opaque_identity !acc)));
+           Test.make ~name:"watchdog-check-100"
+             (Staged.stage (fun () ->
+                  for _i = 1 to 100 do
+                    incr step;
+                    ignore (Obs.Health.check watchdog (healthy (!step * 200)))
+                  done));
+           Test.make ~name:"attrib-observe-100"
+             (Staged.stage (fun () ->
+                  for i = 1 to 100 do
+                    Posetrl_rl.Attrib.observe attrib ~action:(i mod 34) ~pos:(i mod 15)
+                      ~reward:0.25 ~r_binsize:0.1 ~r_throughput:0.03
+                  done)) ])
+  in
+  print_bechamel_rows rows;
+  let ns suffix =
+    match List.find_opt (fun (n, _) -> Filename.basename n = suffix) rows with
+    | Some (_, v) -> v
+    | None -> 0.0
+  in
+  let calib = ns "calib-dot-4k" in
+  let rel v = if calib > 0.0 then v /. calib else 0.0 in
+  let path = "BENCH_health.json" in
+  Obs.Runlog.write_json_file path
+    (Obs.Json.Obj
+       [ ("kind", Obs.Json.Str "bench-health");
+         ("micro_ns",
+          Obs.Json.Obj
+            (List.map (fun (n, v) -> (Filename.basename n, Obs.Json.Float v)) rows));
+         ("gate",
+          Obs.Json.Obj
+            [ ("calib_ns", Obs.Json.Float calib);
+              ("watchdog_tick_rel",
+               Obs.Json.Float (rel (ns "watchdog-check-100")));
+              ("attrib_observe_rel",
+               Obs.Json.Float (rel (ns "attrib-observe-100"))) ]) ]);
+  Printf.printf "  health bench baseline written to %s\n" path
+
+(* ======================================================================== *)
 
 let sections : (string * (unit -> unit)) list =
   [ ("fig1", fig1);
@@ -790,7 +870,8 @@ let sections : (string * (unit -> unit)) list =
     ("micro", micro);
     ("parallel", parallel);
     ("analysis", analysis);
-    ("prof", prof_bench) ]
+    ("prof", prof_bench);
+    ("health", health_bench) ]
 
 let () =
   let requested =

@@ -10,9 +10,14 @@
      profile run train/eval under the hotspot profiler: ranked self-time
             table, jobs-1-vs-N comparison, GC/alloc totals, folded export
      runs   the run ledger: list past runs, show one (manifest +
-            training curves), compare two with regression detection,
+            training curves), compare two with regression detection
+            (--attrib adds the per-action reward-attribution diff),
             rebuild a profile from a run's trace
-     watch  live terminal dashboard tailing a (running) ledger run
+     explain replay a run's ledger into a policy-introspection report:
+            per-action reward attribution (verified against the episode
+            stream), top schedules, drift timeline, watchdog alerts
+     watch  live terminal dashboard tailing a (running) ledger run,
+            including a red row for watchdog alerts
      odg    inspect the Oz Dependence Graph (stats, dot, derived walks)
      list   list registered passes / benchmark programs
 
@@ -200,7 +205,8 @@ let serve_grace_arg =
    status "running" until [f] returns and "done" during the grace
    window after. [f] receives a pump thunk to call from its hot loop
    (the server is single-threaded — nothing is served between pumps). *)
-let with_serve ~(serve : int option) ~(grace : float) ~(kind : string)
+let with_serve ?(alerts : unit -> Obs.Json.t list = fun () -> [])
+    ~(serve : int option) ~(grace : float) ~(kind : string)
     ~(run_dir : unit -> string option) (f : pump:(unit -> unit) -> 'a) : 'a =
   match serve with
   | None -> f ~pump:(fun () -> ())
@@ -221,9 +227,11 @@ let with_serve ~(serve : int option) ~(grace : float) ~(kind : string)
           ("run", match run_dir () with Some d -> Str d | None -> Null) ]
     in
     let server =
-      Obs.Httpd.create ~port ~handler:(Obs.Httpd.telemetry_handler ~health ()) ()
+      Obs.Httpd.create ~port
+        ~handler:(Obs.Httpd.telemetry_handler ~alerts ~health ()) ()
     in
-    Obs.Console.info "telemetry on http://127.0.0.1:%d  (/metrics /healthz /runs)\n%!"
+    Obs.Console.info
+      "telemetry on http://127.0.0.1:%d  (/metrics /healthz /alerts /runs)\n%!"
       (Obs.Httpd.port server);
     Fun.protect
       ~finally:(fun () -> Obs.Httpd.close server)
@@ -358,8 +366,15 @@ let train_cmd =
   let corpus_size =
     Arg.(value & opt int 130 & info [ "corpus" ] ~doc:"Training corpus size (paper: 130).")
   in
-  let go out space target steps fast seed corpus_size jobs verify_each sanitize
-      trace metrics run_dir run_name serve serve_grace =
+  let inject_nan =
+    Arg.(value & opt (some int) None & info [ "inject-nan" ] ~docv:"STEP"
+           ~doc:"Fault injection: poison one online-network weight with NaN at \
+                 global step \\$(docv), so the training-health watchdog's \
+                 nan_loss rule fires. CI uses this to exercise the alert \
+                 pipeline end to end; never set it for real training.")
+  in
+  let go out space target steps fast seed corpus_size inject_nan jobs
+      verify_each sanitize trace metrics run_dir run_name serve serve_grace =
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let sanitize = sanitize_of_string sanitize in
@@ -436,6 +451,7 @@ let train_cmd =
         (fun r ->
           Obs.Run.progress r
             (Obs.Runlog.episode_record ~actions:e.C.Trainer.ep_actions
+               ~step_rewards:e.C.Trainer.ep_step_rewards
                ~episode:e.C.Trainer.ep_index
                ~step:e.C.Trainer.ep_end_step ~reward:e.C.Trainer.ep_reward
                ~r_binsize:e.C.Trainer.ep_r_binsize
@@ -445,7 +461,18 @@ let train_cmd =
                ~epsilon:e.C.Trainer.ep_epsilon ~loss:e.C.Trainer.ep_loss ()))
         run
     in
-    with_serve ~serve ~grace:serve_grace ~kind:"train"
+    (* watchdog alerts: persist each one as it fires (crash-tolerant),
+       warn on the console, and keep the JSON forms live for /alerts *)
+    let live_alerts = ref [] in
+    let on_alert (a : Obs.Health.alert) =
+      let j = Obs.Health.alert_to_json a in
+      live_alerts := j :: !live_alerts;
+      Option.iter (fun r -> Obs.Run.alert r j) run;
+      Obs.Console.info "  ALERT [%s] %s step %d: %s\n%!" a.Obs.Health.a_severity
+        a.Obs.Health.a_rule a.Obs.Health.a_step a.Obs.Health.a_message
+    in
+    with_serve ~alerts:(fun () -> List.rev !live_alerts) ~serve
+      ~grace:serve_grace ~kind:"train"
       ~run_dir:(fun () -> Option.map Obs.Run.dir run)
       (fun ~pump ->
         with_run run (fun () ->
@@ -453,21 +480,36 @@ let train_cmd =
               with_obs ~trace ~metrics (fun () ->
                   with_jobs ~jobs (fun pool ->
                       C.Trainer.train ?pool ~hp ~on_progress ~on_episode
-                        ~on_step:(fun _ -> pump ()) ~verify:verify_each
+                        ~on_step:(fun _ -> pump ()) ~on_alert
+                        ?inject_nan_at:inject_nan ~verify:verify_each
                         ~sanitize ~repro_dir:(repro_dir_of_run run) ~seed
                         ~corpus ~actions ~target:tgt ()))
             in
             Posetrl_rl.Dqn.save_weights res.C.Trainer.agent out;
+            let attrib_doc =
+              Posetrl_rl.Attrib.to_json
+                ~labels:(fun a ->
+                  String.concat "," (O.Action_space.action actions a))
+                res.C.Trainer.attrib
+            in
+            Option.iter (fun r -> Obs.Run.write_attrib r attrib_doc) run;
+            let n_alerts = List.length res.C.Trainer.alerts in
+            if n_alerts > 0 then
+              Obs.Console.info "training-health: %d alert%s fired (see \
+                                alerts.jsonl / `posetrl explain`)\n"
+                n_alerts (if n_alerts = 1 then "" else "s");
             Obs.Console.info "saved weights to %s (%d episodes)\n" out
               res.C.Trainer.episodes;
             [ ("episodes", Obs.Json.Int res.C.Trainer.episodes);
               ("final_mean_reward", Obs.Json.Float res.C.Trainer.final_mean_reward);
+              ("alerts", Obs.Json.Int n_alerts);
               ("weights", Obs.Json.Str out) ]))
   in
   Cmd.v (Cmd.info "train" ~doc:"Train a phase-ordering model")
     Term.(const go $ out $ space $ target $ steps $ fast $ seed $ corpus_size
-          $ jobs_arg $ verify_each_arg $ sanitize_arg $ trace_arg $ metrics_arg
-          $ run_dir_arg $ run_name_arg $ serve_arg $ serve_grace_arg)
+          $ inject_nan $ jobs_arg $ verify_each_arg $ sanitize_arg $ trace_arg
+          $ metrics_arg $ run_dir_arg $ run_name_arg $ serve_arg
+          $ serve_grace_arg)
 
 (* --- eval ------------------------------------------------------------------- *)
 
@@ -909,7 +951,14 @@ let runs_compare_cmd =
          & info [ "max-wall-factor" ] ~docv:"X"
              ~doc:"Regression when candidate wall time exceeds \\$(docv) times base (0 disables).")
   in
-  let go root base cand reward_drop size_drop wall_factor =
+  let attrib_flag =
+    Arg.(value & flag & info [ "attrib" ]
+           ~doc:"Also diff the two runs' per-action reward attribution \
+                 (attrib.json): actions ranked by the reward-total shift. \
+                 Runs without attribution data report 'no data' and never \
+                 fail the comparison.")
+  in
+  let go root base cand reward_drop size_drop wall_factor attrib =
     let b = Obs.Run.find ~root base in
     let c = Obs.Run.find ~root cand in
     let thresholds =
@@ -947,6 +996,55 @@ let runs_compare_cmd =
         deltas;
       Tbl.print t
     end;
+    if attrib then begin
+      (* informational only — attribution shifts explain a reward delta,
+         they don't gate it, so this never affects the exit code *)
+      let table_of (i : Obs.Run.info) =
+        Option.bind (Obs.Run.read_attrib i) Posetrl_rl.Attrib.of_json
+      in
+      match table_of b, table_of c with
+      | None, _ | _, None ->
+        Printf.printf
+          "attribution: no data on at least one side (pre-attribution run \
+           or unreadable attrib.json)\n"
+      | Some ab, Some ac ->
+        let n = min (Posetrl_rl.Attrib.n_actions ab)
+                  (Posetrl_rl.Attrib.n_actions ac) in
+        let rows =
+          List.init n Fun.id
+          |> List.filter (fun a ->
+                 Posetrl_rl.Attrib.count ab a > 0
+                 || Posetrl_rl.Attrib.count ac a > 0)
+          |> List.sort (fun x y ->
+                 let shift a =
+                   Float.abs
+                     (Posetrl_rl.Attrib.total_reward ac a
+                      -. Posetrl_rl.Attrib.total_reward ab a)
+                 in
+                 compare (shift y) (shift x))
+        in
+        let t =
+          Tbl.create ~title:"per-action reward attribution (base vs candidate)"
+            ~headers:[ "action"; "count b/c"; "reward base"; "reward cand";
+                       "shift" ]
+            ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+            ()
+        in
+        List.iteri
+          (fun i a ->
+            if i < 15 then
+              Tbl.add_row t
+                [ string_of_int a;
+                  Printf.sprintf "%d/%d" (Posetrl_rl.Attrib.count ab a)
+                    (Posetrl_rl.Attrib.count ac a);
+                  Printf.sprintf "%.3f" (Posetrl_rl.Attrib.total_reward ab a);
+                  Printf.sprintf "%.3f" (Posetrl_rl.Attrib.total_reward ac a);
+                  Printf.sprintf "%+.3f"
+                    (Posetrl_rl.Attrib.total_reward ac a
+                     -. Posetrl_rl.Attrib.total_reward ab a) ])
+          rows;
+        Tbl.print t
+    end;
     if Obs.Run.has_regression deltas then begin
       Printf.printf "regression detected\n";
       exit 3
@@ -957,7 +1055,8 @@ let runs_compare_cmd =
     (Cmd.info "compare"
        ~doc:"Diff two runs against regression thresholds; exits 3 on regression \
              (usable as a CI gate)")
-    Term.(const go $ root_arg $ base $ cand $ reward_drop $ size_drop $ wall_factor)
+    Term.(const go $ root_arg $ base $ cand $ reward_drop $ size_drop
+          $ wall_factor $ attrib_flag)
 
 let runs_profile_cmd =
   let id =
@@ -1001,6 +1100,241 @@ let runs_cmd =
        ~doc:"The run ledger: list, inspect and compare persisted runs")
     [ runs_list_cmd; runs_show_cmd; runs_compare_cmd; runs_profile_cmd ]
 
+(* --- explain (policy introspection from the ledger) -------------------------- *)
+
+module Attrib = Posetrl_rl.Attrib
+
+(* The per-window action histograms behind the drift timeline: episode
+   records chunked into [windows] consecutive groups, each folded into a
+   selection-count array sized by the largest action id seen. *)
+let drift_windows ~(windows : int) (episodes : Obs.Json.t list) :
+    (int * int * int array) list =
+  let actions_of r =
+    match Obs.Runlog.field "actions" r with
+    | Some (Obs.Json.Arr l) ->
+      List.filter_map
+        (function Obs.Json.Int a when a >= 0 -> Some a | _ -> None)
+        l
+    | _ -> []
+  in
+  let all = List.map actions_of episodes in
+  let n_act = 1 + List.fold_left (List.fold_left max) 0 all in
+  let n_ep = List.length all in
+  if n_ep = 0 then []
+  else begin
+    let per = max 1 ((n_ep + windows - 1) / windows) in
+    let rec chunk i = function
+      | [] -> []
+      | eps ->
+        let rec take k = function
+          | x :: rest when k > 0 ->
+            let taken, rest = take (k - 1) rest in
+            (x :: taken, rest)
+          | rest -> ([], rest)
+        in
+        let group, rest = take per eps in
+        let hist = Array.make n_act 0 in
+        List.iter
+          (List.iter (fun a -> hist.(a) <- hist.(a) + 1))
+          group;
+        (i * per, min n_ep ((i + 1) * per) - 1, hist) :: chunk (i + 1) rest
+    in
+    chunk 0 all
+  end
+
+let print_alert_line (a : Obs.Json.t) =
+  Printf.printf "  [%s] %-16s step %-8s %s\n"
+    (Option.value ~default:"?" (Obs.Runlog.str "severity" a))
+    (Option.value ~default:"?" (Obs.Runlog.str "rule" a))
+    (match Obs.Runlog.num "step" a with
+     | Some s -> Printf.sprintf "%.0f" s
+     | None -> "-")
+    (Option.value ~default:"" (Obs.Runlog.str "message" a))
+
+let explain_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN"
+           ~doc:"Run id (under --root) or a run directory path.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows in the attribution table (actions ranked by total reward).")
+  in
+  let schedules =
+    Arg.(value & opt int 5 & info [ "schedules" ] ~docv:"K"
+           ~doc:"Top schedules (episodes ranked by reward) to break down per pass.")
+  in
+  let go root id top schedules =
+    let info = Obs.Run.find ~root id in
+    let m = info.Obs.Run.manifest in
+    Printf.printf "run %s  [%s, %s]\n" info.Obs.Run.run_id
+      (Option.value ~default:"?" (Obs.Runlog.str "kind" m))
+      (Option.value ~default:"?" (Obs.Runlog.str "status" m));
+    let records, dropped = Obs.Run.read_progress info in
+    if dropped > 0 then
+      Printf.printf "(%d torn progress line%s skipped)\n" dropped
+        (if dropped = 1 then "" else "s");
+    (* 1 — per-pass reward attribution (attrib.json, verified vs ledger) *)
+    (match Obs.Run.read_attrib info with
+     | None ->
+       print_string
+         "\nattribution: no data (run predates the attribution layer, or \
+          attrib.json is unreadable)\n"
+     | Some doc ->
+       match Attrib.of_json doc with
+       | None ->
+         print_string
+           "\nattribution: attrib.json is structurally invalid — no data\n"
+       | Some at ->
+         let n = Attrib.n_actions at in
+         let labels = Array.make n "" in
+         (match Obs.Runlog.field "actions" doc with
+          | Some (Obs.Json.Arr entries) ->
+            List.iter
+              (fun e ->
+                match Obs.Runlog.num "action" e, Obs.Runlog.str "passes" e with
+                | Some a, Some p ->
+                  let a = int_of_float a in
+                  if a >= 0 && a < n then labels.(a) <- p
+                | _ -> ())
+              entries
+          | _ -> ());
+         Printf.printf "\nper-action reward attribution (%d steps):\n"
+           (Attrib.steps at);
+         let taken =
+           List.init n Fun.id
+           |> List.filter (fun a -> Attrib.count at a > 0)
+           |> List.sort (fun a b ->
+                  compare (Attrib.total_reward at b) (Attrib.total_reward at a))
+         in
+         let t =
+           Tbl.create ~title:"reward attribution (attrib.json)"
+             ~headers:[ "action"; "count"; "reward"; "mean"; "binsize";
+                        "throughput"; "top pos"; "passes" ]
+             ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+                       Tbl.Right; Tbl.Right; Tbl.Left ]
+             ()
+         in
+         List.iteri
+           (fun i a ->
+             if i < top then
+               Tbl.add_row t
+                 [ string_of_int a;
+                   string_of_int (Attrib.count at a);
+                   Printf.sprintf "%.3f" (Attrib.total_reward at a);
+                   Printf.sprintf "%.3f" (Attrib.mean_reward at a);
+                   Printf.sprintf "%.3f" (Attrib.total_binsize at a);
+                   Printf.sprintf "%.3f" (Attrib.total_throughput at a);
+                   (match Attrib.top_position at a with
+                    | Some p -> string_of_int p
+                    | None -> "-");
+                   labels.(a) ])
+           taken;
+         Tbl.print t;
+         if List.length taken > top then
+           Printf.printf "  (%d more actions with selections not shown)\n"
+             (List.length taken - top);
+         (* the recompute contract: the streaming table must equal the
+            brute-force fold over the ledger's per-step rewards, float
+            for float — CI greps the "matches" line *)
+         let recomputed =
+           Attrib.of_records ~n_actions:n ~max_pos:(Attrib.max_pos at) records
+         in
+         if Attrib.steps recomputed = 0 && Attrib.steps at > 0 then
+           print_string
+             "attribution check: episode records carry no per-step rewards \
+              (pre-attribution ledger); recompute skipped\n"
+         else if Attrib.equal at recomputed then
+           Printf.printf
+             "attribution check: table matches the episode stream exactly \
+              (%d steps)\n"
+             (Attrib.steps at)
+         else
+           print_string
+             "attribution check: DIVERGENCE between attrib.json and the \
+              episode stream\n");
+    (* 2 — top schedules with their per-pass reward breakdown *)
+    let episodes =
+      List.filter (fun r -> Obs.Runlog.str "kind" r = Some "episode") records
+    in
+    let scored =
+      List.filter_map
+        (fun r -> Option.map (fun rew -> (rew, r)) (Obs.Runlog.num "reward" r))
+        episodes
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    if scored <> [] then begin
+      Printf.printf "\ntop %d schedules by episode reward:\n"
+        (min schedules (List.length scored));
+      List.iteri
+        (fun i (rew, r) ->
+          if i < schedules then begin
+            let seq =
+              match Obs.Runlog.field "actions" r with
+              | Some (Obs.Json.Arr l) ->
+                String.concat "->"
+                  (List.filter_map
+                     (function
+                       | Obs.Json.Int a -> Some (string_of_int a)
+                       | _ -> None)
+                     l)
+              | _ -> "-"
+            in
+            Printf.printf "  #%d  episode %s  reward %8.3f  seq %s\n" (i + 1)
+              (match Obs.Runlog.num "episode" r with
+               | Some e -> Printf.sprintf "%.0f" e
+               | None -> "?")
+              rew seq;
+            List.iteri
+              (fun p (a, sr, rb, rt) ->
+                Printf.printf
+                  "        pos %-2d action %-3d r %8.3f  (binsize %8.3f  \
+                   throughput %8.3f)\n"
+                  p a sr rb rt)
+              (Attrib.episode_steps r)
+          end)
+        scored
+    end;
+    (* 3 — action-distribution drift timeline (KL between consecutive
+       episode windows, same divergence the watchdog's drift rule uses) *)
+    (match drift_windows ~windows:8 episodes with
+     | [] | [ _ ] -> ()
+     | (_ :: _ :: _) as ws ->
+       Printf.printf "\naction-distribution drift (KL vs previous window):\n";
+       let threshold = Obs.Health.default_config.Obs.Health.drift_kl in
+       ignore
+         (List.fold_left
+            (fun prev (lo, hi, hist) ->
+              (match prev with
+               | None -> ()
+               | Some prev_hist ->
+                 let d = Obs.Health.kl hist prev_hist in
+                 Printf.printf "  episodes %4d-%-4d  KL %.4f%s\n" lo hi d
+                   (if d > threshold then "  << drift" else ""));
+              Some hist)
+            None ws));
+    (* 4 — watchdog alerts *)
+    (match Obs.Run.read_alerts info with
+     | None ->
+       print_string
+         "\nalerts: not recorded by this run (predates the watchdog)\n"
+     | Some ([], _) -> print_string "\nalerts: none\n"
+     | Some (alerts, torn) ->
+       Printf.printf "\nalerts (%d fired):\n" (List.length alerts);
+       List.iter print_alert_line alerts;
+       if torn > 0 then
+         Printf.printf "  (%d torn alert line%s skipped)\n" torn
+           (if torn = 1 then "" else "s"))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Replay a run's ledger into a policy-introspection report: the \
+             per-action reward-attribution table (verified against the \
+             episode stream), top schedules with per-pass reward breakdown, \
+             the action-distribution drift timeline, and any watchdog alerts. \
+             Degrades gracefully on runs predating these fields.")
+    Term.(const go $ root_arg $ id $ top $ schedules)
+
 (* --- watch (live dashboard) -------------------------------------------------- *)
 
 let watch_cmd =
@@ -1023,7 +1357,10 @@ let watch_cmd =
     let clear () = print_string "\027[H\027[2J" in
     let frame (info : Obs.Run.info) =
       let records, dropped = Obs.Run.read_progress info in
-      Obs.Dashboard.render ~id:info.Obs.Run.run_id
+      (* None = run predates the watchdog; the dashboard renders a
+         placeholder row for it, not a blank or garbled line *)
+      let alerts = Option.map fst (Obs.Run.read_alerts info) in
+      Obs.Dashboard.render ~alerts ~id:info.Obs.Run.run_id
         ~manifest:info.Obs.Run.manifest ~records ~dropped ()
     in
     let rec loop () =
@@ -1255,7 +1592,7 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ opt_cmd; run_cmd; train_cmd; eval_cmd; lint_cmd; report_cmd;
-           profile_cmd; runs_cmd; watch_cmd; odg_cmd; list_cmd ])
+           profile_cmd; runs_cmd; explain_cmd; watch_cmd; odg_cmd; list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

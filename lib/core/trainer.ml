@@ -120,17 +120,25 @@ type episode_summary = {
   ep_epsilon : float;
   ep_loss : float;
   ep_actions : int list;   (* sub-sequence ids taken this episode, in order *)
+  ep_step_rewards : (float * float * float) list;
+  (* per-step (reward, r_binsize, r_throughput), aligned with ep_actions —
+     what the ledger persists so attribution is recomputable offline *)
 }
 
 type result = {
   agent : Rl.Dqn.t;
   episodes : int;
   final_mean_reward : float;
+  attrib : Rl.Attrib.t;            (* streaming per-action attribution *)
+  alerts : Obs.Health.alert list;  (* watchdog alerts, oldest first *)
 }
 
 let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     ?(on_episode = fun (_ : episode_summary) -> ())
     ?(on_step = fun (_ : int) -> ())
+    ?(health = Obs.Health.default_config)
+    ?(on_alert = fun (_ : Obs.Health.alert) -> ())
+    ?inject_nan_at
     ?pool ?(verify = false) ?(sanitize = Posetrl_analysis.Sanitize.Off)
     ?repro_dir
     ~(seed : int) ~(corpus : Modul.t array)
@@ -154,6 +162,15 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
   let action_counters =
     Array.init (Environment.n_actions env) action_counter
   in
+  (* streaming reward attribution: pure accumulation over the step
+     stream, so the table is byte-identical across --jobs settings *)
+  let attrib =
+    Rl.Attrib.create ~registry:Obs.Metrics.global
+      ~n_actions:(Environment.n_actions env) ~max_pos:hp.max_episode_steps ()
+  in
+  (* watchdog state: engine + the last-window action histogram it reads *)
+  let watchdog = Obs.Health.create ~config:health () in
+  let win_actions = Array.make (Environment.n_actions env) 0 in
   let episode = ref 0 in
   let reward_window = Queue.create () in
   let size_window = Queue.create () in
@@ -224,20 +241,38 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     let ep_bin = ref 0.0 in
     let ep_thr = ref 0.0 in
     let ep_actions = ref [] in
+    let ep_steps = ref [] in   (* per-step (r, rb, rt), newest first *)
+    let ep_pos = ref 0 in      (* position in the episode's schedule *)
     let terminal = ref false in
     while (not !terminal) && !step < hp.total_steps do
       incr step;
       Obs.Metrics.inc m_steps;
+      (* fault injection for the watchdog's CI path: poison one online
+         weight, which cascades NaN through q-values and the TD loss *)
+      (match inject_nan_at with
+       | Some n when n = !step ->
+         agent.Rl.Dqn.online.Posetrl_nn.Mlp.layers.(0)
+           .Posetrl_nn.Layer.w.Posetrl_nn.Matrix.data.(0) <- Float.nan
+       | _ -> ());
       let epsilon = Rl.Schedule.value hp.epsilon !step in
       Obs.Metrics.set m_epsilon epsilon;
       let action = Rl.Dqn.select_action agent rng ~epsilon !state in
       Obs.Metrics.inc action_counters.(action);
+      win_actions.(action) <- win_actions.(action) + 1;
       ep_actions := action :: !ep_actions;
       let res = Environment.step env action in
       ep_reward := !ep_reward +. res.Environment.reward;
       ep_bin := !ep_bin +. res.Environment.r_binsize;
       ep_thr := !ep_thr +. res.Environment.r_throughput;
-      Rl.Replay.push replay
+      ep_steps :=
+        (res.Environment.reward, res.Environment.r_binsize,
+         res.Environment.r_throughput)
+        :: !ep_steps;
+      Rl.Attrib.observe attrib ~action ~pos:!ep_pos
+        ~reward:res.Environment.reward ~r_binsize:res.Environment.r_binsize
+        ~r_throughput:res.Environment.r_throughput;
+      incr ep_pos;
+      Rl.Replay.push ~step:!step replay
         { Rl.Replay.state = !state;
           action;
           reward = res.Environment.reward *. hp.reward_scale;
@@ -263,6 +298,24 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
         Obs.Metrics.set m_r_binsize (window_mean bin_window);
         Obs.Metrics.set m_r_throughput (window_mean thr_window);
         ignore (Obs.Prof.sample_gc ());
+        (* watchdog tick: snapshot the vital signs and run the rules;
+           alerts never feed back into training arithmetic *)
+        let sample =
+          { Obs.Health.s_step = !step;
+            s_episode = !episode;
+            s_loss = !last_loss;
+            s_mean_reward = window_mean reward_window;
+            s_q_max =
+              Option.value ~default:0.0
+                (Obs.Metrics.value "posetrl.dqn.q_max");
+            s_replay_size = Rl.Replay.size replay;
+            s_replay_capacity = Rl.Replay.capacity replay;
+            s_replay_age_mean = Rl.Replay.mean_age ~now:!step replay;
+            s_weights_finite = Rl.Dqn.weights_finite agent;
+            s_actions = Array.copy win_actions }
+        in
+        Array.fill win_actions 0 (Array.length win_actions) 0;
+        List.iter on_alert (Obs.Health.check watchdog sample);
         on_progress
           { step = !step;
             episode = !episode;
@@ -294,7 +347,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
         ep_thru_gain_pct = thr_gain;
         ep_epsilon = Rl.Schedule.value hp.epsilon !step;
         ep_loss = !last_loss;
-        ep_actions = List.rev !ep_actions })
+        ep_actions = List.rev !ep_actions;
+        ep_step_rewards = List.rev !ep_steps })
   done);
   (* hand back the best snapshot (or the final weights if snapshots are
      disabled or the final policy is the best one seen) *)
@@ -306,4 +360,8 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       Rl.Dqn.sync_target agent
     end
   end;
-  { agent; episodes = !episode; final_mean_reward = window_mean reward_window }
+  { agent;
+    episodes = !episode;
+    final_mean_reward = window_mean reward_window;
+    attrib;
+    alerts = Obs.Health.alerts watchdog }

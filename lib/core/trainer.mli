@@ -46,6 +46,10 @@ type episode_summary = {
   ep_epsilon : float;
   ep_loss : float;
   ep_actions : int list;    (** sub-sequence ids taken this episode, in order *)
+  ep_step_rewards : (float * float * float) list;
+  (** per-step (reward, r_binsize, r_throughput), aligned with
+      [ep_actions] — persisted so attribution is recomputable from the
+      ledger alone *)
 }
 (** One record per finished episode; the run ledger streams these to
     [progress.jsonl] as the reward-decomposition telemetry. *)
@@ -54,6 +58,11 @@ type result = {
   agent : Posetrl_rl.Dqn.t;
   episodes : int;
   final_mean_reward : float;
+  attrib : Posetrl_rl.Attrib.t;
+  (** streaming per-action reward attribution over the whole run;
+      byte-identical across [--jobs] settings *)
+  alerts : Posetrl_obs.Health.alert list;
+  (** watchdog alerts fired during the run, oldest first *)
 }
 
 val train :
@@ -61,6 +70,9 @@ val train :
   ?on_progress:(progress -> unit) ->
   ?on_episode:(episode_summary -> unit) ->
   ?on_step:(int -> unit) ->
+  ?health:Posetrl_obs.Health.config ->
+  ?on_alert:(Posetrl_obs.Health.alert -> unit) ->
+  ?inject_nan_at:int ->
   ?pool:Posetrl_support.Pool.t ->
   ?verify:bool ->
   ?sanitize:Posetrl_analysis.Sanitize.level ->
@@ -79,4 +91,12 @@ val train :
     [on_step] fires once per environment step (after the step's metric
     updates) with the global step index — the hook the CLI uses to pump
     the [--serve] telemetry server ({!Posetrl_obs.Httpd.pump}) without
-    threads. It must be cheap and must not raise. *)
+    threads. It must be cheap and must not raise.
+
+    A {!Posetrl_obs.Health} watchdog (configured by [health]) runs on
+    every progress tick; [on_alert] fires once per alert as it happens
+    (the CLI appends them to the run dir's [alerts.jsonl]), and the full
+    list comes back in [result.alerts]. [inject_nan_at] poisons one
+    online-network weight at that global step — fault injection for
+    exercising the NaN watchdog end to end (CI; never set in real
+    training). *)

@@ -29,8 +29,8 @@ let last_of (xs : (float * float) list) : float option =
 
 let fmt_opt fmt = function Some v -> Printf.sprintf fmt v | None -> "-"
 
-let render ?(width = 60) ~(id : string) ~(manifest : Json.t)
-    ~(records : Json.t list) ~(dropped : int) () : string =
+let render ?(width = 60) ?(alerts : Json.t list option = None) ~(id : string)
+    ~(manifest : Json.t) ~(records : Json.t list) ~(dropped : int) () : string =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let status = Option.value ~default:"?" (Runlog.str "status" manifest) in
@@ -58,6 +58,29 @@ let render ?(width = 60) ~(id : string) ~(manifest : Json.t)
   if dropped > 0 then
     add "(%d torn progress line%s skipped)\n" dropped
       (if dropped = 1 then "" else "s");
+  (* Watchdog row. Three states, rendered distinctly so old ledgers are
+     never mistaken for healthy ones:
+       None    — run predates the watchdog, no alerts file to read;
+       Some [] — alerts file present and empty: healthy;
+       Some l  — alerts fired: red rows, newest-capped at 5. *)
+  (match alerts with
+   | None -> add "alerts (not recorded by this run)\n"
+   | Some [] -> add "alerts none\n"
+   | Some fired ->
+     let n = List.length fired in
+     add "alerts \027[31m%d fired\027[0m%s\n" n
+       (if n > 5 then " (last 5 shown)" else "");
+     let shown =
+       if n <= 5 then fired
+       else List.filteri (fun i _ -> i >= n - 5) fired
+     in
+     List.iter
+       (fun a ->
+         let rule = Option.value ~default:"?" (Runlog.str "rule" a) in
+         let msg = Option.value ~default:"" (Runlog.str "message" a) in
+         let step = Option.value ~default:(-1.0) (Runlog.num "step" a) in
+         add "  \027[31m! %-16s step %-8.0f %s\027[0m\n" rule step msg)
+       shown);
   let curve label pts =
     match pts with
     | [] -> ()

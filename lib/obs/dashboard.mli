@@ -9,6 +9,7 @@ val action_histogram : Json.t list -> (int * int) list
 
 val render :
   ?width:int ->
+  ?alerts:Json.t list option ->
   id:string ->
   manifest:Json.t ->
   records:Json.t list ->
@@ -16,6 +17,12 @@ val render :
   unit ->
   string
 (** One frame: run header (status, step/episode/ε/loss from the latest
-    tick), reward / reward-component / ε / loss sparklines, and the
-    action-selection histogram. [width] bounds the sparkline columns
-    (default 60). Renders a clear placeholder when [records] is empty. *)
+    tick), a watchdog-alerts row, reward / reward-component / ε / loss
+    sparklines, and the action-selection histogram. [width] bounds the
+    sparkline columns (default 60). Renders a clear placeholder when
+    [records] is empty.
+
+    [alerts] is the result of {!Run.read_alerts} (records only):
+    [None] — the run predates the watchdog, rendered as a
+    "(not recorded)" placeholder, never a blank or garbled row;
+    [Some []] — healthy; [Some l] — red rows for the latest alerts. *)

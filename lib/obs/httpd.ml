@@ -78,11 +78,14 @@ let run_summary (i : Run.info) : Json.t =
       ("manifest", i.Run.manifest) ]
 
 let telemetry_handler ?(registry = Metrics.global)
-    ?(runs_root = Run.default_root) ~(health : unit -> Json.t) () : handler =
+    ?(runs_root = Run.default_root)
+    ?(alerts : unit -> Json.t list = fun () -> [])
+    ~(health : unit -> Json.t) () : handler =
  fun (req : request) ->
   match String.split_on_char '/' req.path with
   | [ ""; "metrics" ] -> response (Expo.scrape ~r:registry ())
   | [ ""; "healthz" ] -> json_response (health ())
+  | [ ""; "alerts" ] -> json_response (Json.Arr (alerts ()))
   | [ ""; "runs" ] ->
     json_response (Json.Arr (List.map run_summary (Run.list_runs ~root:runs_root ())))
   | [ ""; "runs"; id; "progress" ] ->

@@ -41,6 +41,7 @@ val render_response : response -> string
 val telemetry_handler :
   ?registry:Metrics.t ->
   ?runs_root:string ->
+  ?alerts:(unit -> Json.t list) ->
   health:(unit -> Json.t) ->
   unit ->
   handler
@@ -48,6 +49,8 @@ val telemetry_handler :
     - [GET /metrics] — Prometheus exposition of [registry] ({!Expo});
     - [GET /healthz] — the [health] thunk's JSON (status, uptime,
       current step/episode...);
+    - [GET /alerts] — JSON array of the [alerts] thunk's records
+      (watchdog alerts fired so far this run; [[]] by default);
     - [GET /runs] — JSON array of the {!Run} ledger under [runs_root];
     - [GET /runs/:id/progress] — that run's progress records;
     - anything else — a JSON 404. *)

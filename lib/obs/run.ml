@@ -22,11 +22,15 @@ let manifest_file = "manifest.json"
 let progress_file = "progress.jsonl"
 let eval_file = "eval.json"
 let trace_file = "trace.jsonl"
+let attrib_file = "attrib.json"
+let alerts_file = "alerts.jsonl"
 
 let manifest_path dir = Filename.concat dir manifest_file
 let progress_path dir = Filename.concat dir progress_file
 let eval_path dir = Filename.concat dir eval_file
 let trace_path dir = Filename.concat dir trace_file
+let attrib_path dir = Filename.concat dir attrib_file
+let alerts_path dir = Filename.concat dir alerts_file
 
 let rec mkdir_p (dir : string) : unit =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
@@ -53,6 +57,7 @@ type t = {
   r_created : float;
   mutable r_meta : (string * Json.t) list;
   r_progress : out_channel;
+  r_alerts : out_channel;
   mutable r_pending : int;
   mutable r_finished : bool;
 }
@@ -89,6 +94,9 @@ let create ?(root = default_root) ?dir ~(name : string)
       r_created = created;
       r_meta = merge_fields [ ("name", Json.Str name) ] meta;
       r_progress = open_out (progress_path dir);
+      (* alerts.jsonl exists (empty) from creation: "no alerts" and
+         "run predates the watchdog" stay distinguishable on disk *)
+      r_alerts = open_out (alerts_path dir);
       r_pending = 0;
       r_finished = false }
   in
@@ -112,10 +120,20 @@ let progress (t : t) (record : Json.t) : unit =
 let write_eval (t : t) (doc : Json.t) : unit =
   Runlog.write_json_file (eval_path t.r_dir) doc
 
+let write_attrib (t : t) (doc : Json.t) : unit =
+  Runlog.write_json_file (attrib_path t.r_dir) doc
+
+(* Alerts are rare and each one matters, so unlike progress records they
+   flush immediately — a crash right after an alert keeps it on disk. *)
+let alert (t : t) (record : Json.t) : unit =
+  Runlog.append_jsonl_line t.r_alerts record;
+  flush t.r_alerts
+
 let finish ?(result = []) (t : t) : unit =
   if not t.r_finished then begin
     t.r_finished <- true;
     close_out t.r_progress;
+    close_out t.r_alerts;
     t.r_meta <-
       merge_fields t.r_meta
         [ ("wall_s", Json.Float (Clock.now () -. t.r_created));
@@ -191,6 +209,27 @@ let read_progress (i : info) : Json.t list * int =
 let read_eval (i : info) : Json.t option =
   let path = eval_path i.run_dir in
   if Sys.file_exists path then Some (Runlog.read_json_file path) else None
+
+(* The health/attribution readers follow the [list_runs] hardening
+   contract: runs that predate the watchdog (no file) and runs whose
+   file is torn or corrupt both render as "no data", never an
+   exception — `posetrl explain` and `watch` must work on any ledger. *)
+
+let read_attrib (i : info) : Json.t option =
+  let path = attrib_path i.run_dir in
+  if not (Sys.file_exists path) then None
+  else
+    match Runlog.read_json_file path with
+    | doc -> Some doc
+    | exception (Sys_error _ | Json.Parse_error _) -> None
+
+let read_alerts (i : info) : (Json.t list * int) option =
+  let path = alerts_path i.run_dir in
+  if not (Sys.file_exists path) then None
+  else
+    match Runlog.read_jsonl path with
+    | records -> Some records
+    | exception Sys_error _ -> None
 
 (* --- cross-run comparison / regression detection --------------------------- *)
 

@@ -10,6 +10,8 @@ val manifest_path : string -> string
 val progress_path : string -> string
 val eval_path : string -> string
 val trace_path : string -> string
+val attrib_path : string -> string
+val alerts_path : string -> string
 (** Paths of the ledger files inside a run directory. *)
 
 (** {1 Writing side} *)
@@ -36,6 +38,16 @@ val progress : t -> Json.t -> unit
 
 val write_eval : t -> Json.t -> unit
 (** Write [eval.json] (atomic replace). *)
+
+val write_attrib : t -> Json.t -> unit
+(** Write [attrib.json] (atomic replace) — normally
+    [Posetrl_rl.Attrib.to_json] of the trainer's attribution table. *)
+
+val alert : t -> Json.t -> unit
+(** Append a watchdog alert record to [alerts.jsonl] and flush
+    immediately — alerts are rare and must survive a crash right after
+    firing. The file is created (empty) at {!create}, so a healthy
+    completed run is distinguishable from one predating the watchdog. *)
 
 val finish : ?result:(string * Json.t) list -> t -> unit
 (** Close the progress stream and rewrite the manifest with
@@ -70,6 +82,16 @@ val read_progress : info -> Json.t list * int
     [([], 0)] if the stream is absent. *)
 
 val read_eval : info -> Json.t option
+
+val read_attrib : info -> Json.t option
+(** The run's attribution document. Never raises: [None] means the file
+    is absent (run predates the watchdog layer) {e or} corrupt — either
+    way the caller renders "no data". *)
+
+val read_alerts : info -> (Json.t list * int) option
+(** The run's alert records plus the torn-line count. Never raises:
+    [None] when [alerts.jsonl] is absent (pre-watchdog run);
+    [Some ([], 0)] when present but empty (healthy run). *)
 
 (** {1 Cross-run comparison} *)
 

@@ -107,22 +107,40 @@ let tick_record ?q_mean ?q_max ?gc_minor ?gc_major ?gc_heap_mb ?gc_alloc_mb_s
      @ opt_f "gc_heap_mb" gc_heap_mb
      @ opt_f "gc_alloc_mb_s" gc_alloc_mb_s)
 
-let episode_record ?(actions = []) ~(episode : int) ~(step : int)
+let episode_record ?(actions = []) ?step_rewards ~(episode : int) ~(step : int)
     ~(reward : float) ~(r_binsize : float) ~(r_throughput : float)
     ~(size_gain_pct : float) ~(thru_gain_pct : float) ~(epsilon : float)
     ~(loss : float) () : Json.t =
+  let steps_field =
+    (* per-step reward triples aligned with [actions]; %.17g floats
+       round-trip exactly, so attribution recomputed from the ledger
+       matches the streaming table float for float *)
+    match step_rewards with
+    | None -> []
+    | Some triples ->
+      [ ("steps",
+         Json.Arr
+           (List.map
+              (fun (r, rb, rt) ->
+                Json.Obj
+                  [ ("r", Json.Float r);
+                    ("rb", Json.Float rb);
+                    ("rt", Json.Float rt) ])
+              triples)) ]
+  in
   Json.Obj
-    [ ("kind", Json.Str "episode");
-      ("episode", Json.Int episode);
-      ("step", Json.Int step);
-      ("reward", Json.Float reward);
-      ("r_binsize", Json.Float r_binsize);
-      ("r_throughput", Json.Float r_throughput);
-      ("size_gain_pct", Json.Float size_gain_pct);
-      ("thru_gain_pct", Json.Float thru_gain_pct);
-      ("epsilon", Json.Float epsilon);
-      ("loss", Json.Float loss);
-      ("actions", Json.Arr (List.map (fun a -> Json.Int a) actions)) ]
+    ([ ("kind", Json.Str "episode");
+       ("episode", Json.Int episode);
+       ("step", Json.Int step);
+       ("reward", Json.Float reward);
+       ("r_binsize", Json.Float r_binsize);
+       ("r_throughput", Json.Float r_throughput);
+       ("size_gain_pct", Json.Float size_gain_pct);
+       ("thru_gain_pct", Json.Float thru_gain_pct);
+       ("epsilon", Json.Float epsilon);
+       ("loss", Json.Float loss);
+       ("actions", Json.Arr (List.map (fun a -> Json.Int a) actions)) ]
+     @ steps_field)
 
 (* Extract an (x, y) series from progress records of one kind; records
    missing either field are skipped. *)

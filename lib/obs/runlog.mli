@@ -45,6 +45,7 @@ val tick_record :
 
 val episode_record :
   ?actions:int list ->
+  ?step_rewards:(float * float * float) list ->
   episode:int -> step:int -> reward:float -> r_binsize:float ->
   r_throughput:float -> size_gain_pct:float -> thru_gain_pct:float ->
   epsilon:float -> loss:float -> unit -> Json.t
@@ -52,7 +53,12 @@ val episode_record :
     reward decomposition ([r_binsize]/[r_throughput] are the unweighted
     Eqn-2/3 component sums; the manifest's α/β recover the weighted
     split). [actions] is the sub-sequence ids taken this episode, in
-    order — the input to the [posetrl watch] action histogram. *)
+    order — the input to the [posetrl watch] action histogram.
+    [step_rewards] is the per-step (reward, r_binsize, r_throughput)
+    triples aligned with [actions], serialized as a ["steps"] array of
+    [{r, rb, rt}] objects (omitted when absent — pre-health ledgers
+    have no such field); floats print as %.17g, so attribution
+    recomputed from the ledger is float-exact. *)
 
 val series :
   kind:string -> x:string -> y:string -> Json.t list -> (float * float) list

@@ -154,6 +154,15 @@ let train_batch (t : t) (batch : Replay.transition array) : float =
         Obs.Span.set_attr sp "loss" (Obs.Event.F mean);
         mean)
 
+(* NaN/Inf scan of the online network's parameters — the watchdog's
+   weight-health vital sign. O(params), cheap at tick cadence. *)
+let weights_finite (t : t) : bool =
+  Array.for_all
+    (fun (l : Layer.t) ->
+      Array.for_all Float.is_finite l.Layer.w.Matrix.data
+      && Array.for_all Float.is_finite l.Layer.b)
+    t.online.Mlp.layers
+
 let sync_target (t : t) =
   Obs.Metrics.inc m_syncs;
   Obs.Span.with_ "posetrl.dqn.sync" (fun _ ->

@@ -14,6 +14,7 @@ type transition = {
 type t = {
   capacity : int;
   mutable data : transition array;
+  steps : int array;   (* global step each slot was pushed at (TD-age) *)
   mutable size : int;
   mutable next : int;
 }
@@ -22,15 +23,32 @@ let create capacity =
   if capacity <= 0 then invalid_arg "Replay.create: capacity must be positive";
   { capacity;
     data = Array.make capacity { state = [||]; action = 0; reward = 0.0; next_state = None };
+    steps = Array.make capacity 0;
     size = 0;
     next = 0 }
 
 let size t = t.size
+let capacity t = t.capacity
 
-let push t tr =
+let push ?(step = 0) t tr =
   t.data.(t.next) <- tr;
+  t.steps.(t.next) <- step;
   t.next <- (t.next + 1) mod t.capacity;
   if t.size < t.capacity then t.size <- t.size + 1
+
+(* Mean TD-age of the buffered transitions relative to [now] (a global
+   step index) — the replay-health vital sign the watchdog reads. A
+   healthy saturated ring sits near capacity/2; a buffer that stopped
+   refreshing ages without bound. *)
+let mean_age ~(now : int) t : float =
+  if t.size = 0 then 0.0
+  else begin
+    let acc = ref 0 in
+    for i = 0 to t.size - 1 do
+      acc := !acc + (now - t.steps.(i))
+    done;
+    float_of_int !acc /. float_of_int t.size
+  end
 
 let sample (rng : Rng.t) t n : transition array =
   if t.size = 0 then invalid_arg "Replay.sample: empty buffer";

@@ -9,6 +9,7 @@ let () =
       ("obs", Test_obs.suite);
       ("runledger", Test_runledger.suite);
       ("telemetry", Test_telemetry.suite);
+      ("health", Test_health.suite);
       ("prof", Test_prof.suite);
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);

@@ -156,6 +156,92 @@ let test_run_lifecycle () =
             (Run.find ~root "r1").Run.run_dir;
           Alcotest.(check string) "find by path" dir (Run.find dir).Run.run_dir))
 
+(* --- attrib.json / alerts.jsonl hardening ------------------------------------
+   The health-layer files follow the same robustness contract as the
+   rest of the ledger: missing or corrupt → "no data" (None), never an
+   exception — `posetrl explain` and `watch` must render any ledger,
+   including PR 2–6 runs that predate these files. *)
+
+let test_attrib_alerts_lifecycle () =
+  with_temp_dir (fun root ->
+      let dir = Filename.concat root "r1" in
+      let run = Run.create ~dir ~name:"t" ~meta:[] () in
+      (* alerts.jsonl exists (empty) from create: a healthy finished run
+         is distinguishable from one predating the watchdog *)
+      Alcotest.(check bool) "alerts file created empty" true
+        (Sys.file_exists (Run.alerts_path dir));
+      Run.alert run
+        (Json.Obj [ ("kind", Json.Str "alert"); ("rule", Json.Str "nan_loss");
+                    ("step", Json.Int 200) ]);
+      Run.write_attrib run
+        (Json.Obj [ ("kind", Json.Str "attrib"); ("steps", Json.Int 3) ]);
+      Run.finish run;
+      let info = Run.load dir in
+      (match Run.read_attrib info with
+       | Some doc ->
+         Alcotest.(check (option (float 0.0))) "attrib read back" (Some 3.0)
+           (Runlog.num "steps" doc)
+       | None -> Alcotest.fail "attrib.json should read back");
+      match Run.read_alerts info with
+      | Some ([ a ], 0) ->
+        Alcotest.(check (option string)) "alert read back" (Some "nan_loss")
+          (Runlog.str "rule" a)
+      | _ -> Alcotest.fail "expected one alert, no torn lines")
+
+let test_attrib_alerts_missing_is_none () =
+  with_temp_dir (fun root ->
+      (* a pre-watchdog run: manifest only, neither file present *)
+      let dir = Filename.concat root "old" in
+      Unix.mkdir dir 0o755;
+      Runlog.write_json_file (Run.manifest_path dir)
+        (Json.Obj [ ("id", Json.Str "old"); ("status", Json.Str "complete") ]);
+      let info = Run.load dir in
+      Alcotest.(check bool) "attrib None" true (Run.read_attrib info = None);
+      Alcotest.(check bool) "alerts None" true (Run.read_alerts info = None))
+
+let test_attrib_corrupt_is_none () =
+  with_temp_dir (fun root ->
+      let dir = Filename.concat root "r1" in
+      let run = Run.create ~dir ~name:"t" ~meta:[] () in
+      Run.finish run;
+      let oc = open_out (Run.attrib_path dir) in
+      output_string oc "{ torn mid-write";
+      close_out oc;
+      let info = Run.load dir in
+      Alcotest.(check bool) "corrupt attrib is None, not an exception" true
+        (Run.read_attrib info = None))
+
+let test_alerts_torn_line_skipped () =
+  with_temp_dir (fun root ->
+      let dir = Filename.concat root "r1" in
+      let run = Run.create ~dir ~name:"t" ~meta:[] () in
+      Run.alert run (Json.Obj [ ("rule", Json.Str "q_explosion") ]);
+      Run.finish run;
+      (* simulate a crash tearing the last line *)
+      let oc =
+        open_out_gen [ Open_append ] 0o644 (Run.alerts_path dir)
+      in
+      output_string oc "{\"rule\": \"nan_lo";
+      close_out oc;
+      let info = Run.load dir in
+      match Run.read_alerts info with
+      | Some ([ a ], 1) ->
+        Alcotest.(check (option string)) "intact alert kept"
+          (Some "q_explosion") (Runlog.str "rule" a)
+      | Some (l, d) ->
+        Alcotest.failf "expected 1 alert + 1 torn, got %d + %d"
+          (List.length l) d
+      | None -> Alcotest.fail "present file must not read as None")
+
+let test_alerts_empty_is_healthy () =
+  with_temp_dir (fun root ->
+      let dir = Filename.concat root "r1" in
+      let run = Run.create ~dir ~name:"t" ~meta:[] () in
+      Run.finish run;
+      let info = Run.load dir in
+      Alcotest.(check bool) "present-but-empty is Some ([], 0)" true
+        (Run.read_alerts info = Some ([], 0)))
+
 let test_run_progress_flush_prefix () =
   (* a run killed before finish still leaves a readable flushed prefix *)
   with_temp_dir (fun root ->
@@ -370,6 +456,16 @@ let suite =
     Alcotest.test_case "run lifecycle" `Quick test_run_lifecycle;
     Alcotest.test_case "killed run keeps prefix" `Quick
       test_run_progress_flush_prefix;
+    Alcotest.test_case "attrib/alerts lifecycle" `Quick
+      test_attrib_alerts_lifecycle;
+    Alcotest.test_case "attrib/alerts missing → None" `Quick
+      test_attrib_alerts_missing_is_none;
+    Alcotest.test_case "corrupt attrib → None" `Quick
+      test_attrib_corrupt_is_none;
+    Alcotest.test_case "torn alert line skipped" `Quick
+      test_alerts_torn_line_skipped;
+    Alcotest.test_case "empty alerts = healthy" `Quick
+      test_alerts_empty_is_healthy;
     Alcotest.test_case "list_runs missing root" `Quick
       test_list_runs_missing_root;
     Alcotest.test_case "list_runs skips corrupt" `Quick

@@ -65,9 +65,19 @@ let test_scrape_golden () =
       ~buckets:[| 0.1; 1.0 |] "posetrl.odg.walk_len"
   in
   Metrics.observe h 0.05; Metrics.observe h 0.5; Metrics.observe h 5.0;
+  Metrics.inc (Metrics.counter ~r ~labels:[ ("rule", "nan_loss") ] "posetrl.alerts.total");
+  Metrics.set
+    (Metrics.gauge ~r ~labels:[ ("action", "3") ] "posetrl.attrib.reward_total")
+    12.5;
   let expected =
     String.concat ""
-      [ "# HELP posetrl_odg_walk_len posetrl.odg.walk_len\n";
+      [ "# HELP posetrl_alerts_total posetrl.alerts.total\n";
+        "# TYPE posetrl_alerts_total counter\n";
+        "posetrl_alerts_total{rule=\"nan_loss\"} 1\n";
+        "# HELP posetrl_attrib_reward_total posetrl.attrib.reward_total\n";
+        "# TYPE posetrl_attrib_reward_total gauge\n";
+        "posetrl_attrib_reward_total{action=\"3\"} 12.5\n";
+        "# HELP posetrl_odg_walk_len posetrl.odg.walk_len\n";
         "# TYPE posetrl_odg_walk_len histogram\n";
         "posetrl_odg_walk_len_bucket{space=\"odg\",le=\"0.1\"} 1\n";
         "posetrl_odg_walk_len_bucket{space=\"odg\",le=\"1\"} 2\n";
@@ -183,7 +193,35 @@ let test_telemetry_routes () =
           | _ -> Alcotest.fail "expected one progress record"));
       Alcotest.(check int) "unknown run 404" 404
         (get "/runs/nope/progress").Httpd.status;
-      Alcotest.(check int) "unknown route 404" 404 (get "/nope").Httpd.status)
+      Alcotest.(check int) "unknown route 404" 404 (get "/nope").Httpd.status;
+      (* no alerts thunk wired: /alerts still answers, with [] *)
+      Alcotest.(check string) "alerts default empty" "[]\n"
+        (get "/alerts").Httpd.body)
+
+let test_alerts_route () =
+  let fired = ref [] in
+  let handler =
+    Httpd.telemetry_handler
+      ~alerts:(fun () -> !fired)
+      ~health:(fun () -> Json.Obj [])
+      ()
+  in
+  let get () = handler { Httpd.meth = "GET"; path = "/alerts" } in
+  Alcotest.(check string) "empty before any alert" "[]\n" (get ()).Httpd.body;
+  fired :=
+    [ Obs.Health.alert_to_json
+        { Obs.Health.a_rule = "nan_loss"; a_step = 200; a_severity = "error";
+          a_message = "boom"; a_value = Float.nan } ];
+  let resp = get () in
+  Alcotest.(check int) "alerts 200" 200 resp.Httpd.status;
+  match Json.of_string resp.Httpd.body with
+  | Json.Arr [ a ] ->
+    Alcotest.(check (option string)) "rule served" (Some "nan_loss")
+      (Runlog.str "rule" a);
+    (* the non-finite value crossed the wire as its string encoding *)
+    Alcotest.(check (option string)) "nan encoded" (Some "nan")
+      (Runlog.str "value" a)
+  | _ -> Alcotest.fail "/alerts should serve the fired alert"
 
 (* --- Httpd: live socket -------------------------------------------------------- *)
 
@@ -337,6 +375,39 @@ let test_dashboard_render () =
   Alcotest.(check bool) "placeholder on empty" true
     (contains empty "(no progress records yet)")
 
+let test_dashboard_alerts_row () =
+  let manifest =
+    Json.Obj [ ("kind", Json.Str "train"); ("status", Json.Str "running") ]
+  in
+  let render alerts =
+    Obs.Dashboard.render ?alerts:(Some alerts) ~id:"r9" ~manifest ~records:[]
+      ~dropped:0 ()
+  in
+  (* pre-watchdog run (PR 2–6 ledgers): an explicit placeholder, never a
+     blank or garbled row *)
+  let old_run = render None in
+  Alcotest.(check bool) "placeholder for pre-watchdog runs" true
+    (contains old_run "alerts (not recorded by this run)");
+  Alcotest.(check bool) "no red escape in placeholder" false
+    (contains old_run "\027[31m");
+  (* healthy run: alerts file present and empty *)
+  Alcotest.(check bool) "healthy run says none" true
+    (contains (render (Some [])) "alerts none");
+  (* fired alerts render as red rows, newest kept under the cap *)
+  let alert step =
+    Obs.Health.alert_to_json
+      { Obs.Health.a_rule = "reward_collapse"; a_step = step;
+        a_severity = "warn"; a_message = "collapse"; a_value = 1.0 }
+  in
+  let one = render (Some [ alert 400 ]) in
+  Alcotest.(check bool) "count row" true (contains one "1 fired");
+  Alcotest.(check bool) "red escape present" true (contains one "\027[31m");
+  Alcotest.(check bool) "rule named" true (contains one "reward_collapse");
+  let many = render (Some (List.init 8 (fun i -> alert (i * 100)))) in
+  Alcotest.(check bool) "cap note" true (contains many "(last 5 shown)");
+  Alcotest.(check bool) "newest retained" true (contains many "step 700");
+  Alcotest.(check bool) "oldest dropped" false (contains many "step 0  ")
+
 (* --- progress-record diagnostics fields ----------------------------------------- *)
 
 let test_record_diagnostic_fields () =
@@ -371,10 +442,12 @@ let suite =
     Alcotest.test_case "parse_request" `Quick test_parse_request;
     Alcotest.test_case "render_response" `Quick test_render_response;
     Alcotest.test_case "telemetry routes" `Quick test_telemetry_routes;
+    Alcotest.test_case "/alerts route" `Quick test_alerts_route;
     Alcotest.test_case "live socket" `Quick test_live_socket;
     Alcotest.test_case "chrome round trip" `Quick test_chrome_roundtrip;
     Alcotest.test_case "chrome worker tracks" `Quick test_chrome_worker_tracks;
     Alcotest.test_case "chrome write" `Quick test_chrome_write_is_valid_json;
     Alcotest.test_case "action histogram" `Quick test_action_histogram;
     Alcotest.test_case "dashboard render" `Quick test_dashboard_render;
+    Alcotest.test_case "dashboard alerts row" `Quick test_dashboard_alerts_row;
     Alcotest.test_case "record diagnostics" `Quick test_record_diagnostic_fields ]
