@@ -21,18 +21,41 @@ import json
 import os
 import sys
 
-# series enforced by ci, per document kind; everything else in `gate`
-# is printed for context
-GATED = {
-    "bench-parallel": ("gemm_rel", "pool_dispatch_rel"),
-    "bench-analysis": ("liveness_rel", "sanitize_rel", "lint_rel"),
-    # profiling-disabled overhead: the span no-sink fast path and the
-    # atomic counter / row-locked histogram updates every run pays
-    "bench-prof": ("span_disabled_rel", "counter_inc_rel", "hist_observe_rel"),
-    # training-health overhead: the watchdog rule pass (once per trainer
-    # tick) and the streaming attribution update (once per env step)
-    "bench-health": ("watchdog_tick_rel", "attrib_observe_rel"),
-}
+# One declarative entry per benched subsystem: the document kind, the
+# gated series (everything else in `gate` is printed for context) and
+# what the gate protects. Adding a subsystem = adding a row here plus
+# its bench section and committed BENCH_*.json baseline.
+GATE_TABLE = [
+    {
+        "kind": "bench-parallel",
+        "gated": ("gemm_rel", "pool_dispatch_rel"),
+        "why": "pooled gemm arithmetic and pool dispatch overhead",
+    },
+    {
+        "kind": "bench-analysis",
+        "gated": ("liveness_rel", "sanitize_rel", "lint_rel"),
+        "why": "static-analysis passes on the sanitizer/lint hot path",
+    },
+    {
+        "kind": "bench-prof",
+        "gated": ("span_disabled_rel", "counter_inc_rel", "hist_observe_rel"),
+        "why": "profiling-disabled overhead: span no-sink fast path and "
+               "the counter/histogram updates every run pays",
+    },
+    {
+        "kind": "bench-health",
+        "gated": ("watchdog_tick_rel", "attrib_observe_rel"),
+        "why": "watchdog rule pass (per trainer tick) and streaming "
+               "attribution update (per env step)",
+    },
+    {
+        "kind": "bench-coverage",
+        "gated": ("coverage_observe_rel",),
+        "why": "streaming decision-space coverage fold (per env step)",
+    },
+]
+
+GATED = {row["kind"]: row["gated"] for row in GATE_TABLE}
 
 
 def load(path):

@@ -857,6 +857,75 @@ let health_bench () =
   Printf.printf "  health bench baseline written to %s\n" path
 
 (* ======================================================================== *)
+(* coverage: per-step decision-space observe cost                            *)
+(* ======================================================================== *)
+
+(* Benches the coverage table's always-on cost and writes
+   BENCH_coverage.json for the bench-regression CI job. One gated row:
+   the streaming [Coverage.observe] fold over the real ODG universe
+   (runs once per environment step, same cadence as attrib-observe),
+   batched ×100 like the other per-step rows. [observe_state] and
+   [sample] are context rows — the sketch projection is a handful of
+   dot products per step and the entropy sample runs once per 200-step
+   tick, so neither gates. *)
+let coverage_bench () =
+  section_header "Coverage overhead (per-step decision-space observe)";
+  let open Bechamel in
+  let universe = C.Trainer.coverage_universe O.Action_space.odg in
+  let cov = Obs.Coverage.create ~state_dim:C.Environment.state_dim universe in
+  let n_actions = Array.length universe.Obs.Coverage.action_paths in
+  let state =
+    Array.init C.Environment.state_dim (fun i -> Float.sin (float_of_int i))
+  in
+  let step = ref 0 in
+  let rows =
+    bechamel_run
+      (Test.make_grouped ~name:"coverage"
+         [ Test.make ~name:"calib-dot-4k"
+             (let u = Array.init 4096 (fun i -> float_of_int i *. 1e-3) in
+              let v = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+              Staged.stage (fun () ->
+                  let acc = ref 0.0 in
+                  for i = 0 to 4095 do
+                    acc := !acc +. (u.(i) *. v.(i))
+                  done;
+                  ignore (Sys.opaque_identity !acc)));
+           Test.make ~name:"coverage-observe-100"
+             (Staged.stage (fun () ->
+                  for _i = 1 to 100 do
+                    incr step;
+                    Obs.Coverage.observe cov ~action:(!step mod n_actions)
+                      ~pos:(!step mod 15) ~reward:0.25 ~r_binsize:0.1
+                      ~r_throughput:0.03
+                  done));
+           Test.make ~name:"coverage-state-sketch"
+             (Staged.stage (fun () -> Obs.Coverage.observe_state cov state));
+           Test.make ~name:"coverage-sample"
+             (Staged.stage (fun () -> Obs.Coverage.sample cov ~step:!step)) ])
+  in
+  print_bechamel_rows rows;
+  let ns suffix =
+    match List.find_opt (fun (n, _) -> Filename.basename n = suffix) rows with
+    | Some (_, v) -> v
+    | None -> 0.0
+  in
+  let calib = ns "calib-dot-4k" in
+  let rel v = if calib > 0.0 then v /. calib else 0.0 in
+  let path = "BENCH_coverage.json" in
+  Obs.Runlog.write_json_file path
+    (Obs.Json.Obj
+       [ ("kind", Obs.Json.Str "bench-coverage");
+         ("micro_ns",
+          Obs.Json.Obj
+            (List.map (fun (n, v) -> (Filename.basename n, Obs.Json.Float v)) rows));
+         ("gate",
+          Obs.Json.Obj
+            [ ("calib_ns", Obs.Json.Float calib);
+              ("coverage_observe_rel",
+               Obs.Json.Float (rel (ns "coverage-observe-100"))) ]) ]);
+  Printf.printf "  coverage bench baseline written to %s\n" path
+
+(* ======================================================================== *)
 
 let sections : (string * (unit -> unit)) list =
   [ ("fig1", fig1);
@@ -871,7 +940,8 @@ let sections : (string * (unit -> unit)) list =
     ("parallel", parallel);
     ("analysis", analysis);
     ("prof", prof_bench);
-    ("health", health_bench) ]
+    ("health", health_bench);
+    ("coverage", coverage_bench) ]
 
 let () =
   let requested =

@@ -16,6 +16,9 @@
      explain replay a run's ledger into a policy-introspection report:
             per-action reward attribution (verified against the episode
             stream), top schedules, drift timeline, watchdog alerts
+     coverage decision-space coverage report for a run: ODG edge
+            coverage with per-edge mean rewards, transition hot list,
+            entropy, state-sketch occupancy, heat-annotated dot export
      watch  live terminal dashboard tailing a (running) ledger run,
             including a red row for watchdog alerts
      odg    inspect the Oz Dependence Graph (stats, dot, derived walks)
@@ -206,20 +209,21 @@ let serve_grace_arg =
    window after. [f] receives a pump thunk to call from its hot loop
    (the server is single-threaded — nothing is served between pumps). *)
 let with_serve ?(alerts : unit -> Obs.Json.t list = fun () -> [])
+    ?(coverage : unit -> Obs.Json.t option = fun () -> None)
     ~(serve : int option) ~(grace : float) ~(kind : string)
     ~(run_dir : unit -> string option) (f : pump:(unit -> unit) -> 'a) : 'a =
   match serve with
   | None -> f ~pump:(fun () -> ())
   | Some port ->
     let status = ref "running" in
-    let started = Unix.gettimeofday () in
+    let started = Obs.Clock.now () in
     let metric name = Option.value ~default:0.0 (Obs.Metrics.value name) in
     let health () =
       let open Obs.Json in
       Obj
         [ ("status", Str !status);
           ("kind", Str kind);
-          ("uptime_s", Float (Unix.gettimeofday () -. started));
+          ("uptime_s", Float (Obs.Clock.now () -. started));
           ("step", Int (int_of_float (metric "posetrl.train.steps")));
           ("episode", Int (int_of_float (metric "posetrl.train.episodes")));
           ("epsilon", Float (metric "posetrl.train.epsilon"));
@@ -228,10 +232,11 @@ let with_serve ?(alerts : unit -> Obs.Json.t list = fun () -> [])
     in
     let server =
       Obs.Httpd.create ~port
-        ~handler:(Obs.Httpd.telemetry_handler ~alerts ~health ()) ()
+        ~handler:(Obs.Httpd.telemetry_handler ~alerts ~coverage ~health ()) ()
     in
     Obs.Console.info
-      "telemetry on http://127.0.0.1:%d  (/metrics /healthz /alerts /runs)\n%!"
+      "telemetry on http://127.0.0.1:%d  (/metrics /healthz /alerts /coverage \
+       /runs)\n%!"
       (Obs.Httpd.port server);
     Fun.protect
       ~finally:(fun () -> Obs.Httpd.close server)
@@ -240,8 +245,8 @@ let with_serve ?(alerts : unit -> Obs.Json.t list = fun () -> [])
         status := "done";
         if grace > 0.0 then begin
           Obs.Console.info "%s done; serving final state for %.1fs\n%!" kind grace;
-          let deadline = Unix.gettimeofday () +. grace in
-          while Unix.gettimeofday () < deadline do
+          let deadline = Obs.Clock.now () +. grace in
+          while Obs.Clock.now () < deadline do
             Obs.Httpd.pump server;
             Unix.sleepf 0.05
           done
@@ -471,7 +476,11 @@ let train_cmd =
       Obs.Console.info "  ALERT [%s] %s step %d: %s\n%!" a.Obs.Health.a_severity
         a.Obs.Health.a_rule a.Obs.Health.a_step a.Obs.Health.a_message
     in
-    with_serve ~alerts:(fun () -> List.rev !live_alerts) ~serve
+    (* built here (not inside the trainer) so the live /coverage endpoint
+       and the trainer fold the same table *)
+    let coverage = C.Trainer.make_coverage ~registry:Obs.Metrics.global actions in
+    with_serve ~alerts:(fun () -> List.rev !live_alerts)
+      ~coverage:(fun () -> Some (Obs.Coverage.to_json coverage)) ~serve
       ~grace:serve_grace ~kind:"train"
       ~run_dir:(fun () -> Option.map Obs.Run.dir run)
       (fun ~pump ->
@@ -481,7 +490,8 @@ let train_cmd =
                   with_jobs ~jobs (fun pool ->
                       C.Trainer.train ?pool ~hp ~on_progress ~on_episode
                         ~on_step:(fun _ -> pump ()) ~on_alert
-                        ?inject_nan_at:inject_nan ~verify:verify_each
+                        ?inject_nan_at:inject_nan ~coverage
+                        ~verify:verify_each
                         ~sanitize ~repro_dir:(repro_dir_of_run run) ~seed
                         ~corpus ~actions ~target:tgt ()))
             in
@@ -493,15 +503,26 @@ let train_cmd =
                 res.C.Trainer.attrib
             in
             Option.iter (fun r -> Obs.Run.write_attrib r attrib_doc) run;
+            let cov = res.C.Trainer.coverage in
+            Option.iter
+              (fun r -> Obs.Run.write_coverage r (Obs.Coverage.to_json cov))
+              run;
             let n_alerts = List.length res.C.Trainer.alerts in
             if n_alerts > 0 then
               Obs.Console.info "training-health: %d alert%s fired (see \
                                 alerts.jsonl / `posetrl explain`)\n"
                 n_alerts (if n_alerts = 1 then "" else "s");
+            Obs.Console.info
+              "coverage: %d/%d ODG edges (%.1f%%), action entropy %.3f bits\n"
+              (Obs.Coverage.edges_visited cov)
+              (Obs.Coverage.edge_count cov)
+              (Obs.Coverage.edge_pct cov) (Obs.Coverage.entropy cov);
             Obs.Console.info "saved weights to %s (%d episodes)\n" out
               res.C.Trainer.episodes;
             [ ("episodes", Obs.Json.Int res.C.Trainer.episodes);
               ("final_mean_reward", Obs.Json.Float res.C.Trainer.final_mean_reward);
+              ("coverage_edge_pct", Obs.Json.Float (Obs.Coverage.edge_pct cov));
+              ("coverage_entropy_bits", Obs.Json.Float (Obs.Coverage.entropy cov));
               ("alerts", Obs.Json.Int n_alerts);
               ("weights", Obs.Json.Str out) ]))
   in
@@ -542,7 +563,13 @@ let eval_cmd =
             ("action_space", Obs.Json.Str space);
             ("target", Obs.Json.Str tgt.CG.Target.name) ]
     in
-    with_serve ~serve ~grace:serve_grace ~kind:"eval"
+    (* eval coverage: the greedy rollout sequences folded as episodes
+       (reward components are not re-derived — counts/entropy only);
+       results come back in input order, so the table is byte-identical
+       across --jobs settings like eval.json itself *)
+    let coverage = C.Trainer.make_coverage ~registry:Obs.Metrics.global actions in
+    with_serve ~coverage:(fun () -> Some (Obs.Coverage.to_json coverage)) ~serve
+      ~grace:serve_grace ~kind:"eval"
       ~run_dir:(fun () -> Option.map Obs.Run.dir run)
       (fun ~pump ->
       with_run run (fun () ->
@@ -577,8 +604,22 @@ let eval_cmd =
                   (String.concat "->" (List.map string_of_int r.C.Evaluate.predicted)))
               results)
           evaluated;
+        List.iter
+          (fun (_, results) ->
+            List.iter
+              (fun (r : C.Evaluate.program_result) ->
+                List.iteri
+                  (fun pos a ->
+                    Obs.Coverage.observe coverage ~action:a ~pos ~reward:0.0
+                      ~r_binsize:0.0 ~r_throughput:0.0)
+                  r.C.Evaluate.predicted)
+              results)
+          evaluated;
+        Obs.Coverage.sample coverage ~step:(Obs.Coverage.steps coverage);
         Option.iter
-          (fun r -> Obs.Run.write_eval r (C.Evaluate.suites_to_json evaluated))
+          (fun r ->
+            Obs.Run.write_eval r (C.Evaluate.suites_to_json evaluated);
+            Obs.Run.write_coverage r (Obs.Coverage.to_json coverage))
           run;
         let avg_reds =
           List.map (fun ((s : C.Evaluate.suite_summary), _) -> s.C.Evaluate.avg_red)
@@ -724,13 +765,13 @@ let profile_cmd =
                  (fun _ -> ignore (P.Pass_manager.run_level lvl (mk ()))))
              progs
          | Some p ->
-           let t0 = Unix.gettimeofday () in
+           let t0 = Obs.Clock.now () in
            let _, timings =
              SPool.map_timed p
                (fun (_, mk) -> ignore (P.Pass_manager.run_level lvl (mk ())))
                progs
            in
-           let t1 = Unix.gettimeofday () in
+           let t1 = Obs.Clock.now () in
            ignore
              (Obs.Prof.note_pool_batch ~jobs:(SPool.jobs p) ~t0 ~t1 timings);
            Array.iter
@@ -958,7 +999,13 @@ let runs_compare_cmd =
                  Runs without attribution data report 'no data' and never \
                  fail the comparison.")
   in
-  let go root base cand reward_drop size_drop wall_factor attrib =
+  let coverage_flag =
+    Arg.(value & flag & info [ "coverage" ]
+           ~doc:"Also diff the two runs' decision-space coverage \
+                 (coverage.json): ODG edge coverage %% and action-entropy \
+                 shift. Informational only — never fails the comparison.")
+  in
+  let go root base cand reward_drop size_drop wall_factor attrib coverage =
     let b = Obs.Run.find ~root base in
     let c = Obs.Run.find ~root cand in
     let thresholds =
@@ -1045,6 +1092,27 @@ let runs_compare_cmd =
           rows;
         Tbl.print t
     end;
+    if coverage then begin
+      (* informational only, like --attrib: an exploration shift explains
+         a reward delta, it doesn't gate the comparison *)
+      let cov_of (i : Obs.Run.info) =
+        Option.bind (Obs.Run.read_coverage i) Obs.Coverage.of_json
+      in
+      match cov_of b, cov_of c with
+      | None, _ | _, None ->
+        Printf.printf
+          "coverage: no data on at least one side (pre-coverage run or \
+           unreadable coverage.json)\n"
+      | Some cb, Some cc ->
+        Printf.printf
+          "coverage: edges %.1f%% -> %.1f%% (%+.1f pts)  entropy %.3f -> \
+           %.3f bits (%+.3f)  nodes %d -> %d\n"
+          (Obs.Coverage.edge_pct cb) (Obs.Coverage.edge_pct cc)
+          (Obs.Coverage.edge_pct cc -. Obs.Coverage.edge_pct cb)
+          (Obs.Coverage.entropy cb) (Obs.Coverage.entropy cc)
+          (Obs.Coverage.entropy cc -. Obs.Coverage.entropy cb)
+          (Obs.Coverage.nodes_visited cb) (Obs.Coverage.nodes_visited cc)
+    end;
     if Obs.Run.has_regression deltas then begin
       Printf.printf "regression detected\n";
       exit 3
@@ -1056,7 +1124,7 @@ let runs_compare_cmd =
        ~doc:"Diff two runs against regression thresholds; exits 3 on regression \
              (usable as a CI gate)")
     Term.(const go $ root_arg $ base $ cand $ reward_drop $ size_drop
-          $ wall_factor $ attrib_flag)
+          $ wall_factor $ attrib_flag $ coverage_flag)
 
 let runs_profile_cmd =
   let id =
@@ -1335,6 +1403,131 @@ let explain_cmd =
              Degrades gracefully on runs predating these fields.")
     Term.(const go $ root_arg $ id $ top $ schedules)
 
+(* --- coverage (decision-space coverage from the ledger) ---------------------- *)
+
+let coverage_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN"
+           ~doc:"Run id (under --root) or a run directory path.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows in the edge and transition tables.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"OUT.dot"
+           ~doc:"Write a heat-annotated ODG rendering to \\$(docv): visited \
+                 edges colour-ramp grey to red by visit count, unvisited \
+                 edges dashed (same layout as `posetrl odg --dot`).")
+  in
+  let go root id top dot =
+    let info = Obs.Run.find ~root id in
+    let m = info.Obs.Run.manifest in
+    Printf.printf "run %s  [%s, %s]\n" info.Obs.Run.run_id
+      (Option.value ~default:"?" (Obs.Runlog.str "kind" m))
+      (Option.value ~default:"?" (Obs.Runlog.str "status" m));
+    match Obs.Run.read_coverage info with
+    | None ->
+      print_string
+        "coverage: no data (run predates the coverage layer, or \
+         coverage.json is unreadable)\n"
+    | Some doc ->
+      match Obs.Coverage.of_json doc with
+      | None ->
+        print_string "coverage: coverage.json is structurally invalid — no data\n"
+      | Some cov ->
+        Printf.printf
+          "\ndecision-space coverage (%d steps, %d episodes):\n\
+          \  ODG edges visited   %d/%d (%.1f%%)\n\
+          \  ODG nodes visited   %d/%d\n\
+          \  action entropy      %.3f bits (max %.3f over %d actions)\n\
+          \  state sketch        %d/%d buckets occupied\n"
+          (Obs.Coverage.steps cov) (Obs.Coverage.episodes cov)
+          (Obs.Coverage.edges_visited cov) (Obs.Coverage.edge_count cov)
+          (Obs.Coverage.edge_pct cov)
+          (Obs.Coverage.nodes_visited cov) (Obs.Coverage.node_count cov)
+          (Obs.Coverage.entropy cov)
+          (Float.log2 (float_of_int (Obs.Coverage.n_actions cov)))
+          (Obs.Coverage.n_actions cov)
+          (Obs.Coverage.sketch_occupied cov)
+          (1 lsl Obs.Coverage.sketch_bits cov);
+        (match Obs.Coverage.top_edges cov ~k:top with
+         | [] -> print_string "no visited edges\n"
+         | edges ->
+           let t =
+             Tbl.create ~title:"hottest ODG edges (coverage.json)"
+               ~headers:[ "edge"; "visits"; "mean r"; "mean binsize";
+                          "mean throughput" ]
+               ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+               ()
+           in
+           List.iter
+             (fun (u, v, count, r, rb, rt) ->
+               let mean x = x /. float_of_int count in
+               Tbl.add_row t
+                 [ Printf.sprintf "%s -> %s" (Obs.Coverage.node_name cov u)
+                     (Obs.Coverage.node_name cov v);
+                   string_of_int count;
+                   Printf.sprintf "%.3f" (mean r);
+                   Printf.sprintf "%.3f" (mean rb);
+                   Printf.sprintf "%.3f" (mean rt) ])
+             edges;
+           Tbl.print t);
+        (match Obs.Coverage.top_transitions cov ~k:top with
+         | [] -> ()
+         | trans ->
+           let t =
+             Tbl.create ~title:"top action transitions"
+               ~headers:[ "from"; "to"; "count" ]
+               ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right ]
+               ()
+           in
+           List.iter
+             (fun (a, b, count) ->
+               Tbl.add_row t
+                 [ string_of_int a; string_of_int b; string_of_int count ])
+             trans;
+           Tbl.print t);
+        (* the recompute contract, same shape as `posetrl explain`'s
+           attribution check: the streaming table must equal the
+           brute-force fold over the ledger — CI greps the line *)
+        let records, dropped = Obs.Run.read_progress info in
+        if dropped > 0 then
+          Printf.printf "(%d torn progress line%s skipped)\n" dropped
+            (if dropped = 1 then "" else "s");
+        let recomputed =
+          Obs.Coverage.of_records ~like:(Obs.Coverage.universe cov) records
+        in
+        if Obs.Coverage.steps recomputed = 0 && Obs.Coverage.steps cov > 0 then
+          print_string
+            "coverage check: episode records carry no step stream \
+             (eval run or pre-attribution ledger); recompute skipped\n"
+        else if Obs.Coverage.equal cov recomputed then
+          Printf.printf
+            "coverage check: table matches the step stream exactly (%d steps)\n"
+            (Obs.Coverage.steps cov)
+        else
+          print_string
+            "coverage check: DIVERGENCE between coverage.json and the \
+             episode stream\n";
+        (match dot with
+         | Some out ->
+           let oc = open_out out in
+           output_string oc (Obs.Coverage.to_dot cov);
+           close_out oc;
+           Printf.printf "coverage heat dot written to %s\n" out
+         | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Decision-space coverage report for a ledger run: ODG edge \
+             coverage with per-edge mean rewards, action-transition \
+             hot list, entropy and state-sketch occupancy (verified \
+             against the episode stream), plus a heat-annotated ODG \
+             dot export. Degrades gracefully on runs predating \
+             coverage.json.")
+    Term.(const go $ root_arg $ id $ top $ dot)
+
 (* --- watch (live dashboard) -------------------------------------------------- *)
 
 let watch_cmd =
@@ -1360,7 +1553,8 @@ let watch_cmd =
       (* None = run predates the watchdog; the dashboard renders a
          placeholder row for it, not a blank or garbled line *)
       let alerts = Option.map fst (Obs.Run.read_alerts info) in
-      Obs.Dashboard.render ~alerts ~id:info.Obs.Run.run_id
+      let coverage = Obs.Run.read_coverage info in
+      Obs.Dashboard.render ~alerts ~coverage ~id:info.Obs.Run.run_id
         ~manifest:info.Obs.Run.manifest ~records ~dropped ()
     in
     let rec loop () =
@@ -1592,7 +1786,8 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ opt_cmd; run_cmd; train_cmd; eval_cmd; lint_cmd; report_cmd;
-           profile_cmd; runs_cmd; explain_cmd; watch_cmd; odg_cmd; list_cmd ])
+           profile_cmd; runs_cmd; explain_cmd; coverage_cmd; watch_cmd;
+           odg_cmd; list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

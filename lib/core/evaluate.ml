@@ -91,14 +91,14 @@ let evaluate_programs ?(measure_time = true) ?(verify = false)
   | None -> List.map eval_one programs
   | Some p ->
     Obs.Metrics.set m_pool_jobs (float_of_int (Pool.jobs p));
+    (* pool timing stamps tick on Pool.clock, which Obs.Clock mirrors —
+       one clock for the batch bracket and the per-task stamps, so the
+       utilization aggregates are exact under a fake clock too *)
     let t0 = Obs.Clock.now () in
-    (* pool timings are Unix.gettimeofday stamps; bracket the batch on
-       that same clock for the utilization aggregates *)
-    let t0u = Unix.gettimeofday () in
     let results, timings = Pool.map_timed p eval_one (Array.of_list programs) in
-    let t1u = Unix.gettimeofday () in
-    Obs.Metrics.observe m_pool_batch_s (Obs.Clock.now () -. t0);
-    ignore (Obs.Prof.note_pool_batch ~jobs:(Pool.jobs p) ~t0:t0u ~t1:t1u timings);
+    let t1 = Obs.Clock.now () in
+    Obs.Metrics.observe m_pool_batch_s (t1 -. t0);
+    ignore (Obs.Prof.note_pool_batch ~jobs:(Pool.jobs p) ~t0 ~t1 timings);
     let names = Array.of_list (List.map fst programs) in
     Array.iter
       (fun (tm : Pool.timing) ->

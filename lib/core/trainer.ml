@@ -130,15 +130,35 @@ type result = {
   episodes : int;
   final_mean_reward : float;
   attrib : Rl.Attrib.t;            (* streaming per-action attribution *)
+  coverage : Obs.Coverage.t;       (* streaming decision-space coverage *)
   alerts : Obs.Health.alert list;  (* watchdog alerts, oldest first *)
 }
+
+(* The decision-space universe of an action space over the default ODG,
+   packaged for [Obs.Coverage] (which takes plain arrays — the obs
+   layer does not depend on posetrl_odg). *)
+let coverage_universe (actions : Posetrl_odg.Action_space.t) :
+    Obs.Coverage.universe =
+  let nodes, edges, action_paths =
+    Posetrl_odg.Action_space.coverage_universe actions
+      (Lazy.force Posetrl_odg.Graph.default)
+  in
+  { Obs.Coverage.nodes; edges; action_paths }
+
+(* One shared constructor so the trainer's default table and the CLI's
+   live-serve table (which must be the same object to appear on
+   /coverage) are built identically. *)
+let make_coverage ?registry (actions : Posetrl_odg.Action_space.t) :
+    Obs.Coverage.t =
+  Obs.Coverage.create ?registry ~state_dim:Environment.state_dim
+    (coverage_universe actions)
 
 let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     ?(on_episode = fun (_ : episode_summary) -> ())
     ?(on_step = fun (_ : int) -> ())
     ?(health = Obs.Health.default_config)
     ?(on_alert = fun (_ : Obs.Health.alert) -> ())
-    ?inject_nan_at
+    ?inject_nan_at ?coverage
     ?pool ?(verify = false) ?(sanitize = Posetrl_analysis.Sanitize.Off)
     ?repro_dir
     ~(seed : int) ~(corpus : Modul.t array)
@@ -167,6 +187,14 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
   let attrib =
     Rl.Attrib.create ~registry:Obs.Metrics.global
       ~n_actions:(Environment.n_actions env) ~max_pos:hp.max_episode_steps ()
+  in
+  (* streaming decision-space coverage: same pure-fold determinism
+     contract as [attrib]; the CLI passes its own table in when it also
+     serves the live /coverage endpoint *)
+  let coverage =
+    match coverage with
+    | Some c -> c
+    | None -> make_coverage ~registry:Obs.Metrics.global actions
   in
   (* watchdog state: engine + the last-window action histogram it reads *)
   let watchdog = Obs.Health.create ~config:health () in
@@ -271,6 +299,12 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
       Rl.Attrib.observe attrib ~action ~pos:!ep_pos
         ~reward:res.Environment.reward ~r_binsize:res.Environment.r_binsize
         ~r_throughput:res.Environment.r_throughput;
+      (* the sketch hashes the pre-action embedding (the state the
+         policy decided in); the table folds the step itself *)
+      Obs.Coverage.observe_state coverage !state;
+      Obs.Coverage.observe coverage ~action ~pos:!ep_pos
+        ~reward:res.Environment.reward ~r_binsize:res.Environment.r_binsize
+        ~r_throughput:res.Environment.r_throughput;
       incr ep_pos;
       Rl.Replay.push ~step:!step replay
         { Rl.Replay.state = !state;
@@ -316,6 +350,7 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
         in
         Array.fill win_actions 0 (Array.length win_actions) 0;
         List.iter on_alert (Obs.Health.check watchdog sample);
+        Obs.Coverage.sample coverage ~step:!step;
         on_progress
           { step = !step;
             episode = !episode;
@@ -364,4 +399,5 @@ let train ?(hp = paper) ?(on_progress = fun (_ : progress) -> ())
     episodes = !episode;
     final_mean_reward = window_mean reward_window;
     attrib;
+    coverage;
     alerts = Obs.Health.alerts watchdog }

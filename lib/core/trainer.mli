@@ -61,9 +61,27 @@ type result = {
   attrib : Posetrl_rl.Attrib.t;
   (** streaming per-action reward attribution over the whole run;
       byte-identical across [--jobs] settings *)
+  coverage : Posetrl_obs.Coverage.t;
+  (** streaming decision-space coverage (ODG node/edge visits,
+      transition matrix, entropy series, state sketch); same
+      determinism contract as [attrib] *)
   alerts : Posetrl_obs.Health.alert list;
   (** watchdog alerts fired during the run, oldest first *)
 }
+
+val coverage_universe :
+  Posetrl_odg.Action_space.t -> Posetrl_obs.Coverage.universe
+(** The decision-space universe of an action space over the default
+    ODG, packaged for {!Posetrl_obs.Coverage}. *)
+
+val make_coverage :
+  ?registry:Posetrl_obs.Metrics.t ->
+  Posetrl_odg.Action_space.t -> Posetrl_obs.Coverage.t
+(** A fresh coverage table over {!coverage_universe} with the IR2Vec
+    state width — what {!train} builds when no [coverage] is passed.
+    The CLI builds one itself (with the global registry) so the same
+    table can both feed training and back the live [/coverage]
+    endpoint. *)
 
 val train :
   ?hp:hyperparams ->
@@ -73,6 +91,7 @@ val train :
   ?health:Posetrl_obs.Health.config ->
   ?on_alert:(Posetrl_obs.Health.alert -> unit) ->
   ?inject_nan_at:int ->
+  ?coverage:Posetrl_obs.Coverage.t ->
   ?pool:Posetrl_support.Pool.t ->
   ?verify:bool ->
   ?sanitize:Posetrl_analysis.Sanitize.level ->

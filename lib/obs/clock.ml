@@ -1,16 +1,29 @@
 (* Pluggable time source. Production uses the wall clock; tests install
-   a hand-advanced fake so span durations are exact. *)
+   a hand-advanced fake so span durations are exact.
+
+   Every install also mirrors the source into [Posetrl_support.Pool]'s
+   clock ref: pool timing stamps are taken on worker domains (support
+   can't depend on obs), but they must tick on the same clock as the
+   spans and pool-utilization math built on top of them. *)
 
 let real () = Unix.gettimeofday ()
 let source = ref real
 let now () = !source ()
-let set f = source := f
-let reset () = source := real
+
+let set f =
+  source := f;
+  Posetrl_support.Pool.clock := f
+
+let reset () =
+  source := real;
+  Posetrl_support.Pool.clock := Unix.gettimeofday
 
 let with_fake ?(start = 0.0) f =
   let t = ref start in
   let saved = !source in
-  source := (fun () -> !t);
+  set (fun () -> !t);
   Fun.protect
-    ~finally:(fun () -> source := saved)
+    ~finally:(fun () ->
+      source := saved;
+      Posetrl_support.Pool.clock := saved)
     (fun () -> f (fun d -> t := !t +. d))

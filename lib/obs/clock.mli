@@ -2,7 +2,10 @@
 
     Spans and timing histograms read [now ()], which defaults to the
     wall clock but can be swapped for a deterministic fake in tests
-    ([with_fake]) so duration and self-time accounting is exact. *)
+    ([with_fake]) so duration and self-time accounting is exact.
+    Installing a source also mirrors it into [Posetrl_support.Pool]'s
+    clock ref, so pool timing stamps (taken on worker domains) tick on
+    the same clock. *)
 
 val now : unit -> float
 (** Current time in seconds. Monotone under the default source for the

@@ -1,0 +1,600 @@
+(* Decision-space coverage over the ODG (which part of the graph the
+   policy actually explores, not just how well it scores).
+
+   The trainer feeds every environment step's (action, position, reward
+   split) into a table keyed by a fixed *universe* — the ODG nodes, the
+   ODG edge set and each action's pass path mapped to node indices
+   (built by [Posetrl_odg.Action_space.coverage_universe]; this module
+   takes plain arrays so the obs layer keeps its no-odg dependency).
+   Per step the table credits node visits along the action's path, the
+   intra-path ODG edges plus the junction edge from the previous
+   action's last node, the action×action transition matrix, and the
+   cumulative action histogram that drives the Shannon entropy series.
+
+   Everything except the state sketch is a pure fold over the in-order
+   step stream, so the table is byte-deterministic per seed — including
+   under the domain pool (DESIGN.md §9) — and [of_records] recomputes
+   it float-exactly from the run ledger's episode/tick records, which
+   the tests hold equal to the streaming table. The state sketch
+   (seeded sign-projection buckets over the IR2Vec embedding) is
+   jobs-deterministic too, but states are not persisted in the ledger,
+   so it is excluded from [equal] and checked via the --jobs 1/4
+   coverage.json byte-compare instead.
+
+   Metric exposure is opt-in per table ([registry]): the trainer's
+   table publishes posetrl.coverage.* gauges on [sample]; recomputed
+   tables (tests, `posetrl coverage`) stay silent. *)
+
+module Rng = Posetrl_support.Rng
+
+type universe = {
+  nodes : string array;
+  edges : (int * int) array;
+  action_paths : int array array;
+}
+
+type edge_cell = {
+  mutable e_count : int;
+  mutable e_reward : float;
+  mutable e_binsize : float;
+  mutable e_throughput : float;
+}
+
+type metric_handles = {
+  m_edge_pct : Metrics.gauge;
+  m_entropy : Metrics.gauge;
+  m_edges_visited : Metrics.gauge;
+  m_nodes_visited : Metrics.gauge;
+}
+
+type t = {
+  universe : universe;
+  n_actions : int;
+  node_counts : int array;
+  edge_cells : edge_cell array;
+  edge_index : (int * int, int) Hashtbl.t;
+  transitions : int array array; (* prev action × next action *)
+  action_counts : int array;
+  mutable steps : int;
+  mutable episodes : int;
+  mutable prev_action : int; (* -1 at episode boundaries *)
+  mutable series_rev : (int * float * float) list; (* (step, edge%, entropy) *)
+  sketch_bits : int;
+  sketch_seed : int;
+  state_dim : int;
+  proj : float array array; (* sketch_bits × state_dim, seeded *)
+  sketch : int array; (* 2^sketch_bits bucket counts *)
+  metrics : metric_handles option;
+}
+
+let fresh_edge_cell () =
+  { e_count = 0; e_reward = 0.0; e_binsize = 0.0; e_throughput = 0.0 }
+
+let create ?registry ?(sketch_bits = 6) ?(sketch_seed = 9461)
+    ?(state_dim = 300) (u : universe) : t =
+  let n_nodes = Array.length u.nodes in
+  let n_actions = Array.length u.action_paths in
+  if n_actions = 0 then invalid_arg "Coverage.create: empty action set";
+  Array.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n_nodes || b < 0 || b >= n_nodes then
+        invalid_arg "Coverage.create: edge endpoint out of range")
+    u.edges;
+  Array.iter
+    (Array.iter (fun i ->
+         if i < 0 || i >= n_nodes then
+           invalid_arg "Coverage.create: action path node out of range"))
+    u.action_paths;
+  let sketch_bits = max 1 (min 12 sketch_bits) in
+  let state_dim = max 1 state_dim in
+  let edge_index = Hashtbl.create (max 16 (2 * Array.length u.edges)) in
+  Array.iteri
+    (fun i e -> if not (Hashtbl.mem edge_index e) then Hashtbl.add edge_index e i)
+    u.edges;
+  (* fixed seeded projection, filled in row-major order so the sketch
+     is identical for any two tables built with the same seed *)
+  let rng = Rng.create sketch_seed in
+  let proj = Array.make_matrix sketch_bits state_dim 0.0 in
+  for i = 0 to sketch_bits - 1 do
+    for d = 0 to state_dim - 1 do
+      proj.(i).(d) <- Rng.normal rng
+    done
+  done;
+  let metrics =
+    Option.map
+      (fun r ->
+        { m_edge_pct = Metrics.gauge ~r "posetrl.coverage.edge_pct";
+          m_entropy = Metrics.gauge ~r "posetrl.coverage.entropy_bits";
+          m_edges_visited = Metrics.gauge ~r "posetrl.coverage.edges_visited";
+          m_nodes_visited = Metrics.gauge ~r "posetrl.coverage.nodes_visited" })
+      registry
+  in
+  { universe = u;
+    n_actions;
+    node_counts = Array.make n_nodes 0;
+    edge_cells = Array.init (Array.length u.edges) (fun _ -> fresh_edge_cell ());
+    edge_index;
+    transitions = Array.make_matrix n_actions n_actions 0;
+    action_counts = Array.make n_actions 0;
+    steps = 0;
+    episodes = 0;
+    prev_action = -1;
+    series_rev = [];
+    sketch_bits;
+    sketch_seed;
+    state_dim;
+    proj;
+    sketch = Array.make (1 lsl sketch_bits) 0;
+    metrics }
+
+let universe (t : t) = t.universe
+let n_actions (t : t) = t.n_actions
+let steps (t : t) = t.steps
+let episodes (t : t) = t.episodes
+let node_count (t : t) = Array.length t.universe.nodes
+let edge_count (t : t) = Array.length t.universe.edges
+let node_name (t : t) (i : int) = t.universe.nodes.(i)
+let node_visits (t : t) (i : int) = t.node_counts.(i)
+let action_count (t : t) (a : int) = t.action_counts.(a)
+let transition (t : t) ~(from : int) ~(to_ : int) = t.transitions.(from).(to_)
+
+let nodes_visited (t : t) =
+  Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 t.node_counts
+
+let edges_visited (t : t) =
+  Array.fold_left
+    (fun acc c -> if c.e_count > 0 then acc + 1 else acc)
+    0 t.edge_cells
+
+let edge_pct (t : t) =
+  let total = Array.length t.universe.edges in
+  if total = 0 then 0.0
+  else 100.0 *. float_of_int (edges_visited t) /. float_of_int total
+
+(* Shannon entropy (bits) of the cumulative action distribution: log2 34
+   ≈ 5.09 for a uniform policy over the ODG space, → 0 on collapse. *)
+let entropy (t : t) =
+  if t.steps = 0 then 0.0
+  else begin
+    let total = float_of_int t.steps in
+    Array.fold_left
+      (fun acc n ->
+        if n = 0 then acc
+        else begin
+          let p = float_of_int n /. total in
+          acc -. (p *. Float.log2 p)
+        end)
+      0.0 t.action_counts
+  end
+
+let credit_edge (t : t) u v ~reward ~r_binsize ~r_throughput =
+  match Hashtbl.find_opt t.edge_index (u, v) with
+  | None -> () (* consecutive passes that are not an ODG edge *)
+  | Some i ->
+    let c = t.edge_cells.(i) in
+    c.e_count <- c.e_count + 1;
+    c.e_reward <- c.e_reward +. reward;
+    c.e_binsize <- c.e_binsize +. r_binsize;
+    c.e_throughput <- c.e_throughput +. r_throughput
+
+let observe (t : t) ~(action : int) ~(pos : int) ~(reward : float)
+    ~(r_binsize : float) ~(r_throughput : float) : unit =
+  if action < 0 || action >= t.n_actions then
+    invalid_arg "Coverage.observe: action out of range";
+  if pos = 0 then begin
+    t.prev_action <- -1;
+    t.episodes <- t.episodes + 1
+  end;
+  let path = t.universe.action_paths.(action) in
+  if t.prev_action >= 0 then begin
+    t.transitions.(t.prev_action).(action) <-
+      t.transitions.(t.prev_action).(action) + 1;
+    (* junction edge: the previous sub-sequence's last pass into this
+       sub-sequence's first pass, when that hop exists in the ODG *)
+    let prev_path = t.universe.action_paths.(t.prev_action) in
+    if Array.length prev_path > 0 && Array.length path > 0 then
+      credit_edge t
+        prev_path.(Array.length prev_path - 1)
+        path.(0) ~reward ~r_binsize ~r_throughput
+  end;
+  t.action_counts.(action) <- t.action_counts.(action) + 1;
+  Array.iter (fun n -> t.node_counts.(n) <- t.node_counts.(n) + 1) path;
+  for i = 0 to Array.length path - 2 do
+    credit_edge t path.(i) path.(i + 1) ~reward ~r_binsize ~r_throughput
+  done;
+  t.prev_action <- action;
+  t.steps <- t.steps + 1
+
+(* Bucketed state-visitation sketch: the sign pattern of [sketch_bits]
+   fixed random projections of the (pre-action) IR2Vec embedding picks
+   one of 2^bits buckets. Same seed + same step stream → same sketch. *)
+let observe_state (t : t) (state : float array) : unit =
+  let d = min t.state_dim (Array.length state) in
+  let idx = ref 0 in
+  for i = 0 to t.sketch_bits - 1 do
+    let row = t.proj.(i) in
+    let dot = ref 0.0 in
+    for j = 0 to d - 1 do
+      dot := !dot +. (row.(j) *. state.(j))
+    done;
+    if !dot >= 0.0 then idx := !idx lor (1 lsl i)
+  done;
+  t.sketch.(!idx) <- t.sketch.(!idx) + 1
+
+let sketch_bits (t : t) = t.sketch_bits
+let sketch_buckets (t : t) = Array.copy t.sketch
+
+let sketch_occupied (t : t) =
+  Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 t.sketch
+
+let sample (t : t) ~(step : int) : unit =
+  let pct = edge_pct t in
+  let ent = entropy t in
+  t.series_rev <- (step, pct, ent) :: t.series_rev;
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.set m.m_edge_pct pct;
+    Metrics.set m.m_entropy ent;
+    Metrics.set m.m_edges_visited (float_of_int (edges_visited t));
+    Metrics.set m.m_nodes_visited (float_of_int (nodes_visited t))
+
+let series (t : t) = List.rev t.series_rev
+
+(* Ranked tables for the CLI; ties break on universe index so the
+   ordering is deterministic. *)
+let top_edges (t : t) ~(k : int) :
+    (int * int * int * float * float * float) list =
+  Array.to_list (Array.mapi (fun i c -> (i, c)) t.edge_cells)
+  |> List.filter (fun (_, c) -> c.e_count > 0)
+  |> List.sort (fun (i, a) (j, b) ->
+         if a.e_count <> b.e_count then compare b.e_count a.e_count
+         else compare i j)
+  |> List.filteri (fun rank _ -> rank < k)
+  |> List.map (fun (i, c) ->
+         let u, v = t.universe.edges.(i) in
+         (u, v, c.e_count, c.e_reward, c.e_binsize, c.e_throughput))
+
+let top_transitions (t : t) ~(k : int) : (int * int * int) list =
+  let xs = ref [] in
+  for i = t.n_actions - 1 downto 0 do
+    for j = t.n_actions - 1 downto 0 do
+      if t.transitions.(i).(j) > 0 then
+        xs := (i, j, t.transitions.(i).(j)) :: !xs
+    done
+  done;
+  !xs
+  |> List.sort (fun (i1, j1, a) (i2, j2, b) ->
+         if a <> b then compare b a else compare (i1, j1) (i2, j2))
+  |> List.filteri (fun rank _ -> rank < k)
+
+(* Exact structural equality over everything recomputable from the run
+   ledger — float-for-float, not approximate. The sketch (and its
+   projection) is deliberately excluded: states are not persisted, so a
+   ledger recompute cannot rebuild it; its determinism is covered by
+   the --jobs 1/4 coverage.json byte-compare. [prev_action] is
+   mid-stream cursor state, not a result, and is also excluded so a
+   JSON round-trip compares equal. *)
+let equal (a : t) (b : t) : bool =
+  a.n_actions = b.n_actions
+  && a.universe.nodes = b.universe.nodes
+  && a.universe.edges = b.universe.edges
+  && a.universe.action_paths = b.universe.action_paths
+  && a.steps = b.steps && a.episodes = b.episodes
+  && a.node_counts = b.node_counts
+  && a.action_counts = b.action_counts
+  && a.transitions = b.transitions
+  && Array.for_all2
+       (fun (x : edge_cell) (y : edge_cell) ->
+         x.e_count = y.e_count
+         && Float.equal x.e_reward y.e_reward
+         && Float.equal x.e_binsize y.e_binsize
+         && Float.equal x.e_throughput y.e_throughput)
+       a.edge_cells b.edge_cells
+  && List.length a.series_rev = List.length b.series_rev
+  && List.for_all2
+       (fun (s1, p1, e1) (s2, p2, e2) ->
+         s1 = s2 && Float.equal p1 p2 && Float.equal e1 e2)
+       a.series_rev b.series_rev
+
+(* --- persistence (coverage.json) ----------------------------------------- *)
+
+let to_json (t : t) : Json.t =
+  let open Json in
+  let ints xs = Arr (Array.to_list (Array.map (fun n -> Int n) xs)) in
+  Obj
+    [ ("kind", Str "coverage");
+      ("n_actions", Int t.n_actions);
+      ("steps", Int t.steps);
+      ("episodes", Int t.episodes);
+      ("edge_pct", Float (edge_pct t));
+      ("entropy_bits", Float (entropy t));
+      ("nodes_visited", Int (nodes_visited t));
+      ("edges_visited", Int (edges_visited t));
+      ("universe",
+       Obj
+         [ ("nodes",
+            Arr (Array.to_list (Array.map (fun n -> Str n) t.universe.nodes)));
+           ("edges",
+            Arr
+              (Array.to_list
+                 (Array.map (fun (u, v) -> Arr [ Int u; Int v ]) t.universe.edges)));
+           ("action_paths",
+            Arr (Array.to_list (Array.map (fun p -> ints p) t.universe.action_paths)))
+         ]);
+      ("node_counts", ints t.node_counts);
+      ("action_counts", ints t.action_counts);
+      ("edges",
+       Arr
+         (List.init (Array.length t.edge_cells) (fun i ->
+              let u, v = t.universe.edges.(i) in
+              let c = t.edge_cells.(i) in
+              Obj
+                [ ("u", Int u);
+                  ("v", Int v);
+                  ("count", Int c.e_count);
+                  ("reward_total", Float c.e_reward);
+                  ("r_binsize_total", Float c.e_binsize);
+                  ("r_throughput_total", Float c.e_throughput) ])));
+      ("transitions", Arr (Array.to_list (Array.map (fun row -> ints row) t.transitions)));
+      ("series",
+       Arr
+         (List.map
+            (fun (s, pct, ent) ->
+              Obj [ ("step", Int s); ("edge_pct", Float pct); ("entropy", Float ent) ])
+            (series t)));
+      ("sketch",
+       Obj
+         [ ("bits", Int t.sketch_bits);
+           ("seed", Int t.sketch_seed);
+           ("state_dim", Int t.state_dim);
+           ("buckets", ints t.sketch) ]) ]
+
+(* Robust reader: anything structurally off yields [None], never an
+   exception — coverage.json is ledger data and may be torn or from a
+   different version. *)
+let of_json (doc : Json.t) : t option =
+  let open Json in
+  let int_of = function
+    | Int i -> Some i
+    | Float f -> Some (int_of_float f)
+    | _ -> None
+  in
+  let float_of = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | Null -> Some Float.nan (* non-finite floats serialize as null *)
+    | _ -> None
+  in
+  let member k j = Runlog.field k j in
+  let int_array = function
+    | Some (Arr xs) ->
+      let out = List.filter_map int_of xs in
+      if List.length out = List.length xs then Some (Array.of_list out) else None
+    | _ -> None
+  in
+  match
+    ( Runlog.str "kind" doc,
+      member "universe" doc,
+      Option.bind (member "steps" doc) int_of,
+      Option.bind (member "episodes" doc) int_of )
+  with
+  | Some "coverage", Some uni, Some steps, Some episodes -> (
+    let nodes =
+      match member "nodes" uni with
+      | Some (Arr xs) ->
+        let out = List.filter_map (function Str s -> Some s | _ -> None) xs in
+        if List.length out = List.length xs then Some (Array.of_list out) else None
+      | _ -> None
+    in
+    let edges =
+      match member "edges" uni with
+      | Some (Arr xs) ->
+        let out =
+          List.filter_map
+            (function
+              | Arr [ a; b ] -> (
+                match (int_of a, int_of b) with
+                | Some u, Some v -> Some (u, v)
+                | _ -> None)
+              | _ -> None)
+            xs
+        in
+        if List.length out = List.length xs then Some (Array.of_list out) else None
+      | _ -> None
+    in
+    let paths =
+      match member "action_paths" uni with
+      | Some (Arr xs) ->
+        let out = List.filter_map (fun p -> int_array (Some p)) xs in
+        if List.length out = List.length xs then Some (Array.of_list out) else None
+      | _ -> None
+    in
+    let sketch = member "sketch" doc in
+    let sk k = Option.bind (Option.bind sketch (member k)) int_of in
+    match (nodes, edges, paths, sk "bits", sk "seed", sk "state_dim") with
+    | Some nodes, Some edges, Some action_paths, Some bits, Some seed, Some dim
+      when Array.length action_paths > 0 -> (
+      match
+        create ~sketch_bits:bits ~sketch_seed:seed ~state_dim:dim
+          { nodes; edges; action_paths }
+      with
+      | exception Invalid_argument _ -> None
+      | t -> (
+        t.steps <- steps;
+        t.episodes <- episodes;
+        let ok = ref true in
+        let fill_ints dst = function
+          | Some src when Array.length src = Array.length dst ->
+            Array.blit src 0 dst 0 (Array.length src)
+          | _ -> ok := false
+        in
+        fill_ints t.node_counts (int_array (member "node_counts" doc));
+        fill_ints t.action_counts (int_array (member "action_counts" doc));
+        (match member "transitions" doc with
+         | Some (Arr rows) when List.length rows = t.n_actions ->
+           List.iteri (fun i row -> fill_ints t.transitions.(i) (int_array (Some row))) rows
+         | _ -> ok := false);
+        (match member "edges" doc with
+         | Some (Arr cells) when List.length cells = Array.length t.edge_cells ->
+           List.iteri
+             (fun i cell ->
+               match
+                 ( Option.bind (member "count" cell) int_of,
+                   Option.bind (member "reward_total" cell) float_of,
+                   Option.bind (member "r_binsize_total" cell) float_of,
+                   Option.bind (member "r_throughput_total" cell) float_of )
+               with
+               | Some count, Some r, Some rb, Some rt ->
+                 let c = t.edge_cells.(i) in
+                 c.e_count <- count;
+                 c.e_reward <- r;
+                 c.e_binsize <- rb;
+                 c.e_throughput <- rt
+               | _ -> ok := false)
+             cells
+         | _ -> ok := false);
+        (match member "series" doc with
+         | Some (Arr points) ->
+           List.iter
+             (fun p ->
+               match
+                 ( Option.bind (member "step" p) int_of,
+                   Option.bind (member "edge_pct" p) float_of,
+                   Option.bind (member "entropy" p) float_of )
+               with
+               | Some s, Some pct, Some ent ->
+                 t.series_rev <- (s, pct, ent) :: t.series_rev
+               | _ -> ok := false)
+             points
+         | _ -> ok := false);
+        fill_ints t.sketch (int_array (Option.bind sketch (member "buckets")));
+        if !ok then Some t else None))
+    | _ -> None)
+  | _ -> None
+
+(* --- brute-force recompute from the run ledger ---------------------------- *)
+
+(* One episode's step stream out of a progress.jsonl "episode" record:
+   the "actions" array zipped with the per-step "steps" reward triples
+   (same schema Attrib replays). Pre-health ledgers yield []. *)
+let episode_steps (record : Json.t) : (int * float * float * float) list =
+  let open Json in
+  match (Runlog.field "actions" record, Runlog.field "steps" record) with
+  | Some (Arr actions), Some (Arr steps)
+    when List.length actions = List.length steps ->
+    List.map2
+      (fun a s ->
+        match a with
+        | Int action ->
+          let f k = Option.value ~default:0.0 (Runlog.num k s) in
+          (action, f "r", f "rb", f "rt")
+        | _ -> (-1, 0.0, 0.0, 0.0))
+      actions steps
+    |> List.filter (fun (a, _, _, _) -> a >= 0)
+  | _ -> []
+
+(* Replay the ledger against the same arithmetic as the streaming fold.
+   Episode records land in the file *after* any tick record emitted
+   mid-episode, so the flattened step stream (each step's global index
+   recovered from the episode's end step) is merged with the tick steps
+   by index: a tick at step S samples after every step with index ≤ S,
+   exactly as the trainer does. *)
+let of_records ?sketch_bits ?sketch_seed ?state_dim ~(like : universe)
+    (records : Json.t list) : t =
+  let t = create ?sketch_bits ?sketch_seed ?state_dim like in
+  let flat = ref [] in
+  let ticks = ref [] in
+  List.iter
+    (fun r ->
+      match Runlog.str "kind" r with
+      | Some "episode" ->
+        let steps = episode_steps r in
+        let n = List.length steps in
+        let ep_end =
+          match Runlog.num "step" r with
+          | Some s -> int_of_float s
+          | None -> 0
+        in
+        List.iteri
+          (fun i (action, rw, rb, rt) ->
+            flat := (ep_end - n + 1 + i, i, action, rw, rb, rt) :: !flat)
+          steps
+      | Some "tick" -> (
+        match Runlog.num "step" r with
+        | Some s -> ticks := int_of_float s :: !ticks
+        | None -> ())
+      | _ -> ())
+    records;
+  let obs (_, pos, action, reward, r_binsize, r_throughput) =
+    if action >= 0 && action < t.n_actions then
+      observe t ~action ~pos ~reward ~r_binsize ~r_throughput
+  in
+  let rec split_le s acc = function
+    | ((g, _, _, _, _, _) as x) :: rest when g <= s -> split_le s (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go flat = function
+    | [] -> List.iter obs flat
+    | s :: rest ->
+      let now, later = split_le s [] flat in
+      List.iter obs now;
+      sample t ~step:s;
+      go later rest
+  in
+  go (List.rev !flat) (List.rev !ticks);
+  t
+
+(* --- heat-annotated ODG rendering ----------------------------------------- *)
+
+(* Same structure as [Posetrl_odg.Graph.to_dot] (header, critical-node
+   styling by degree ≥ k), with visit heat on the edges: colour ramps
+   grey → red and penwidth grows with log-scaled count; edges in the
+   universe that training never crossed render dashed light-grey. *)
+let to_dot ?(k = 8) (t : t) : string =
+  let u = t.universe in
+  let deg = Array.make (Array.length u.nodes) 0 in
+  Array.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    u.edges;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph odg {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun i n ->
+      if deg.(i) >= k then
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\" [shape=doublecircle,style=bold];\n" n)
+      else Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" n))
+    u.nodes;
+  let max_c = Array.fold_left (fun acc c -> max acc c.e_count) 0 t.edge_cells in
+  Array.iteri
+    (fun i (a, b) ->
+      let c = t.edge_cells.(i).e_count in
+      if c = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\" -> \"%s\" [style=dashed,color=\"#cccccc\"];\n"
+             u.nodes.(a) u.nodes.(b))
+      else begin
+        let frac =
+          if max_c <= 0 then 0.0
+          else log (1.0 +. float_of_int c) /. log (1.0 +. float_of_int max_c)
+        in
+        let lerp lo hi =
+          int_of_float (float_of_int lo +. (frac *. float_of_int (hi - lo)))
+        in
+        let color =
+          Printf.sprintf "#%02x%02x%02x" (lerp 0x96 0xcc) (lerp 0x96 0x00)
+            (lerp 0x96 0x00)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  \"%s\" -> \"%s\" [color=\"%s\",penwidth=%.2f,label=\"%d\"];\n"
+             u.nodes.(a) u.nodes.(b) color
+             (1.0 +. (3.0 *. frac))
+             c)
+      end)
+    u.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -29,8 +29,9 @@ let last_of (xs : (float * float) list) : float option =
 
 let fmt_opt fmt = function Some v -> Printf.sprintf fmt v | None -> "-"
 
-let render ?(width = 60) ?(alerts : Json.t list option = None) ~(id : string)
-    ~(manifest : Json.t) ~(records : Json.t list) ~(dropped : int) () : string =
+let render ?(width = 60) ?(alerts : Json.t list option = None)
+    ?(coverage : Json.t option = None) ~(id : string) ~(manifest : Json.t)
+    ~(records : Json.t list) ~(dropped : int) () : string =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let status = Option.value ~default:"?" (Runlog.str "status" manifest) in
@@ -81,6 +82,29 @@ let render ?(width = 60) ?(alerts : Json.t list option = None) ~(id : string)
          let step = Option.value ~default:(-1.0) (Runlog.num "step" a) in
          add "  \027[31m! %-16s step %-8.0f %s\027[0m\n" rule step msg)
        shown);
+  (* Coverage row: the run's coverage.json summary (two states — the
+     document is absent on pre-coverage ledgers). *)
+  (match coverage with
+   | None -> add "coverage (not recorded by this run)\n"
+   | Some doc ->
+     let n k = Runlog.num k doc in
+     add "coverage edges %s/%s (%s%%)  entropy %s bits  nodes %s/%s\n"
+       (fmt_opt "%.0f" (n "edges_visited"))
+       (match Runlog.field "universe" doc with
+        | Some u ->
+          (match Runlog.field "edges" u with
+           | Some (Json.Arr es) -> string_of_int (List.length es)
+           | _ -> "-")
+        | None -> "-")
+       (fmt_opt "%.1f" (n "edge_pct"))
+       (fmt_opt "%.2f" (n "entropy_bits"))
+       (fmt_opt "%.0f" (n "nodes_visited"))
+       (match Runlog.field "universe" doc with
+        | Some u ->
+          (match Runlog.field "nodes" u with
+           | Some (Json.Arr ns) -> string_of_int (List.length ns)
+           | _ -> "-")
+        | None -> "-"));
   let curve label pts =
     match pts with
     | [] -> ()

@@ -10,6 +10,7 @@ val action_histogram : Json.t list -> (int * int) list
 val render :
   ?width:int ->
   ?alerts:Json.t list option ->
+  ?coverage:Json.t option ->
   id:string ->
   manifest:Json.t ->
   records:Json.t list ->
@@ -17,12 +18,16 @@ val render :
   unit ->
   string
 (** One frame: run header (status, step/episode/ε/loss from the latest
-    tick), a watchdog-alerts row, reward / reward-component / ε / loss
-    sparklines, and the action-selection histogram. [width] bounds the
-    sparkline columns (default 60). Renders a clear placeholder when
-    [records] is empty.
+    tick), a watchdog-alerts row, a decision-space coverage row, reward
+    / reward-component / ε / loss sparklines, and the action-selection
+    histogram. [width] bounds the sparkline columns (default 60).
+    Renders a clear placeholder when [records] is empty.
 
     [alerts] is the result of {!Run.read_alerts} (records only):
     [None] — the run predates the watchdog, rendered as a
     "(not recorded)" placeholder, never a blank or garbled row;
-    [Some []] — healthy; [Some l] — red rows for the latest alerts. *)
+    [Some []] — healthy; [Some l] — red rows for the latest alerts.
+
+    [coverage] is the result of {!Run.read_coverage}: [None] — absent
+    or corrupt, rendered as "(not recorded)"; [Some doc] — the edge /
+    entropy / node summary of the coverage document. *)

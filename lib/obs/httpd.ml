@@ -80,12 +80,17 @@ let run_summary (i : Run.info) : Json.t =
 let telemetry_handler ?(registry = Metrics.global)
     ?(runs_root = Run.default_root)
     ?(alerts : unit -> Json.t list = fun () -> [])
+    ?(coverage : unit -> Json.t option = fun () -> None)
     ~(health : unit -> Json.t) () : handler =
  fun (req : request) ->
   match String.split_on_char '/' req.path with
   | [ ""; "metrics" ] -> response (Expo.scrape ~r:registry ())
   | [ ""; "healthz" ] -> json_response (health ())
   | [ ""; "alerts" ] -> json_response (Json.Arr (alerts ()))
+  | [ ""; "coverage" ] ->
+    (match coverage () with
+     | Some doc -> json_response doc
+     | None -> error_response 404 "no coverage table for this run")
   | [ ""; "runs" ] ->
     json_response (Json.Arr (List.map run_summary (Run.list_runs ~root:runs_root ())))
   | [ ""; "runs"; id; "progress" ] ->

@@ -42,6 +42,7 @@ val telemetry_handler :
   ?registry:Metrics.t ->
   ?runs_root:string ->
   ?alerts:(unit -> Json.t list) ->
+  ?coverage:(unit -> Json.t option) ->
   health:(unit -> Json.t) ->
   unit ->
   handler
@@ -51,6 +52,8 @@ val telemetry_handler :
       current step/episode...);
     - [GET /alerts] — JSON array of the [alerts] thunk's records
       (watchdog alerts fired so far this run; [[]] by default);
+    - [GET /coverage] — the [coverage] thunk's document (the live
+      {!Coverage} table; 404 when the thunk yields [None], the default);
     - [GET /runs] — JSON array of the {!Run} ledger under [runs_root];
     - [GET /runs/:id/progress] — that run's progress records;
     - anything else — a JSON 404. *)

@@ -12,6 +12,7 @@ val eval_path : string -> string
 val trace_path : string -> string
 val attrib_path : string -> string
 val alerts_path : string -> string
+val coverage_path : string -> string
 (** Paths of the ledger files inside a run directory. *)
 
 (** {1 Writing side} *)
@@ -42,6 +43,10 @@ val write_eval : t -> Json.t -> unit
 val write_attrib : t -> Json.t -> unit
 (** Write [attrib.json] (atomic replace) — normally
     [Posetrl_rl.Attrib.to_json] of the trainer's attribution table. *)
+
+val write_coverage : t -> Json.t -> unit
+(** Write [coverage.json] (atomic replace) — normally
+    [Coverage.to_json] of the trainer's (or eval's) coverage table. *)
 
 val alert : t -> Json.t -> unit
 (** Append a watchdog alert record to [alerts.jsonl] and flush
@@ -87,6 +92,10 @@ val read_attrib : info -> Json.t option
 (** The run's attribution document. Never raises: [None] means the file
     is absent (run predates the watchdog layer) {e or} corrupt — either
     way the caller renders "no data". *)
+
+val read_coverage : info -> Json.t option
+(** The run's coverage document. Never raises: [None] means absent (run
+    predates the coverage layer) {e or} corrupt. *)
 
 val read_alerts : info -> (Json.t list * int) option
 (** The run's alert records plus the torn-line count. Never raises:

@@ -104,6 +104,43 @@ let n_actions (t : t) = Array.length t.actions
 
 let action (t : t) (idx : int) : string list = t.actions.(idx)
 
+(* The decision-space universe a coverage table counts against, as
+   plain arrays (the obs layer, which consumes this, does not depend on
+   posetrl_odg): graph nodes in their canonical sorted order — so the
+   index mapping is stable run to run — followed by any extra passes
+   the action space references that the graph lacks, in first-appearance
+   order; the graph's edge set as index pairs in SMap/SSet iteration
+   (i.e. sorted) order; each action's pass list mapped to node
+   indices. *)
+let coverage_universe (t : t) (g : Graph.t) :
+    string array * (int * int) array * int array array =
+  let index = Hashtbl.create 64 in
+  let names = ref [] in
+  let n = ref 0 in
+  let intern name =
+    match Hashtbl.find_opt index name with
+    | Some i -> i
+    | None ->
+      let i = !n in
+      Hashtbl.add index name i;
+      names := name :: !names;
+      incr n;
+      i
+  in
+  List.iter (fun name -> ignore (intern name)) g.Graph.nodes;
+  Array.iter (List.iter (fun name -> ignore (intern name))) t.actions;
+  let edges = ref [] in
+  List.iter
+    (fun u ->
+      Graph.SSet.iter
+        (fun v -> edges := (intern u, intern v) :: !edges)
+        (Graph.successors g u))
+    g.Graph.nodes;
+  let paths = Array.map (fun passes -> Array.of_list (List.map intern passes)) t.actions in
+  ( Array.of_list (List.rev !names),
+    Array.of_list (List.rev !edges),
+    paths )
+
 (* Every pass named in an action space must resolve in the registry. *)
 let validate (t : t) : (unit, string) result =
   let missing =

@@ -26,6 +26,15 @@ val n_actions : t -> int
 
 val action : t -> int -> string list
 
+val coverage_universe :
+  t -> Graph.t -> string array * (int * int) array * int array array
+(** [(nodes, edges, action_paths)] — the decision-space universe for a
+    [Posetrl_obs.Coverage] table, as plain arrays: the graph's nodes in
+    canonical (sorted) order followed by any extra passes the action
+    space references, the graph's edges as index pairs, and each
+    action's pass path as node indices. Deterministic for a given
+    (action space, graph) pair. *)
+
 val validate : t -> (unit, string) result
 (** [Error names] lists any pass names that do not resolve in the pass
     registry. *)

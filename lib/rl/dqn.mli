@@ -1,0 +1,75 @@
+(** Deep Q-Network agent with the Double-DQN target (paper §II-B).
+
+    Determinism contracts this module must keep (DESIGN.md §9):
+    - all exploration randomness flows through the caller's explicit
+      {!Posetrl_support.Rng}; greedy paths consume none of it;
+    - [pool] only changes {e where} the gemm kernels' batch rows are
+      computed, never the arithmetic — training is byte-identical for
+      any [jobs] setting (row partitioning with fixed accumulation
+      order in [Posetrl_nn.Matrix]);
+    - [save_weights] prints floats as [%h] (hex), so a save/load round
+      trip is bit-exact.
+
+    The record is exposed (not abstract): the trainer snapshots and
+    restores [online] via [Mlp.copy_params], and the CI fault injection
+    pokes a single weight to exercise the NaN watchdog. *)
+
+open Posetrl_nn
+
+type t = {
+  online : Mlp.t;   (** selects actions; trained every step-batch *)
+  target : Mlp.t;   (** scores the online pick (van Hasselt fix) *)
+  optim : Optim.t;
+  gamma : float;
+  n_actions : int;
+  double : bool;    (** Double DQN (paper) vs vanilla target *)
+  pool : Posetrl_support.Pool.t option;
+  (** when set, the batch dimension of the gemm kernels is split across
+      the pool's domains — byte-identical to the serial path *)
+  mutable train_steps : int;
+}
+
+val create :
+  ?gamma:float -> ?lr:float -> ?double:bool ->
+  ?pool:Posetrl_support.Pool.t -> Posetrl_support.Rng.t ->
+  state_dim:int -> hidden:int list -> n_actions:int -> t
+(** Fresh online/target networks (identical parameters) drawn from the
+    given stream. Defaults: γ 0.99, lr 1e-4, double DQN. *)
+
+val q_values : t -> float array -> float array
+(** One online forward; refreshes the posetrl.dqn.q_mean/q_max drift
+    gauges as a side effect. *)
+
+val greedy_action : t -> float array -> int
+
+val select_action :
+  t -> Posetrl_support.Rng.t -> epsilon:float -> float array -> int
+(** ε-greedy: consumes one float from the stream, plus one int draw on
+    the explore branch — the exact draw pattern seeds replay on. *)
+
+val td_target : t -> Replay.transition -> float
+(** Per-sample TD target — the tests' reference arithmetic for
+    {!td_targets}. *)
+
+val td_targets : t -> Replay.transition array -> float array
+(** Batched TD targets (one target-network gemm sweep; two for double
+    DQN); element-for-element equal to mapping {!td_target}. *)
+
+val train_batch : t -> Replay.transition array -> float
+(** One gradient step over the batch; returns the mean Huber loss.
+    [0.0] on an empty batch. *)
+
+val weights_finite : t -> bool
+(** NaN/Inf scan of the online parameters — the watchdog's
+    weight-health vital sign. O(params), cheap at tick cadence. *)
+
+val sync_target : t -> unit
+(** Copy online parameters into the target network. *)
+
+val save_weights : t -> string -> unit
+(** Plain-text weight dump ([%h] floats — bit-exact round trip). *)
+
+val load_weights : t -> string -> unit
+(** Load weights saved by {!save_weights} into [online] and sync the
+    target.
+    @raise Failure on a bad header or architecture mismatch. *)

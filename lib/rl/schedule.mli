@@ -1,0 +1,21 @@
+(** ε-greedy annealing schedule (paper §V-A: ε linear 1.0 → 0.01 over
+    20 000 timesteps).
+
+    Determinism contract: {!value} is a pure function of the schedule
+    and the step index — no hidden state, no clock — so a training run
+    replays the same ε sequence for the same step stream. *)
+
+type t = {
+  start : float;
+  stop : float;
+  decay_steps : int;
+}
+
+val create : ?start:float -> ?stop:float -> ?decay_steps:int -> unit -> t
+(** Defaults are the paper's: 1.0 → 0.01 over 20 000 steps. *)
+
+val value : t -> int -> float
+(** [value t step] — linear interpolation from [start] at step 0 to
+    [stop] at [decay_steps], clamped at [stop] beyond. *)
+
+val paper_default : t

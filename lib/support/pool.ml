@@ -40,10 +40,17 @@ type t = {
 
 type timing = {
   t_index : int;               (* task index within the batch *)
-  t_start : float;             (* Unix.gettimeofday at task start *)
+  t_start : float;             (* clock reading at task start *)
   t_dur : float;               (* wall seconds spent in the task *)
   t_domain : int;              (* id of the domain that ran the task *)
 }
+
+(* Timing stamps read this instead of Unix.gettimeofday directly so the
+   obs layer's Clock (which owns every other timestamp) can install a
+   fake here too — pool-utilization math then becomes exactly testable.
+   Workers read it concurrently; installed sources must be domain-safe
+   (the fakes are a plain ref read, which is fine for tests). *)
+let clock : (unit -> float) ref = ref Unix.gettimeofday
 
 let jobs (t : t) = t.p_jobs
 
@@ -116,10 +123,10 @@ let map_timed (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array * timing array =
     let results =
       Array.mapi
         (fun i x ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = !clock () in
           let r = f x in
           timings.(i) <-
-            { t_index = i; t_start = t0; t_dur = Unix.gettimeofday () -. t0;
+            { t_index = i; t_start = t0; t_dur = !clock () -. t0;
               t_domain = (Domain.self () :> int) };
           r)
         xs
@@ -134,13 +141,13 @@ let map_timed (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array * timing array =
     let first_err : (int * exn * Printexc.raw_backtrace) option ref = ref None in
     let remaining = ref n in
     let task i () =
-      let t0 = Unix.gettimeofday () in
+      let t0 = !clock () in
       let outcome =
         match f xs.(i) with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
-      let dur = Unix.gettimeofday () -. t0 in
+      let dur = !clock () -. t0 in
       Mutex.lock t.p_lock;
       timings.(i) <-
         { t_index = i; t_start = t0; t_dur = dur;

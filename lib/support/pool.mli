@@ -33,10 +33,17 @@ val with_pool : ?name:string -> jobs:int -> (t -> 'a) -> 'a
 
 type timing = {
   t_index : int;   (** task index within the batch *)
-  t_start : float; (** wall-clock task start (Unix epoch seconds) *)
+  t_start : float; (** {!clock} reading at task start *)
   t_dur : float;   (** wall seconds spent in the task *)
   t_domain : int;  (** id of the domain that ran the task (0 = main) *)
 }
+
+val clock : (unit -> float) ref
+(** The time source behind {!timing} stamps, defaulting to
+    [Unix.gettimeofday]. [Posetrl_obs.Clock] mirrors its fake into this
+    so pool-utilization accounting is exactly testable; installed
+    sources are read concurrently from worker domains and must be
+    domain-safe. *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map t f xs] runs [f xs.(i)] for every [i] across the pool and

@@ -93,6 +93,26 @@ let test_map_timed () =
           Alcotest.(check bool) "duration non-negative" true (tm.Pool.t_dur >= 0.0))
         ts)
 
+(* Obs.Clock.set mirrors into Pool.clock, so under a fake clock the
+   per-task stamps are fully deterministic: the jobs=1 inline path
+   reads the clock exactly twice per task. *)
+let test_map_timed_fake_clock () =
+  Posetrl_obs.Clock.with_fake (fun advance ->
+      Pool.with_pool ~jobs:1 (fun p ->
+          let _, ts =
+            Pool.map_timed p (fun x -> advance 2.0; x) [| 1; 2 |]
+          in
+          Array.iter
+            (fun (tm : Pool.timing) ->
+              Alcotest.(check (float 1e-9)) "fake-clock task duration" 2.0
+                tm.Pool.t_dur)
+            ts;
+          Alcotest.(check (float 1e-9)) "tasks stamped back to back" 2.0
+            (ts.(1).Pool.t_start -. ts.(0).Pool.t_start)));
+  (* with_fake restored both clocks: real time flows again *)
+  Alcotest.(check bool) "wall clock restored" true
+    (Posetrl_obs.Clock.now () > 1e9)
+
 let test_empty_and_create_guard () =
   Pool.with_pool ~jobs:2 (fun p ->
       Alcotest.(check (array int)) "empty batch" [||] (Pool.map p Fun.id [||]));
@@ -120,6 +140,8 @@ let suite =
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
     Alcotest.test_case "with_pool shuts down" `Quick test_with_pool_shuts_down;
     Alcotest.test_case "map_timed" `Quick test_map_timed;
+    Alcotest.test_case "map_timed under fake clock" `Quick
+      test_map_timed_fake_clock;
     Alcotest.test_case "empty batch + create guard" `Quick
       test_empty_and_create_guard;
     Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse ]

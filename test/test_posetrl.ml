@@ -10,6 +10,7 @@ let () =
       ("runledger", Test_runledger.suite);
       ("telemetry", Test_telemetry.suite);
       ("health", Test_health.suite);
+      ("coverage", Test_coverage.suite);
       ("prof", Test_prof.suite);
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);

@@ -69,6 +69,20 @@ let test_scrape_golden () =
   Metrics.set
     (Metrics.gauge ~r ~labels:[ ("action", "3") ] "posetrl.attrib.reward_total")
     12.5;
+  (* the coverage gauges are published by a real table's [sample], not
+     set by hand: a 3-node chain, both edges visited, a 50/50 action
+     split — entropy exactly 1 bit, coverage exactly 100% *)
+  let cov =
+    Obs.Coverage.create ~registry:r
+      { Obs.Coverage.nodes = [| "a"; "b"; "c" |];
+        Obs.Coverage.edges = [| (0, 1); (1, 2) |];
+        Obs.Coverage.action_paths = [| [| 0; 1 |]; [| 2 |] |] }
+  in
+  Obs.Coverage.observe cov ~action:0 ~pos:0 ~reward:0.0 ~r_binsize:0.0
+    ~r_throughput:0.0;
+  Obs.Coverage.observe cov ~action:1 ~pos:1 ~reward:0.0 ~r_binsize:0.0
+    ~r_throughput:0.0;
+  Obs.Coverage.sample cov ~step:2;
   let expected =
     String.concat ""
       [ "# HELP posetrl_alerts_total posetrl.alerts.total\n";
@@ -77,6 +91,18 @@ let test_scrape_golden () =
         "# HELP posetrl_attrib_reward_total posetrl.attrib.reward_total\n";
         "# TYPE posetrl_attrib_reward_total gauge\n";
         "posetrl_attrib_reward_total{action=\"3\"} 12.5\n";
+        "# HELP posetrl_coverage_edge_pct posetrl.coverage.edge_pct\n";
+        "# TYPE posetrl_coverage_edge_pct gauge\n";
+        "posetrl_coverage_edge_pct 100\n";
+        "# HELP posetrl_coverage_edges_visited posetrl.coverage.edges_visited\n";
+        "# TYPE posetrl_coverage_edges_visited gauge\n";
+        "posetrl_coverage_edges_visited 2\n";
+        "# HELP posetrl_coverage_entropy_bits posetrl.coverage.entropy_bits\n";
+        "# TYPE posetrl_coverage_entropy_bits gauge\n";
+        "posetrl_coverage_entropy_bits 1\n";
+        "# HELP posetrl_coverage_nodes_visited posetrl.coverage.nodes_visited\n";
+        "# TYPE posetrl_coverage_nodes_visited gauge\n";
+        "posetrl_coverage_nodes_visited 3\n";
         "# HELP posetrl_odg_walk_len posetrl.odg.walk_len\n";
         "# TYPE posetrl_odg_walk_len histogram\n";
         "posetrl_odg_walk_len_bucket{space=\"odg\",le=\"0.1\"} 1\n";
@@ -222,6 +248,32 @@ let test_alerts_route () =
     Alcotest.(check (option string)) "nan encoded" (Some "nan")
       (Runlog.str "value" a)
   | _ -> Alcotest.fail "/alerts should serve the fired alert"
+
+let test_coverage_route () =
+  (* default thunk: the route answers 404, not a crash or empty body *)
+  let bare = Httpd.telemetry_handler ~health:(fun () -> Json.Obj []) () in
+  Alcotest.(check int) "no thunk wired is 404" 404
+    (bare { Httpd.meth = "GET"; path = "/coverage" }).Httpd.status;
+  let doc = ref None in
+  let handler =
+    Httpd.telemetry_handler
+      ~coverage:(fun () -> !doc)
+      ~health:(fun () -> Json.Obj [])
+      ()
+  in
+  let get () = handler { Httpd.meth = "GET"; path = "/coverage" } in
+  Alcotest.(check int) "thunk says None: still 404" 404 (get ()).Httpd.status;
+  doc :=
+    Some
+      (Json.Obj
+         [ ("kind", Json.Str "coverage"); ("edge_pct", Json.Float 42.5) ]);
+  let resp = get () in
+  Alcotest.(check int) "coverage 200" 200 resp.Httpd.status;
+  let served = Json.of_string resp.Httpd.body in
+  Alcotest.(check (option string)) "kind served" (Some "coverage")
+    (Runlog.str "kind" served);
+  Alcotest.(check (option (float 0.0))) "live value served" (Some 42.5)
+    (Runlog.num "edge_pct" served)
 
 (* --- Httpd: live socket -------------------------------------------------------- *)
 
@@ -408,6 +460,33 @@ let test_dashboard_alerts_row () =
   Alcotest.(check bool) "newest retained" true (contains many "step 700");
   Alcotest.(check bool) "oldest dropped" false (contains many "step 0  ")
 
+let test_dashboard_coverage_row () =
+  let manifest =
+    Json.Obj [ ("kind", Json.Str "train"); ("status", Json.Str "running") ]
+  in
+  let render coverage =
+    Obs.Dashboard.render ?coverage:(Some coverage) ~id:"r10" ~manifest
+      ~records:[] ~dropped:0 ()
+  in
+  (* pre-coverage run: an explicit placeholder, like the alerts row *)
+  Alcotest.(check bool) "placeholder for pre-coverage runs" true
+    (contains (render None) "coverage (not recorded by this run)");
+  (* a real document renders the summary straight from coverage.json *)
+  let cov =
+    Obs.Coverage.create
+      { Obs.Coverage.nodes = [| "a"; "b"; "c" |];
+        Obs.Coverage.edges = [| (0, 1); (1, 2) |];
+        Obs.Coverage.action_paths = [| [| 0; 1 |]; [| 2 |] |] }
+  in
+  Obs.Coverage.observe cov ~action:0 ~pos:0 ~reward:0.0 ~r_binsize:0.0
+    ~r_throughput:0.0;
+  let frame = render (Some (Obs.Coverage.to_json cov)) in
+  Alcotest.(check bool) "edge fraction rendered" true
+    (contains frame "coverage edges 1/2 (50.0%)");
+  Alcotest.(check bool) "entropy rendered" true (contains frame "0.00 bits");
+  Alcotest.(check bool) "node fraction rendered" true
+    (contains frame "nodes 2/3")
+
 (* --- progress-record diagnostics fields ----------------------------------------- *)
 
 let test_record_diagnostic_fields () =
@@ -443,6 +522,7 @@ let suite =
     Alcotest.test_case "render_response" `Quick test_render_response;
     Alcotest.test_case "telemetry routes" `Quick test_telemetry_routes;
     Alcotest.test_case "/alerts route" `Quick test_alerts_route;
+    Alcotest.test_case "/coverage route" `Quick test_coverage_route;
     Alcotest.test_case "live socket" `Quick test_live_socket;
     Alcotest.test_case "chrome round trip" `Quick test_chrome_roundtrip;
     Alcotest.test_case "chrome worker tracks" `Quick test_chrome_worker_tracks;
@@ -450,4 +530,6 @@ let suite =
     Alcotest.test_case "action histogram" `Quick test_action_histogram;
     Alcotest.test_case "dashboard render" `Quick test_dashboard_render;
     Alcotest.test_case "dashboard alerts row" `Quick test_dashboard_alerts_row;
+    Alcotest.test_case "dashboard coverage row" `Quick
+      test_dashboard_coverage_row;
     Alcotest.test_case "record diagnostics" `Quick test_record_diagnostic_fields ]
