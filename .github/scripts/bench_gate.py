@@ -53,6 +53,12 @@ GATE_TABLE = [
         "gated": ("coverage_observe_rel",),
         "why": "streaming decision-space coverage fold (per env step)",
     },
+    {
+        "kind": "bench-serve",
+        "gated": ("serve_cold_cost_rel", "serve_hot_cost_rel", "serve_hot_p99_rel"),
+        "why": "serve daemon per-request cost: cold (admission + batched "
+               "rollout) and hot (IR-hash cache hit) paths of POST /optimize",
+    },
 ]
 
 GATED = {row["kind"]: row["gated"] for row in GATE_TABLE}

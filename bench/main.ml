@@ -926,6 +926,172 @@ let coverage_bench () =
   Printf.printf "  coverage bench baseline written to %s\n" path
 
 (* ======================================================================== *)
+(* serve: in-process load generator against the optimization daemon         *)
+(* ======================================================================== *)
+
+(* Benches `posetrl serve --opt` end to end — socket in, admission,
+   policy rollout, JSON out — and writes BENCH_serve.json for the
+   bench-regression CI job. Two phases: a *cold* sweep where every
+   request is a distinct suite module (all cache misses, fired in
+   concurrent waves so misses coalesce into batched rollouts) and a
+   *hot* sweep re-requesting one module (all IR-hash cache hits). The
+   gated series are the calibration-relative per-request costs; the
+   hot/cold ratio is the headline the cache exists for and CI asserts
+   it stays >= 10x. *)
+let serve_bench () =
+  section_header "Serve daemon (IR-hash cache + batched inference + load gen)";
+  let open Bechamel in
+  let rows =
+    bechamel_run
+      (Test.make_grouped ~name:"serve"
+         [ Test.make ~name:"calib-dot-4k"
+             (let u = Array.init 4096 (fun i -> float_of_int i *. 1e-3) in
+              let v = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+              Staged.stage (fun () ->
+                  let acc = ref 0.0 in
+                  for i = 0 to 4095 do
+                    acc := !acc +. (u.(i) *. v.(i))
+                  done;
+                  ignore (Sys.opaque_identity !acc))) ])
+  in
+  print_bechamel_rows rows;
+  let rng = Rng.create 0 in
+  let agent =
+    Posetrl_rl.Dqn.create rng ~state_dim:C.Environment.state_dim
+      ~hidden:[ 128; 64 ]
+      ~n_actions:(O.Action_space.n_actions O.Action_space.odg)
+  in
+  let engine =
+    Posetrl_serve.Engine.create ~agent ~actions:O.Action_space.odg ~target:x86 ()
+  in
+  let srv = Posetrl_serve.Server.create ~port:0 ~engine () in
+  Fun.protect
+    ~finally:(fun () -> Posetrl_serve.Server.close srv)
+    (fun () ->
+      let port = Posetrl_serve.Server.port srv in
+      let send text =
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let raw =
+          Printf.sprintf
+            "POST /optimize HTTP/1.1\r\nHost: b\r\nContent-Length: %d\r\n\r\n%s"
+            (String.length text) text
+        in
+        ignore (Unix.write_substring sock raw 0 (String.length raw));
+        sock
+      in
+      let drain sock =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun () ->
+            let chunk = Bytes.create 65536 in
+            let eof = ref false in
+            while not !eof do
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | 0 -> eof := true
+              | _ -> ()
+            done)
+      in
+      let texts =
+        List.map
+          (fun (_, m) -> Printer.module_to_string m)
+          (W.Suites.all_programs ())
+      in
+      let wave = 8 in
+      (* cold: every request a distinct module, fired in waves of 8 so
+         concurrent misses share one batched rollout per pump *)
+      let t0 = Unix.gettimeofday () in
+      let rec waves = function
+        | [] -> ()
+        | texts ->
+          let now, rest =
+            ( List.filteri (fun i _ -> i < wave) texts,
+              List.filteri (fun i _ -> i >= wave) texts )
+          in
+          let socks = List.map send now in
+          Posetrl_serve.Server.pump srv;
+          List.iter drain socks;
+          waves rest
+      in
+      waves texts;
+      let cold_s = Unix.gettimeofday () -. t0 in
+      let n_cold = List.length texts in
+      (* hot: one module over and over — after the cold sweep every
+         request is an IR-hash cache hit, timed individually for p99 *)
+      let hot_text = List.hd texts in
+      let n_hot = 200 in
+      let lats = Array.make n_hot 0.0 in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to n_hot - 1 do
+        let t = Unix.gettimeofday () in
+        let sock = send hot_text in
+        Posetrl_serve.Server.pump srv;
+        drain sock;
+        lats.(i) <- Unix.gettimeofday () -. t
+      done;
+      let hot_s = Unix.gettimeofday () -. t0 in
+      Array.sort compare lats;
+      let hot_p50_ns = lats.(n_hot / 2) *. 1e9 in
+      let hot_p99_ns = lats.(n_hot * 99 / 100) *. 1e9 in
+      let cold_ns = cold_s /. float_of_int n_cold *. 1e9 in
+      let hot_ns = hot_s /. float_of_int n_hot *. 1e9 in
+      let cold_rps = float_of_int n_cold /. cold_s in
+      let hot_rps = float_of_int n_hot /. hot_s in
+      let hot_over_cold = if hot_ns > 0.0 then cold_ns /. hot_ns else 0.0 in
+      let cache = Posetrl_serve.Engine.cache engine in
+      let hits = Posetrl_serve.Cache.hits cache in
+      let misses = Posetrl_serve.Cache.misses cache in
+      let hit_pct =
+        100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses))
+      in
+      Printf.printf
+        "  cold (distinct modules): %d reqs in %.3fs = %.1f req/s\n\
+        \  hot  (cache hits):       %d reqs in %.3fs = %.1f req/s  \
+         p50 %.2fms  p99 %.2fms\n\
+        \  hot/cold speedup %.1fx   cache hit rate %.1f%%\n"
+        n_cold cold_s cold_rps n_hot hot_s hot_rps (hot_p50_ns /. 1e6)
+        (hot_p99_ns /. 1e6) hot_over_cold hit_pct;
+      record_headline "serve_hot_over_cold_x" (Obs.Json.Float hot_over_cold);
+      let ns suffix =
+        match
+          List.find_opt (fun (n, _) -> Filename.basename n = suffix) rows
+        with
+        | Some (_, v) -> v
+        | None -> 0.0
+      in
+      let calib = ns "calib-dot-4k" in
+      let rel v = if calib > 0.0 then v /. calib else 0.0 in
+      let path = "BENCH_serve.json" in
+      Obs.Runlog.write_json_file path
+        (Obs.Json.Obj
+           [ ("kind", Obs.Json.Str "bench-serve");
+             ("micro_ns",
+              Obs.Json.Obj
+                [ ("calib-dot-4k", Obs.Json.Float calib);
+                  ("serve-cold-req", Obs.Json.Float cold_ns);
+                  ("serve-hot-req", Obs.Json.Float hot_ns);
+                  ("serve-hot-p99", Obs.Json.Float hot_p99_ns) ]);
+             ("gate",
+              (* the series the CI gate enforces (calibration-relative
+                 per-request cost; see .github/scripts/bench_gate.py) *)
+              Obs.Json.Obj
+                [ ("calib_ns", Obs.Json.Float calib);
+                  ("serve_cold_cost_rel", Obs.Json.Float (rel cold_ns));
+                  ("serve_hot_cost_rel", Obs.Json.Float (rel hot_ns));
+                  ("serve_hot_p99_rel", Obs.Json.Float (rel hot_p99_ns)) ]);
+             ("load",
+              Obs.Json.Obj
+                [ ("cold_requests", Obs.Json.Int n_cold);
+                  ("hot_requests", Obs.Json.Int n_hot);
+                  ("cold_req_s", Obs.Json.Float cold_rps);
+                  ("hot_req_s", Obs.Json.Float hot_rps);
+                  ("hot_p50_ms", Obs.Json.Float (hot_p50_ns /. 1e6));
+                  ("hot_p99_ms", Obs.Json.Float (hot_p99_ns /. 1e6));
+                  ("hot_over_cold_x", Obs.Json.Float hot_over_cold);
+                  ("cache_hit_pct", Obs.Json.Float hit_pct) ]) ]);
+      Printf.printf "  serve bench baseline written to %s\n" path)
+
+(* ======================================================================== *)
 
 let sections : (string * (unit -> unit)) list =
   [ ("fig1", fig1);
@@ -941,7 +1107,8 @@ let sections : (string * (unit -> unit)) list =
     ("analysis", analysis);
     ("prof", prof_bench);
     ("health", health_bench);
-    ("coverage", coverage_bench) ]
+    ("coverage", coverage_bench);
+    ("serve", serve_bench) ]
 
 let () =
   let requested =

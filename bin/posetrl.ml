@@ -1554,7 +1554,8 @@ let watch_cmd =
          placeholder row for it, not a blank or garbled line *)
       let alerts = Option.map fst (Obs.Run.read_alerts info) in
       let coverage = Obs.Run.read_coverage info in
-      Obs.Dashboard.render ~alerts ~coverage ~id:info.Obs.Run.run_id
+      let serve = Obs.Run.read_serve info in
+      Obs.Dashboard.render ~alerts ~coverage ~serve ~id:info.Obs.Run.run_id
         ~manifest:info.Obs.Run.manifest ~records ~dropped ()
     in
     let rec loop () =
@@ -1653,6 +1654,203 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List passes, benchmarks or the Oz sequence")
     Term.(const go $ what)
+
+(* --- dump -------------------------------------------------------------------- *)
+
+let dump_cmd =
+  let program =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Benchmark name (e.g. crc32) or path to a textual MiniIR file.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to \\$(docv) instead of stdout.")
+  in
+  let go program out =
+    let text = Printer.module_to_string (load_program program) in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+    | None -> print_string text
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Print a bundled benchmark (or a parsed file) as MiniIR text — \
+             the wire format `posetrl serve`'s POST /optimize accepts")
+    Term.(const go $ program $ out)
+
+(* --- serve (optimization-as-a-service daemon) -------------------------------- *)
+
+let serve_cmd =
+  let port =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"PORT"
+           ~doc:"Listen on 127.0.0.1:\\$(docv) (0 picks a free port).")
+  in
+  let opt_routes =
+    Arg.(value & flag & info [ "opt" ]
+           ~doc:"Enable the optimization routes: POST /optimize (MiniIR text \
+                 in, optimized IR + schedule + size/throughput deltas out) \
+                 and POST /optimize/batch. Without this flag only the \
+                 telemetry GET routes are served.")
+  in
+  let weights =
+    Arg.(value & opt (some string) None & info [ "weights" ] ~docv:"FILE"
+           ~doc:"Weights file saved by `posetrl train`; without it the daemon \
+                 serves a fresh seed-0 policy (deterministic, untrained).")
+  in
+  let space =
+    Arg.(value & opt string "odg" & info [ "space" ] ~doc:"Action space: odg or manual.")
+  in
+  let target =
+    Arg.(value & opt string "x86" & info [ "target" ] ~doc:"x86 or aarch64.")
+  in
+  let cache_mb =
+    Arg.(value & opt int 16 & info [ "cache-mb" ] ~docv:"MB"
+           ~doc:"Byte bound of the IR-hash result cache (LRU beyond it).")
+  in
+  let queue =
+    Arg.(value & opt int Posetrl_serve.Server.default_queue_cap
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Max cache-missing requests admitted per pump; beyond it \
+                   clients get 429 + Retry-After (backpressure).")
+  in
+  let max_body_kb =
+    Arg.(value & opt int 1024 & info [ "max-body-kb" ] ~docv:"KB"
+           ~doc:"Reject POST bodies larger than \\$(docv) KiB with a 413.")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N"
+           ~doc:"Exit after answering \\$(docv) requests (CI smoke hooks); \
+                 default: serve until SIGINT/SIGTERM.")
+  in
+  let go port opt_routes weights space target jobs cache_mb queue max_body_kb
+      max_requests run_dir run_name trace metrics =
+    let actions = space_of_string space in
+    let tgt = target_of_string target in
+    let run =
+      start_run ~run_dir ~run_name ~kind:"serve"
+        ~meta:
+          [ ("action_space", Obs.Json.Str space);
+            ("target", Obs.Json.Str tgt.CG.Target.name);
+            ("opt_routes", Obs.Json.Bool opt_routes);
+            ("weights",
+             match weights with Some w -> Obs.Json.Str w | None -> Obs.Json.Null) ]
+    in
+    let stop = ref false in
+    let handle = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigint handle;
+    Sys.set_signal Sys.sigterm handle;
+    let started = Unix.gettimeofday () in
+    with_obs ~trace ~metrics (fun () ->
+        with_run run (fun () ->
+            with_jobs ~jobs (fun pool ->
+                let rng = Posetrl_support.Rng.create 0 in
+                let agent =
+                  Posetrl_rl.Dqn.create rng ~state_dim:C.Environment.state_dim
+                    ~hidden:[ 128; 64 ]
+                    ~n_actions:(O.Action_space.n_actions actions)
+                in
+                Option.iter (Posetrl_rl.Dqn.load_weights agent) weights;
+                let engine =
+                  Posetrl_serve.Engine.create
+                    ~cache_bytes:(cache_mb * 1024 * 1024)
+                    ?pool ~agent ~actions ~target:tgt ()
+                in
+                let srv = ref None in
+                let health () =
+                  let reqs =
+                    match !srv with
+                    | Some s -> Posetrl_serve.Server.requests s
+                    | None -> 0
+                  in
+                  Obs.Json.Obj
+                    [ ("status", Obs.Json.Str "running");
+                      ("kind", Obs.Json.Str "serve");
+                      ("opt_routes", Obs.Json.Bool opt_routes);
+                      ("uptime_s",
+                       Obs.Json.Float (Unix.gettimeofday () -. started));
+                      ("requests", Obs.Json.Int reqs);
+                      ("run",
+                       match run with
+                       | Some r -> Obs.Json.Str (Obs.Run.dir r)
+                       | None -> Obs.Json.Null) ]
+                in
+                let telemetry = Obs.Httpd.telemetry_handler ~health () in
+                let max_body = max_body_kb * 1024 in
+                if opt_routes then begin
+                  let s =
+                    Posetrl_serve.Server.create ~max_body ~queue_cap:queue
+                      ~telemetry ~port ~engine ()
+                  in
+                  srv := Some s;
+                  Obs.Console.info
+                    "optimization service on http://127.0.0.1:%d  \
+                     (POST /optimize /optimize/batch; GET /metrics /healthz /serve)\n%!"
+                    (Posetrl_serve.Server.port s);
+                  let last_snapshot = ref 0.0 in
+                  let snapshot () =
+                    Option.iter
+                      (fun r ->
+                        Obs.Run.write_serve r (Posetrl_serve.Server.stats_json s))
+                      run
+                  in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      snapshot ();
+                      Posetrl_serve.Server.close s)
+                    (fun () ->
+                      let done_ () =
+                        !stop
+                        || match max_requests with
+                           | Some n -> Posetrl_serve.Server.requests s >= n
+                           | None -> false
+                      in
+                      while not (done_ ()) do
+                        Posetrl_serve.Server.pump s;
+                        let now = Unix.gettimeofday () in
+                        if now -. !last_snapshot > 1.0 then begin
+                          last_snapshot := now;
+                          snapshot ()
+                        end;
+                        (try Unix.sleepf 0.005
+                         with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+                      done);
+                  let stats = Posetrl_serve.Server.stats_json s in
+                  [ ("requests",
+                     Obs.Json.Int (Posetrl_serve.Server.requests s));
+                    ("stats", stats) ]
+                end
+                else begin
+                  let s = Obs.Httpd.create ~max_body ~port ~handler:telemetry () in
+                  Obs.Console.info
+                    "telemetry on http://127.0.0.1:%d  (GET /metrics /healthz \
+                     /alerts /runs)\n%!"
+                    (Obs.Httpd.port s);
+                  Fun.protect
+                    ~finally:(fun () -> Obs.Httpd.close s)
+                    (fun () ->
+                      while not !stop do
+                        Obs.Httpd.pump s;
+                        (try Unix.sleepf 0.005
+                         with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+                      done);
+                  [ ("requests", Obs.Json.Int 0) ]
+                end)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Optimization-as-a-service daemon: POST MiniIR to /optimize and \
+             get back optimized IR, the predicted pass schedule and \
+             size/throughput deltas as JSON, with an IR-hash LRU result \
+             cache, admission sanitizing (400 + lint diagnostics), bounded \
+             queueing (429 + Retry-After) and batched policy inference \
+             across concurrent requests")
+    Term.(const go $ port $ opt_routes $ weights $ space $ target $ jobs_arg
+          $ cache_mb $ queue $ max_body_kb $ max_requests $ run_dir_arg
+          $ run_name_arg $ trace_arg $ metrics_arg)
 
 (* --- lint -------------------------------------------------------------------- *)
 
@@ -1785,9 +1983,9 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group info
-         [ opt_cmd; run_cmd; train_cmd; eval_cmd; lint_cmd; report_cmd;
-           profile_cmd; runs_cmd; explain_cmd; coverage_cmd; watch_cmd;
-           odg_cmd; list_cmd ])
+         [ opt_cmd; run_cmd; train_cmd; eval_cmd; serve_cmd; lint_cmd;
+           report_cmd; profile_cmd; runs_cmd; explain_cmd; coverage_cmd;
+           watch_cmd; odg_cmd; list_cmd; dump_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

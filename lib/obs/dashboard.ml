@@ -30,8 +30,9 @@ let last_of (xs : (float * float) list) : float option =
 let fmt_opt fmt = function Some v -> Printf.sprintf fmt v | None -> "-"
 
 let render ?(width = 60) ?(alerts : Json.t list option = None)
-    ?(coverage : Json.t option = None) ~(id : string) ~(manifest : Json.t)
-    ~(records : Json.t list) ~(dropped : int) () : string =
+    ?(coverage : Json.t option = None) ?(serve : Json.t option = None)
+    ~(id : string) ~(manifest : Json.t) ~(records : Json.t list)
+    ~(dropped : int) () : string =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let status = Option.value ~default:"?" (Runlog.str "status" manifest) in
@@ -105,6 +106,19 @@ let render ?(width = 60) ?(alerts : Json.t list option = None)
            | Some (Json.Arr ns) -> string_of_int (List.length ns)
            | _ -> "-")
         | None -> "-"));
+  (* Serve row: only present on runs that wrote serve.json (the
+     optimization daemon) — train/eval frames are unchanged. *)
+  (match serve with
+   | None -> ()
+   | Some doc ->
+     let n k = Runlog.num k doc in
+     add "serve reqs %s  hits %s%%  queue %s  p50 %s ms  p99 %s ms  rejected %s\n"
+       (fmt_opt "%.0f" (n "requests"))
+       (fmt_opt "%.1f" (n "cache_hit_pct"))
+       (fmt_opt "%.0f" (n "queue_depth"))
+       (fmt_opt "%.2f" (Option.map (fun v -> v *. 1e3) (n "latency_p50_s")))
+       (fmt_opt "%.2f" (Option.map (fun v -> v *. 1e3) (n "latency_p99_s")))
+       (fmt_opt "%.0f" (n "rejected")));
   let curve label pts =
     match pts with
     | [] -> ()

@@ -11,6 +11,7 @@ val render :
   ?width:int ->
   ?alerts:Json.t list option ->
   ?coverage:Json.t option ->
+  ?serve:Json.t option ->
   id:string ->
   manifest:Json.t ->
   records:Json.t list ->
@@ -30,4 +31,8 @@ val render :
 
     [coverage] is the result of {!Run.read_coverage}: [None] — absent
     or corrupt, rendered as "(not recorded)"; [Some doc] — the edge /
-    entropy / node summary of the coverage document. *)
+    entropy / node summary of the coverage document.
+
+    [serve] is the result of {!Run.read_serve}: [None] — not a serve
+    run, the row is simply omitted; [Some doc] — a request / cache-hit /
+    queue-depth / latency-percentile summary of the daemon's stats. *)

@@ -1,42 +1,64 @@
-(** Minimal dependency-free HTTP/1.1 server for live telemetry.
+(** Minimal dependency-free HTTP/1.1 server for live telemetry and the
+    optimization service.
 
     Single-threaded and polling-friendly: the listening socket is
-    non-blocking, and {!pump} — called from the trainer tick — accepts
-    and serves every pending connection, so no threads are needed.
-    Responses always close the connection (no keep-alive): scrapers and
-    [curl] reconnect per request, which keeps the server stateless.
+    non-blocking, and {!pump} — called from the trainer tick or the
+    serve daemon's loop — accepts and serves every pending connection,
+    so no threads are needed. Responses always close the connection (no
+    keep-alive): scrapers and [curl] reconnect per request, which keeps
+    the server stateless.
 
-    The request surface is deliberately tiny (GET only, path + query
+    The request surface is deliberately tiny (GET and POST, path + query
     ignored beyond the path); everything else is parsed to an error
     response rather than an exception, so a malformed client can never
-    take down a training run. *)
+    take down a training run or the serve daemon. POST bodies are read
+    against their declared [Content-Length] with a hard size bound: an
+    oversized declaration is a 413, a missing/invalid/torn one a 400 —
+    never a raise, never an unbounded buffer. *)
 
 type request = {
   meth : string;  (** request method, upper-case as sent *)
   path : string;  (** path component only; the query string is dropped *)
+  body : string;  (** POST body, exactly [Content-Length] bytes; [""] on GET *)
 }
 
 type response = {
   status : int;
   content_type : string;
+  headers : (string * string) list;
+      (** extra response headers (e.g. [Retry-After] on a 429) *)
   body : string;
 }
 
 type handler = request -> response
 
-val response : ?status:int -> ?content_type:string -> string -> response
-(** Defaults: status 200, content-type [text/plain; charset=utf-8]. *)
+val default_max_body : int
+(** 1 MiB — the default bound on a POST body. *)
 
-val json_response : ?status:int -> Json.t -> response
+val response :
+  ?status:int -> ?content_type:string -> ?headers:(string * string) list ->
+  string -> response
+(** Defaults: status 200, content-type [text/plain; charset=utf-8],
+    no extra headers. *)
 
-val parse_request : string -> (request, response) result
-(** Parse the head of a raw request. Errors come back as ready-to-send
-    responses: 400 for a malformed request line, 405 for any method
-    other than GET. *)
+val json_response :
+  ?status:int -> ?headers:(string * string) list -> Json.t -> response
+
+val error_response :
+  ?headers:(string * string) list -> int -> string -> response
+(** [{"error": msg}] as JSON under the given status. *)
+
+val parse_request : ?max_body:int -> string -> (request, response) result
+(** Parse a complete raw request (head and body). Errors come back as
+    ready-to-send responses: 400 for a malformed request line, a POST
+    without a valid [Content-Length], or a body shorter than declared
+    (torn client); 405 for any method other than GET/POST; 413 for a
+    body declared larger than [max_body]. *)
 
 val render_response : response -> string
 (** Full HTTP/1.1 wire bytes: status line, [Content-Type],
-    [Content-Length], [Connection: close], blank line, body. *)
+    [Content-Length], extra headers, [Connection: close], blank line,
+    body. *)
 
 val telemetry_handler :
   ?registry:Metrics.t ->
@@ -61,17 +83,34 @@ val telemetry_handler :
 type t
 (** A listening server. *)
 
-val create : ?backlog:int -> port:int -> handler:handler -> unit -> t
+type client
+(** An accepted connection whose request has been read; owned by the
+    caller until {!respond} (which writes and closes it). *)
+
+val create :
+  ?backlog:int -> ?max_body:int -> port:int -> handler:handler -> unit -> t
 (** Bind and listen on [127.0.0.1:port] ([port = 0] picks a free port —
-    read it back with {!port}). @raise Unix.Unix_error if the bind
-    fails (e.g. the port is taken). *)
+    read it back with {!port}). [max_body] bounds POST bodies
+    ({!default_max_body}). @raise Unix.Unix_error if the bind fails
+    (e.g. the port is taken). *)
 
 val port : t -> int
 
+val accept : t -> (client * (request, response) result) option
+(** Accept one pending connection and read its request fully (bounded,
+    with a receive timeout); [None] when none is pending. An [Error] is
+    the ready-to-send parse-failure response. Every returned client must
+    be passed to {!respond} exactly once — this is how a batching layer
+    (lib/serve) collects many requests before answering any of them. *)
+
+val respond : client -> response -> unit
+(** Write the response and close the connection; socket errors are
+    swallowed, double-responds are no-ops. *)
+
 val pump : t -> unit
-(** Accept and serve every connection currently pending; returns
-    immediately when none are. Per-client errors (torn connections,
-    read timeouts) are swallowed. Call this from a training/eval loop
-    tick. *)
+(** Accept and serve every connection currently pending through the
+    [handler]; returns immediately when none are. Per-client errors
+    (torn connections, read timeouts) are swallowed. Call this from a
+    training/eval loop tick. *)
 
 val close : t -> unit

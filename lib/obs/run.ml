@@ -25,6 +25,7 @@ let trace_file = "trace.jsonl"
 let attrib_file = "attrib.json"
 let alerts_file = "alerts.jsonl"
 let coverage_file = "coverage.json"
+let serve_file = "serve.json"
 
 let manifest_path dir = Filename.concat dir manifest_file
 let progress_path dir = Filename.concat dir progress_file
@@ -33,6 +34,7 @@ let trace_path dir = Filename.concat dir trace_file
 let attrib_path dir = Filename.concat dir attrib_file
 let alerts_path dir = Filename.concat dir alerts_file
 let coverage_path dir = Filename.concat dir coverage_file
+let serve_path dir = Filename.concat dir serve_file
 
 let rec mkdir_p (dir : string) : unit =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
@@ -127,6 +129,9 @@ let write_attrib (t : t) (doc : Json.t) : unit =
 
 let write_coverage (t : t) (doc : Json.t) : unit =
   Runlog.write_json_file (coverage_path t.r_dir) doc
+
+let write_serve (t : t) (doc : Json.t) : unit =
+  Runlog.write_json_file (serve_path t.r_dir) doc
 
 (* Alerts are rare and each one matters, so unlike progress records they
    flush immediately — a crash right after an alert keeps it on disk. *)
@@ -230,6 +235,14 @@ let read_attrib (i : info) : Json.t option =
 
 let read_coverage (i : info) : Json.t option =
   let path = coverage_path i.run_dir in
+  if not (Sys.file_exists path) then None
+  else
+    match Runlog.read_json_file path with
+    | doc -> Some doc
+    | exception (Sys_error _ | Json.Parse_error _) -> None
+
+let read_serve (i : info) : Json.t option =
+  let path = serve_path i.run_dir in
   if not (Sys.file_exists path) then None
   else
     match Runlog.read_json_file path with

@@ -13,6 +13,7 @@ val trace_path : string -> string
 val attrib_path : string -> string
 val alerts_path : string -> string
 val coverage_path : string -> string
+val serve_path : string -> string
 (** Paths of the ledger files inside a run directory. *)
 
 (** {1 Writing side} *)
@@ -47,6 +48,11 @@ val write_attrib : t -> Json.t -> unit
 val write_coverage : t -> Json.t -> unit
 (** Write [coverage.json] (atomic replace) — normally
     [Coverage.to_json] of the trainer's (or eval's) coverage table. *)
+
+val write_serve : t -> Json.t -> unit
+(** Write [serve.json] (atomic replace) — the serve daemon's rolling
+    stats snapshot (requests, cache hit rate, latency percentiles),
+    normally [Posetrl_serve.Server.stats_json]. *)
 
 val alert : t -> Json.t -> unit
 (** Append a watchdog alert record to [alerts.jsonl] and flush
@@ -96,6 +102,10 @@ val read_attrib : info -> Json.t option
 val read_coverage : info -> Json.t option
 (** The run's coverage document. Never raises: [None] means absent (run
     predates the coverage layer) {e or} corrupt. *)
+
+val read_serve : info -> Json.t option
+(** The run's serve-stats document. Never raises: [None] means absent
+    (not a serve run) {e or} corrupt. *)
 
 val read_alerts : info -> (Json.t list * int) option
 (** The run's alert records plus the torn-line count. Never raises:

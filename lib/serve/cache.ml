@@ -1,0 +1,110 @@
+(* Byte-bounded LRU cache for optimization results.
+
+   Exact LRU via an intrusive doubly-linked list over the hash-table
+   entries: find/add/evict are all O(1). The bound is in *bytes* (the
+   caller declares each entry's weight — for the serve daemon, the
+   serialized response size plus the key), not entry count, so one huge
+   module cannot silently pin the memory of a thousand small ones. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  bytes : int;
+  mutable prev : 'a node option; (* towards MRU *)
+  mutable next : 'a node option; (* towards LRU *)
+}
+
+type 'a t = {
+  tbl : (string, 'a node) Hashtbl.t;
+  max_bytes : int;
+  mutable head : 'a node option; (* MRU *)
+  mutable tail : 'a node option; (* LRU — evicted first *)
+  mutable total : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_max_bytes = 16 * 1024 * 1024
+
+let create ?(max_bytes = default_max_bytes) () : 'a t =
+  { tbl = Hashtbl.create 64;
+    max_bytes = max 0 max_bytes;
+    head = None;
+    tail = None;
+    total = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let length (t : 'a t) = Hashtbl.length t.tbl
+let total_bytes (t : 'a t) = t.total
+let max_bytes (t : 'a t) = t.max_bytes
+let hits (t : 'a t) = t.hits
+let misses (t : 'a t) = t.misses
+let evictions (t : 'a t) = t.evictions
+
+let unlink (t : 'a t) (n : 'a node) : unit =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> t.head <- n.next);
+  (match n.next with
+   | Some s -> s.prev <- n.prev
+   | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front (t : 'a t) (n : 'a node) : unit =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let remove_node (t : 'a t) (n : 'a node) : unit =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.total <- t.total - n.bytes
+
+let find (t : 'a t) (key : string) : 'a option =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let mem (t : 'a t) (key : string) : bool = Hashtbl.mem t.tbl key
+
+let evict_lru (t : 'a t) : unit =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    remove_node t n;
+    t.evictions <- t.evictions + 1
+
+let add (t : 'a t) ~(key : string) ~(bytes : int) (value : 'a) : unit =
+  let bytes = max 0 bytes in
+  (match Hashtbl.find_opt t.tbl key with
+   | Some old -> remove_node t old
+   | None -> ());
+  (* an entry larger than the whole cache would evict everything and
+     still not fit — refuse it rather than thrash *)
+  if bytes <= t.max_bytes then begin
+    let n = { key; value; bytes; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    t.total <- t.total + bytes;
+    while t.total > t.max_bytes do
+      evict_lru t
+    done
+  end
+
+(* MRU-first key listing — the tests assert eviction order through this. *)
+let keys (t : 'a t) : string list =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

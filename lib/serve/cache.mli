@@ -1,0 +1,35 @@
+(** Byte-bounded LRU cache keyed by strings (IR digests in the serve
+    daemon). Exact LRU with O(1) find/add/evict; the bound is on the
+    {e sum of declared entry bytes}, not the entry count, so a handful
+    of huge modules cannot pin unbounded memory. Not domain-safe — the
+    serve pump owns it single-threaded by design. *)
+
+type 'a t
+
+val default_max_bytes : int
+(** 16 MiB. *)
+
+val create : ?max_bytes:int -> unit -> 'a t
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry to most-recently-used and counts
+    toward {!hits}, a miss toward {!misses}. *)
+
+val mem : 'a t -> string -> bool
+(** Presence test without touching LRU order or hit/miss counters. *)
+
+val add : 'a t -> key:string -> bytes:int -> 'a -> unit
+(** Insert (replacing any entry under the same key), then evict
+    least-recently-used entries until the byte total fits the bound.
+    An entry declared larger than the whole cache is refused outright —
+    evicting everything for an entry that still cannot fit is thrash. *)
+
+val length : 'a t -> int
+val total_bytes : 'a t -> int
+val max_bytes : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+val keys : 'a t -> string list
+(** Keys most-recently-used first (the eviction order reversed). *)

@@ -1,0 +1,71 @@
+(** The optimization engine behind [posetrl serve --opt]: admission
+    control over untrusted IR, the IR-digest LRU result cache, and
+    greedy policy rollouts that coalesce concurrent requests into
+    [Mlp.forward_batch] gemm calls on the domain pool.
+
+    Determinism: a batched rollout is byte-identical to
+    {!Posetrl_core.Inference.predict} on each module separately (the
+    batched kernels are term-order identical to the per-sample forward,
+    and argmax tie-breaking matches [Dqn.greedy_action]), so serving
+    through the cache never changes an answer — only its cost. *)
+
+type t
+
+val create :
+  ?max_steps:int ->
+  ?cache_bytes:int ->
+  ?sanitize:Posetrl_analysis.Sanitize.level ->
+  ?pool:Posetrl_support.Pool.t ->
+  agent:Posetrl_rl.Dqn.t ->
+  actions:Posetrl_odg.Action_space.t ->
+  target:Posetrl_codegen.Target.t ->
+  unit ->
+  t
+(** Defaults: 15 episode steps, a 16 MiB cache, [Ssa]-level admission
+    sanitizing, no pool (sequential gemms). *)
+
+val cache : t -> Posetrl_obs.Json.t Cache.t
+
+type admitted = { key : string; raw_key : string; m : Posetrl_ir.Modul.t }
+
+val key_of : t -> Posetrl_ir.Modul.t -> string
+(** The cache key: hex digest of the canonically printed module salted
+    with the serving configuration (target, action space, episode
+    length) — whitespace variants of the same IR share an entry. *)
+
+val find_raw : t -> string -> Posetrl_obs.Json.t option
+(** Fast-path lookup under the digest of the raw request bytes: a
+    byte-identical repeat of an already-answered request returns its
+    cached document without parsing or sanitizing (those bytes already
+    passed admission under this configuration). [None] falls through
+    to {!admit}. *)
+
+val admit : t -> string -> (admitted, Posetrl_obs.Json.t) result
+(** Parse and sanitize one MiniIR request body. [Error diag] is the
+    ready-to-serialize JSON body of a 400: a parse error, or the
+    sanitizer's verdict plus the full lint report ([diagnostics]). *)
+
+val rollout_batch :
+  t -> Posetrl_ir.Modul.t list -> (int list * Posetrl_ir.Modul.t) list
+(** Lockstep batched greedy rollout: per episode step, one
+    [forward_batch] gemm scores every still-live module. Returns each
+    module's (schedule, optimized module) in input order. *)
+
+val result_json :
+  t ->
+  input:Posetrl_ir.Modul.t ->
+  schedule:int list ->
+  optimized:Posetrl_ir.Modul.t ->
+  Posetrl_obs.Json.t
+(** The [/optimize] response document: schedule (action indices and
+    flattened pass names), input/optimized size + mca-throughput
+    measurements, their deltas, and the optimized IR text. *)
+
+val optimize_many : t -> admitted list -> Posetrl_obs.Json.t list
+(** Answer a batch of admitted requests in request order: cache hits
+    are free, misses are deduplicated and share one lockstep rollout,
+    and every fresh result lands in the cache. Updates the
+    [posetrl.serve.cache_*] and [posetrl.serve.batch_size] metrics. *)
+
+val optimize : t -> admitted -> Posetrl_obs.Json.t
+(** [optimize_many] with a single request. *)

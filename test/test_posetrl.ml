@@ -25,6 +25,7 @@ let () =
       ("rl", Test_rl.suite);
       ("odg", Test_odg.suite);
       ("core", Test_core.suite);
+      ("serve", Test_serve.suite);
       ("workloads", Test_workloads.suite);
       ("utils+clone", Test_utils_clone.suite);
       ("switch+misc", Test_switch_misc.suite) ]

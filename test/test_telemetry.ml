@@ -83,6 +83,16 @@ let test_scrape_golden () =
   Obs.Coverage.observe cov ~action:1 ~pos:1 ~reward:0.0 ~r_binsize:0.0
     ~r_throughput:0.0;
   Obs.Coverage.sample cov ~step:2;
+  (* the serve daemon's family: counter, labeled counter, histogram *)
+  let hits = Metrics.counter ~r "posetrl.serve.cache_hits_total" in
+  Metrics.inc hits; Metrics.inc hits;
+  let lat =
+    Metrics.histogram ~r ~buckets:[| 0.01; 0.1 |] "posetrl.serve.latency_seconds"
+  in
+  Metrics.observe lat 0.005; Metrics.observe lat 0.25;
+  Metrics.inc ~by:3.0
+    (Metrics.counter ~r ~labels:[ ("route", "optimize") ]
+       "posetrl.serve.requests_total");
   let expected =
     String.concat ""
       [ "# HELP posetrl_alerts_total posetrl.alerts.total\n";
@@ -110,6 +120,19 @@ let test_scrape_golden () =
         "posetrl_odg_walk_len_bucket{space=\"odg\",le=\"+Inf\"} 3\n";
         "posetrl_odg_walk_len_sum{space=\"odg\"} 5.55\n";
         "posetrl_odg_walk_len_count{space=\"odg\"} 3\n";
+        "# HELP posetrl_serve_cache_hits_total posetrl.serve.cache_hits_total\n";
+        "# TYPE posetrl_serve_cache_hits_total counter\n";
+        "posetrl_serve_cache_hits_total 2\n";
+        "# HELP posetrl_serve_latency_seconds posetrl.serve.latency_seconds\n";
+        "# TYPE posetrl_serve_latency_seconds histogram\n";
+        "posetrl_serve_latency_seconds_bucket{le=\"0.01\"} 1\n";
+        "posetrl_serve_latency_seconds_bucket{le=\"0.1\"} 1\n";
+        "posetrl_serve_latency_seconds_bucket{le=\"+Inf\"} 2\n";
+        "posetrl_serve_latency_seconds_sum 0.255\n";
+        "posetrl_serve_latency_seconds_count 2\n";
+        "# HELP posetrl_serve_requests_total posetrl.serve.requests_total\n";
+        "# TYPE posetrl_serve_requests_total counter\n";
+        "posetrl_serve_requests_total{route=\"optimize\"} 3\n";
         "# HELP posetrl_train_epsilon posetrl.train.epsilon\n";
         "# TYPE posetrl_train_epsilon gauge\n";
         "posetrl_train_epsilon 0.25\n";
@@ -153,17 +176,52 @@ let test_parse_request () =
   (match Httpd.parse_request "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" with
    | Ok req ->
      Alcotest.(check string) "method" "GET" req.Httpd.meth;
-     Alcotest.(check string) "path" "/metrics" req.Httpd.path
+     Alcotest.(check string) "path" "/metrics" req.Httpd.path;
+     Alcotest.(check string) "no body" "" req.Httpd.body
    | Error _ -> Alcotest.fail "GET should parse");
   (match Httpd.parse_request "GET /metrics?format=text HTTP/1.0\r\n" with
    | Ok req -> Alcotest.(check string) "query dropped" "/metrics" req.Httpd.path
    | Error _ -> Alcotest.fail "query string should parse");
-  (match Httpd.parse_request "POST /metrics HTTP/1.1\r\n" with
-   | Error resp -> Alcotest.(check int) "POST is 405" 405 resp.Httpd.status
-   | Ok _ -> Alcotest.fail "POST must be rejected");
+  (match
+     Httpd.parse_request
+       "POST /optimize HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello-extra"
+   with
+   | Ok req ->
+     Alcotest.(check string) "POST parses" "POST" req.Httpd.meth;
+     Alcotest.(check string) "body cut at Content-Length" "hello" req.Httpd.body
+   | Error _ -> Alcotest.fail "POST with a declared body should parse");
   match Httpd.parse_request "complete garbage" with
   | Error resp -> Alcotest.(check int) "garbage is 400" 400 resp.Httpd.status
   | Ok _ -> Alcotest.fail "garbage must be rejected"
+
+(* Hardened POST parsing (DESIGN.md §14): missing/invalid/torn declared
+   lengths are 400s, an oversized declaration is a 413, unknown methods
+   stay 405 — all as responses, never as exceptions. *)
+let test_parse_request_hardening () =
+  let err raw =
+    match Httpd.parse_request ~max_body:64 raw with
+    | Error resp -> resp.Httpd.status
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" raw)
+  in
+  Alcotest.(check int) "POST without Content-Length" 400
+    (err "POST /optimize HTTP/1.1\r\n\r\nbody");
+  Alcotest.(check int) "non-numeric Content-Length" 400
+    (err "POST /optimize HTTP/1.1\r\nContent-Length: two\r\n\r\nxx");
+  Alcotest.(check int) "negative Content-Length" 400
+    (err "POST /optimize HTTP/1.1\r\nContent-Length: -5\r\n\r\nxx");
+  Alcotest.(check int) "torn body is 400"
+    400
+    (err "POST /optimize HTTP/1.1\r\nContent-Length: 40\r\n\r\nonly this");
+  Alcotest.(check int) "oversized declaration is 413" 413
+    (err "POST /optimize HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+  Alcotest.(check int) "PUT is 405" 405 (err "PUT /x HTTP/1.1\r\n\r\n");
+  Alcotest.(check int) "DELETE is 405" 405 (err "DELETE /x HTTP/1.1\r\n\r\n");
+  (* headers are looked up case-insensitively *)
+  match
+    Httpd.parse_request "POST /x HTTP/1.1\r\ncontent-length: 2\r\n\r\nok"
+  with
+  | Ok req -> Alcotest.(check string) "lowercase header" "ok" req.Httpd.body
+  | Error _ -> Alcotest.fail "lowercase content-length should parse"
 
 let test_render_response () =
   let wire = Httpd.render_response (Httpd.response "hello") in
@@ -193,7 +251,7 @@ let test_telemetry_routes () =
           ~health:(fun () -> Json.Obj [ ("status", Json.Str "running") ])
           ()
       in
-      let get path = handler { Httpd.meth = "GET"; path } in
+      let get path = handler { Httpd.meth = "GET"; path; body = "" } in
       let metrics = get "/metrics" in
       Alcotest.(check int) "metrics 200" 200 metrics.Httpd.status;
       Alcotest.(check bool) "exposition body" true
@@ -232,7 +290,7 @@ let test_alerts_route () =
       ~health:(fun () -> Json.Obj [])
       ()
   in
-  let get () = handler { Httpd.meth = "GET"; path = "/alerts" } in
+  let get () = handler { Httpd.meth = "GET"; path = "/alerts"; body = "" } in
   Alcotest.(check string) "empty before any alert" "[]\n" (get ()).Httpd.body;
   fired :=
     [ Obs.Health.alert_to_json
@@ -253,7 +311,7 @@ let test_coverage_route () =
   (* default thunk: the route answers 404, not a crash or empty body *)
   let bare = Httpd.telemetry_handler ~health:(fun () -> Json.Obj []) () in
   Alcotest.(check int) "no thunk wired is 404" 404
-    (bare { Httpd.meth = "GET"; path = "/coverage" }).Httpd.status;
+    (bare { Httpd.meth = "GET"; path = "/coverage"; body = "" }).Httpd.status;
   let doc = ref None in
   let handler =
     Httpd.telemetry_handler
@@ -261,7 +319,7 @@ let test_coverage_route () =
       ~health:(fun () -> Json.Obj [])
       ()
   in
-  let get () = handler { Httpd.meth = "GET"; path = "/coverage" } in
+  let get () = handler { Httpd.meth = "GET"; path = "/coverage"; body = "" } in
   Alcotest.(check int) "thunk says None: still 404" 404 (get ()).Httpd.status;
   doc :=
     Some
@@ -519,6 +577,8 @@ let suite =
     Alcotest.test_case "scrape golden" `Quick test_scrape_golden;
     Alcotest.test_case "Metrics.sum + row fields" `Quick test_metrics_sum_accessor;
     Alcotest.test_case "parse_request" `Quick test_parse_request;
+    Alcotest.test_case "parse_request hardening" `Quick
+      test_parse_request_hardening;
     Alcotest.test_case "render_response" `Quick test_render_response;
     Alcotest.test_case "telemetry routes" `Quick test_telemetry_routes;
     Alcotest.test_case "/alerts route" `Quick test_alerts_route;
