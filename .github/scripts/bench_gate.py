@@ -33,8 +33,11 @@ GATE_TABLE = [
     },
     {
         "kind": "bench-analysis",
-        "gated": ("liveness_rel", "sanitize_rel", "lint_rel"),
-        "why": "static-analysis passes on the sanitizer/lint hot path",
+        "gated": ("liveness_rel", "sanitize_rel", "lint_rel",
+                  "alias_rel", "absint_rel", "equiv_rel"),
+        "why": "static-analysis passes on the sanitizer/lint hot path, "
+               "plus the alias/value-range analyses and the bounded "
+               "translation-validation check of the equiv tier",
     },
     {
         "kind": "bench-prof",

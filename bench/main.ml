@@ -656,9 +656,29 @@ let analysis () =
                   List.iter (fun f -> ignore (A.Reaching.of_func f)) funcs));
            Test.make ~name:"effects-summary"
              (Staged.stage (fun () -> ignore (A.Effects.summarize big)));
+           Test.make ~name:"alias-summary"
+             (Staged.stage (fun () -> ignore (A.Alias.summarize big)));
+           Test.make ~name:"absint-largest"
+             (Staged.stage (fun () ->
+                  List.iter (fun f -> ignore (A.Absint.of_func f)) funcs));
            Test.make ~name:"sanitize-ssa-largest"
              (Staged.stage (fun () ->
                   ignore (A.Sanitize.check_module A.Sanitize.Ssa big_oz)));
+           Test.make ~name:"equiv-validate-func"
+             (* one changed harnessable function: measures the fixed
+                per-function cost of the Equiv tier (harness build +
+                seeded interpreter runs on both sides), which is what
+                every pass application pays per changed definition *)
+             (let fn body =
+                Parser.parse_module
+                  (Printf.sprintf
+                     "module equivbench\n\nfunc @f(%%0: i64, %%1: i64): i64 {\nentry:\n  %%2 = %s\n  ret i64 %%2\n}\n"
+                     body)
+              in
+              let eb = fn "add i64 %0, %1" in
+              let ea = fn "add i64 %1, %0" in
+              Staged.stage (fun () ->
+                  ignore (A.Equiv.validate ~fuel:50_000 ~before:eb ea)));
            Test.make ~name:"lint-largest"
              (Staged.stage (fun () -> ignore (A.Lint.lint_module big_oz))) ])
   in
@@ -686,6 +706,9 @@ let analysis () =
               ("liveness_rel", Obs.Json.Float (rel (ns "liveness-largest")));
               ("sanitize_rel", Obs.Json.Float (rel (ns "sanitize-ssa-largest")));
               ("lint_rel", Obs.Json.Float (rel (ns "lint-largest")));
+              ("alias_rel", Obs.Json.Float (rel (ns "alias-summary")));
+              ("absint_rel", Obs.Json.Float (rel (ns "absint-largest")));
+              ("equiv_rel", Obs.Json.Float (rel (ns "equiv-validate-func")));
               ("reaching_rel", Obs.Json.Float (rel (ns "reaching-largest")));
               ("effects_rel", Obs.Json.Float (rel (ns "effects-summary"))) ]) ]);
   Printf.printf "  analysis bench baseline written to %s\n" path

@@ -102,10 +102,12 @@ let verify_each_arg =
 let sanitize_arg =
   Arg.(value & opt string "off" & info [ "sanitize" ] ~docv:"LEVEL"
          ~doc:"Semantic sanitizer level: off, structural (re-verify after \
-               every pass), or ssa (structural + SSA dominance checking). On \
-               failure a delta-minimized repro is written to the run ledger's \
-               repros/ directory (or runs/repros without a ledger run) and \
-               the command aborts.")
+               every pass), ssa (structural + SSA dominance checking), or \
+               equiv (ssa + translation validation: each pass application is \
+               differentially simulated against its input on seeded concrete \
+               inputs). On failure a delta-minimized repro is written to the \
+               run ledger's repros/ directory (or runs/repros without a \
+               ledger run) and the command aborts.")
 
 let sanitize_of_string (s : string) : A.Sanitize.level =
   match A.Sanitize.level_of_string s with
@@ -282,32 +284,58 @@ let opt_cmd =
   let emit =
     Arg.(value & flag & info [ "emit" ] ~doc:"Print the optimized module.")
   in
-  let run program level passes target emit sanitize trace metrics =
+  let alias =
+    Arg.(value & flag & info [ "alias" ]
+           ~doc:"Consult the interprocedural alias analysis in dse/licm/gvn \
+                 (opt-in; byte-identical to the legacy facts on the bundled \
+                 suites, cmp-gated in the test suite).")
+  in
+  let inject_bug =
+    Arg.(value & flag & info [ "inject-bug" ]
+           ~doc:"Append a deliberately miscompiling sink pass (first add in \
+                 each function flipped to sub) after the pipeline. The sink \
+                 passes the structural and ssa sanitizer tiers; only \
+                 --sanitize equiv catches it. Testing hook for the \
+                 translation-validation tier.")
+  in
+  let run program level passes target emit sanitize alias inject_bug trace
+      metrics =
     let m = load_program program in
     let tgt = target_of_string target in
     let sanitize = sanitize_of_string sanitize in
     let repro_dir = repro_dir_of_run None in
+    let with_alias cfg = { cfg with P.Config.use_alias = alias } in
     report_module tgt "input" m;
     let m' =
       with_obs ~trace ~metrics (fun () ->
-          match passes with
-          | Some ps ->
-            let names = String.split_on_char ',' ps |> List.map String.trim in
-            List.iter
-              (fun n -> if Option.is_none (P.Registry.find n) then failwith ("unknown pass " ^ n))
-              names;
-            P.Pass_manager.run ~verify:true ~sanitize ~repro_dir P.Config.oz names m
-          | None ->
-            (match P.Pipelines.level_of_string level with
-             | Some l -> P.Pass_manager.run_level ~verify:true ~sanitize ~repro_dir l m
-             | None -> failwith ("unknown level " ^ level)))
+          let m' =
+            match passes with
+            | Some ps ->
+              let names = String.split_on_char ',' ps |> List.map String.trim in
+              List.iter
+                (fun n -> if Option.is_none (P.Registry.find n) then failwith ("unknown pass " ^ n))
+                names;
+              P.Pass_manager.run ~verify:true ~sanitize ~repro_dir
+                (with_alias P.Config.oz) names m
+            | None ->
+              (match P.Pipelines.level_of_string level with
+               | Some l ->
+                 P.Pass_manager.run ~verify:true ~sanitize ~repro_dir
+                   (with_alias (P.Pipelines.config_of l))
+                   (P.Pipelines.sequence_of l) m
+               | None -> failwith ("unknown level " ^ level))
+          in
+          if inject_bug then
+            P.Pass_manager.run_pass ~sanitize ~repro_dir P.Sink.pass
+              (with_alias P.Config.oz) m'
+          else m')
     in
     report_module tgt "output" m';
     if emit then print_string (Printer.module_to_string m')
   in
   Cmd.v (Cmd.info "opt" ~doc:"Apply an optimization pipeline to a module")
     Term.(const run $ program $ level $ passes $ target $ emit $ sanitize_arg
-          $ trace_arg $ metrics_arg)
+          $ alias $ inject_bug $ trace_arg $ metrics_arg)
 
 (* --- run ------------------------------------------------------------------- *)
 
@@ -1726,8 +1754,15 @@ let serve_cmd =
            ~doc:"Exit after answering \\$(docv) requests (CI smoke hooks); \
                  default: serve until SIGINT/SIGTERM.")
   in
+  let serve_sanitize =
+    Arg.(value & opt string "ssa" & info [ "sanitize" ] ~docv:"LEVEL"
+           ~doc:"Sanitizer level for admission and every rollout pass \
+                 application: off, structural, ssa (default) or equiv \
+                 (translation validation of each pass the policy applies).")
+  in
   let go port opt_routes weights space target jobs cache_mb queue max_body_kb
-      max_requests run_dir run_name trace metrics =
+      max_requests sanitize run_dir run_name trace metrics =
+    let sanitize = sanitize_of_string sanitize in
     let actions = space_of_string space in
     let tgt = target_of_string target in
     let run =
@@ -1757,7 +1792,7 @@ let serve_cmd =
                 let engine =
                   Posetrl_serve.Engine.create
                     ~cache_bytes:(cache_mb * 1024 * 1024)
-                    ?pool ~agent ~actions ~target:tgt ()
+                    ~sanitize ?pool ~agent ~actions ~target:tgt ()
                 in
                 let srv = ref None in
                 let health () =
@@ -1849,10 +1884,88 @@ let serve_cmd =
              queueing (429 + Retry-After) and batched policy inference \
              across concurrent requests")
     Term.(const go $ port $ opt_routes $ weights $ space $ target $ jobs_arg
-          $ cache_mb $ queue $ max_body_kb $ max_requests $ run_dir_arg
+          $ cache_mb $ queue $ max_body_kb $ max_requests $ serve_sanitize
+          $ run_dir_arg
           $ run_name_arg $ trace_arg $ metrics_arg)
 
 (* --- lint -------------------------------------------------------------------- *)
+
+(* --- validate --------------------------------------------------------------
+
+   Translation-validate pipelines over the bundled suite (or one
+   program): every pass application is checked at the requested
+   sanitizer level (default equiv — differential simulation against the
+   pass input). The CI acceptance gate for the Equiv tier. *)
+
+let validate_cmd =
+  let program =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Benchmark name or path to a textual MiniIR file \
+                 (default: every program of the bundled suites).")
+  in
+  let level =
+    Arg.(value & opt string "all" & info [ "O"; "level" ] ~docv:"LEVEL"
+           ~doc:"Pipeline level to validate (O0 O1 O2 O3 Os Oz) or `all`.")
+  in
+  let v_sanitize =
+    Arg.(value & opt string "equiv" & info [ "sanitize" ] ~docv:"LEVEL"
+           ~doc:"Sanitizer level to validate at (default equiv).")
+  in
+  let go program level v_sanitize trace metrics =
+    let sanitize = sanitize_of_string v_sanitize in
+    let levels =
+      if String.equal level "all" then P.Pipelines.[ O0; O1; O2; O3; Os; Oz ]
+      else
+        match P.Pipelines.level_of_string level with
+        | Some l -> [ l ]
+        | None -> failwith ("unknown level " ^ level)
+    in
+    let programs =
+      match program with
+      | Some p -> [ (p, fun () -> load_program p) ]
+      | None ->
+        List.concat_map (fun s -> s.W.Suites.programs) W.Suites.validation_suites
+    in
+    let repro_dir = repro_dir_of_run None in
+    let failures = ref 0 and checked = ref 0 in
+    with_obs ~trace ~metrics (fun () ->
+        List.iter
+          (fun l ->
+            List.iter
+              (fun (name, mk) ->
+                incr checked;
+                match
+                  P.Pass_manager.run_level ~sanitize ~repro_dir l (mk ())
+                with
+                | _ -> ()
+                | exception A.Sanitize.Failed { pass; errors; repro_path } ->
+                  incr failures;
+                  Printf.printf "FAIL  %-22s %-3s pass %s (%d error%s)%s\n%!"
+                    name
+                    (P.Pipelines.level_to_string l)
+                    pass (List.length errors)
+                    (if List.length errors = 1 then "" else "s")
+                    (match repro_path with
+                     | Some p -> "  repro " ^ p
+                     | None -> ""))
+              programs;
+            Printf.printf "  -%s: %d program(s) validated\n%!"
+              (P.Pipelines.level_to_string l)
+              (List.length programs))
+          levels);
+    Printf.printf "validate: %d pipeline run(s) at --sanitize %s, %d failure(s)\n"
+      !checked
+      (A.Sanitize.level_to_string sanitize)
+      !failures;
+    if !failures > 0 then exit 3
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Translation-validate optimization pipelines over the bundled \
+             suite: every pass application is differentially simulated \
+             against its input (--sanitize equiv, the default) or checked \
+             at a lower sanitizer tier")
+    Term.(const go $ program $ level $ v_sanitize $ trace_arg $ metrics_arg)
 
 let lint_cmd =
   let program =
@@ -1984,8 +2097,8 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ opt_cmd; run_cmd; train_cmd; eval_cmd; serve_cmd; lint_cmd;
-           report_cmd; profile_cmd; runs_cmd; explain_cmd; coverage_cmd;
-           watch_cmd; odg_cmd; list_cmd; dump_cmd ])
+           validate_cmd; report_cmd; profile_cmd; runs_cmd; explain_cmd;
+           coverage_cmd; watch_cmd; odg_cmd; list_cmd; dump_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

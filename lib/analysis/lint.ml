@@ -5,10 +5,16 @@
                 purity attributes contradicted by the function body —
                 each of these means a pass produced or would consume
                 wrong IR.
-     - Warning: dead stores and unreachable blocks — wasted size the
-                pipeline should have cleaned up, but semantically fine.
-     - Info:    dead pure code, recomputed available expressions and
-                missing purity attributes — optimisation opportunities.
+     - Warning: dead stores, unreachable blocks, branches the value-range
+                analysis proves constant (dead-branch) and blocks whose
+                path conditions contradict (contradicted-range) — wasted
+                size the pipeline should have cleaned up, but
+                semantically fine.
+     - Info:    dead pure code, recomputed available expressions, missing
+                purity attributes, integer arithmetic that may wrap its
+                type (possible-overflow) and same-block stores through
+                pointers that may alias (may-alias-store-conflict) —
+                optimisation opportunities and precision hazards.
 
    The bundled workload suite at -Oz must lint with zero errors; CI
    runs [posetrl lint --suite --fail-on error] to keep it that way. *)
@@ -116,6 +122,166 @@ let redundant_expr_findings (f : Func.t) : finding list =
           Printf.sprintf "%%%d recomputes an expression available on every path" id })
     (Available.redundant avail f)
 
+(* Abstract value of an operand at its use, from the at-def table (SSA:
+   one def, so at-def and at-use agree up to edge refinement). *)
+let operand_aval (ai : Absint.t) (v : Value.t) : Absint.aval =
+  match v with
+  | Value.Reg r -> Absint.val_of ai r
+  | Value.Const (Value.Cint (_, k)) -> Absint.Range (k, k)
+  | _ -> Absint.Top
+
+let absint_findings (f : Func.t) : finding list =
+  let ai = Absint.of_func f in
+  let cfg = Cfg.of_func f in
+  let cfg_reach = Cfg.reachable cfg in
+  let entry_label = (Func.entry f).Block.label in
+  let contradicted =
+    List.filter_map
+      (fun (b : Block.t) ->
+        if
+          Cfg.SSet.mem b.Block.label cfg_reach
+          && (not (Absint.reachable ai b.Block.label))
+          && not (String.equal b.Block.label entry_label)
+        then
+          Some
+            { severity = Warning;
+              rule = "contradicted-range";
+              func = f.Func.name;
+              block = Some b.Block.label;
+              message =
+                "value ranges prove the path conditions contradict: block \
+                 cannot execute" }
+        else None)
+      f.Func.blocks
+  in
+  let dead_branch =
+    List.filter_map
+      (fun (b : Block.t) ->
+        if not (Absint.reachable ai b.Block.label) then None
+        else
+          match b.Block.term with
+          | Instr.Cbr (Value.Reg c, t, e) when not (String.equal t e) -> (
+            match Absint.val_of ai c with
+            | Absint.Range (k1, k2) when Int64.equal k1 k2 ->
+              let always = not (Int64.equal k1 0L) in
+              let dead = if always then e else t in
+              Some
+                { severity = Warning;
+                  rule = "dead-branch";
+                  func = f.Func.name;
+                  block = Some b.Block.label;
+                  message =
+                    Printf.sprintf
+                      "condition %%%d is always %b: the edge to %s is dead" c
+                      always dead }
+            | _ -> None)
+          | _ -> None)
+      f.Func.blocks
+  in
+  let overflow =
+    List.concat_map
+      (fun (b : Block.t) ->
+        if not (Absint.reachable ai b.Block.label) then []
+        else
+          List.filter_map
+            (fun (i : Instr.t) ->
+              match i.Instr.op with
+              | Instr.Binop (op, ty, x, y) ->
+                let ax = operand_aval ai x and ay = operand_aval ai y in
+                if Absint.may_overflow op ty ax ay then
+                  Some
+                    { severity = Info;
+                      rule = "possible-overflow";
+                      func = f.Func.name;
+                      block = Some b.Block.label;
+                      message =
+                        Printf.sprintf
+                          "%%%d: operands %s and %s may wrap %s" i.Instr.id
+                          (Absint.aval_to_string ax)
+                          (Absint.aval_to_string ay)
+                          (Fmt.str "%a" Types.pp ty) }
+                else None
+              | _ -> None)
+            b.Block.insns)
+      f.Func.blocks
+  in
+  contradicted @ dead_branch @ overflow
+
+(* Same-block stores through syntactically distinct pointers that the
+   points-to facts cannot separate. Constant-index geps off the same base
+   are provably disjoint and excluded; everything else is summarized as
+   one finding per block so unrolled loops don't produce a quadratic
+   flood of pairs. *)
+let alias_findings (f : Func.t) : finding list =
+  let fi = Alias.of_func f in
+  let defs : (int, Instr.op) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) -> Hashtbl.replace defs i.Instr.id i.Instr.op)
+        b.Block.insns)
+    f.Func.blocks;
+  (* (base, elt type, constant index) when [p] is a constant gep *)
+  let const_gep = function
+    | Value.Reg r -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Instr.Gep (ty, base, Value.Const (Value.Cint (_, k)))) ->
+        Some (base, ty, k)
+      | _ -> None)
+    | _ -> None
+  in
+  let provably_disjoint p q =
+    match const_gep p, const_gep q with
+    | Some (b1, t1, k1), Some (b2, t2, k2) ->
+      Value.equal b1 b2 && Types.equal t1 t2 && not (Int64.equal k1 k2)
+    | _ -> None <> None
+  in
+  List.filter_map
+    (fun (b : Block.t) ->
+      let stores =
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match i.Instr.op with
+            | Instr.Store (_, _, p) -> Some p
+            | _ -> None)
+          b.Block.insns
+      in
+      let count = ref 0 in
+      let example = ref None in
+      let rec scan = function
+        | [] -> ()
+        | p :: rest ->
+          List.iter
+            (fun q ->
+              if
+                (not (Value.equal p q))
+                && (not (provably_disjoint p q))
+                && Alias.may_alias fi p q
+              then begin
+                incr count;
+                if !example = None then example := Some (p, q)
+              end)
+            rest;
+          scan rest
+      in
+      scan stores;
+      match !example with
+      | None -> None
+      | Some (p, q) ->
+        Some
+          { severity = Info;
+            rule = "may-alias-store-conflict";
+            func = f.Func.name;
+            block = Some b.Block.label;
+            message =
+              Fmt.str
+                "%d store pair%s may alias (e.g. %a vs %a): their order \
+                 constrains dse/licm/gvn"
+                !count
+                (if !count = 1 then "" else "s")
+                Printer.pp_value p Printer.pp_value q })
+    f.Func.blocks
+
 let effects_findings (m : Modul.t) : finding list =
   let summary = Effects.summarize m in
   List.map
@@ -148,7 +314,8 @@ let lint_module (m : Modul.t) : finding list =
         List.concat_map
           (fun f ->
             unreachable_findings f @ dead_store_findings f
-            @ dead_code_findings f @ redundant_expr_findings f)
+            @ dead_code_findings f @ redundant_expr_findings f
+            @ absint_findings f @ alias_findings f)
           (Modul.defined_funcs m)
       in
       let findings = verifier_findings m @ effects_findings m @ per_func in

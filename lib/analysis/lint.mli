@@ -1,0 +1,56 @@
+(* Static IR lint: turns the analyses (verifier, liveness, use-def,
+   available expressions, effects, points-to, value ranges) into a
+   structured findings report for `posetrl lint`.
+
+   Severity policy (what the CI gate keys on):
+     - Error:   structural verifier failures, SSA dominance violations,
+                purity attributes contradicted by the function body.
+     - Warning: dead stores, unreachable blocks, branches the
+                value-range analysis proves constant (dead-branch) and
+                blocks whose path conditions contradict
+                (contradicted-range).
+     - Info:    dead pure code, recomputed available expressions,
+                missing purity attributes, arithmetic that may wrap its
+                type (possible-overflow) and same-block stores through
+                pointers that may alias (may-alias-store-conflict). *)
+
+open Posetrl_ir
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> (severity, string) result
+val severity_rank : severity -> int
+
+type finding = {
+  severity : severity;
+  rule : string;          (* stable kebab-case rule name *)
+  func : string;
+  block : string option;
+  message : string;
+}
+
+val finding_to_string : finding -> string
+
+(* Individual rule groups, exposed for targeted testing. *)
+val verifier_findings : Modul.t -> finding list
+val unreachable_findings : Func.t -> finding list
+val dead_store_findings : Func.t -> finding list
+val dead_code_findings : Func.t -> finding list
+val redundant_expr_findings : Func.t -> finding list
+val absint_findings : Func.t -> finding list
+val alias_findings : Func.t -> finding list
+val effects_findings : Modul.t -> finding list
+
+(* All rules over every defined function, sorted by severity
+   (descending), rule, function and block for a stable report. *)
+val lint_module : Modul.t -> finding list
+
+val count : severity -> finding list -> int
+
+(* Does any finding reach severity [s] or higher? The `--fail-on`
+   gate. *)
+val reaches : severity -> finding list -> bool
+
+val finding_to_json : finding -> Posetrl_obs.Json.t
+val to_json : name:string -> finding list -> Posetrl_obs.Json.t

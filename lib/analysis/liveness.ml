@@ -23,8 +23,6 @@ module Solver = Dataflow.Make (Lattice)
 
 let add_reg acc = function Value.Reg r -> ISet.add r acc | _ -> acc
 
-let regs_of_values vs = List.fold_left add_reg ISet.empty vs
-
 (* Registers a phi in [b] consumes when control arrives from [pred]. *)
 let phi_uses_from (b : Block.t) ~(pred : string) : ISet.t =
   List.fold_left

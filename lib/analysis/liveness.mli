@@ -1,0 +1,31 @@
+(* Register liveness, as a backward dataflow problem over register
+   sets. Phi semantics follow SSA convention: a phi's incoming value is
+   a use on the edge from the corresponding predecessor, not a use at
+   the top of the phi's block, so live-in sets are exact. *)
+
+open Posetrl_ir
+
+module ISet : Set.S with type elt = int and type t = Set.Make(Int).t
+
+module SMap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type t = {
+  live_in : ISet.t SMap.t;
+  live_out : ISet.t SMap.t;
+  iterations : int;  (* solver transfer applications *)
+}
+
+val of_func : Func.t -> t
+
+(* Registers live into / out of the labelled block; empty for unknown
+   labels. *)
+val live_in : t -> string -> ISet.t
+val live_out : t -> string -> ISet.t
+
+(* Registers a phi in [b] consumes when control arrives from [pred]. *)
+val phi_uses_from : Block.t -> pred:string -> ISet.t
+
+(* Registers whose defining pure instruction computes a value that is
+   never live — dead code a cleanup pass could delete. *)
+val dead_defs : t -> Func.t -> ISet.t

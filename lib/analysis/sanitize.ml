@@ -6,6 +6,11 @@
      - [Off]        — no checking (production default)
      - [Structural] — the structural verifier only
      - [Ssa]        — structural + dominance ([Verifier ~dom:true])
+     - [Equiv]      — Ssa plus translation validation: every pass
+                      application is differentially simulated against its
+                      input on seeded concrete inputs ([Equiv.validate]);
+                      a behavioural divergence fails the pass exactly like
+                      a verifier error, including the minimized repro.
 
    Instrumentation follows the repo convention: counters
    [posetrl.analysis.sanitize.checks] / [.failures], span
@@ -16,29 +21,36 @@
 open Posetrl_ir
 module Obs = Posetrl_obs
 
-type level = Off | Structural | Ssa
+type level = Off | Structural | Ssa | Equiv
 
 let level_to_string = function
   | Off -> "off"
   | Structural -> "structural"
   | Ssa -> "ssa"
+  | Equiv -> "equiv"
 
 let level_of_string = function
   | "off" -> Ok Off
   | "structural" -> Ok Structural
   | "ssa" | "full" -> Ok Ssa
-  | s -> Error (Printf.sprintf "unknown sanitize level %S (off|structural|ssa)" s)
+  | "equiv" | "tv" -> Ok Equiv
+  | s ->
+    Error (Printf.sprintf "unknown sanitize level %S (off|structural|ssa|equiv)" s)
 
-(* Verifier errors for [m] at [level]; [] at [Off]. *)
+let wants_dom = function Off | Structural -> false | Ssa | Equiv -> true
+
+(* Verifier errors for [m] at [level]; [] at [Off]. [Equiv] checks the
+   same well-formedness as [Ssa] here — behavioural validation needs the
+   pre-pass module too and lives in [check_transform]. *)
 let check_module (level : level) (m : Modul.t) : Verifier.error list =
   match level with
   | Off -> []
-  | Structural | Ssa ->
+  | Structural | Ssa | Equiv ->
     Obs.Span.with_ "posetrl.analysis.sanitize.check"
       ~attrs:[ ("level", Obs.Event.S (level_to_string level)) ]
       (fun sp ->
         Obs.Metrics.inc (Obs.Metrics.counter "posetrl.analysis.sanitize.checks");
-        let errs = Verifier.verify_module ~dom:(level = Ssa) m in
+        let errs = Verifier.verify_module ~dom:(wants_dom level) m in
         if errs <> [] then begin
           Obs.Metrics.inc
             ~by:(float_of_int (List.length errs))
@@ -46,6 +58,35 @@ let check_module (level : level) (m : Modul.t) : Verifier.error list =
           Obs.Span.set_attr sp "errors" (Obs.Event.I (List.length errs))
         end;
         errs)
+
+let mismatch_errors (ms : Equiv.mismatch list) : Verifier.error list =
+  List.map
+    (fun (m : Equiv.mismatch) ->
+      { Verifier.func = m.Equiv.func;
+        block = None;
+        message = "translation validation: " ^ m.Equiv.detail })
+    ms
+
+(* Check one pass application at [level]: well-formedness of [after],
+   plus (at [Equiv], when [after] is well-formed) differential simulation
+   against [before]. [per_function] should be false for module-scope
+   passes (inlining/IPO), whose per-function behaviour may legitimately
+   change. *)
+let check_transform (level : level) ?(per_function = true) ~(before : Modul.t)
+    (after : Modul.t) : Verifier.error list =
+  match check_module level after with
+  | (_ :: _) as errs -> errs
+  | [] ->
+    if level = Equiv then
+      Obs.Span.with_ "posetrl.analysis.sanitize.equiv" (fun _ ->
+          let ms = Equiv.validate ~per_function ~before after in
+          let errs = mismatch_errors ms in
+          if errs <> [] then
+            Obs.Metrics.inc
+              ~by:(float_of_int (List.length errs))
+              (Obs.Metrics.counter "posetrl.analysis.sanitize.failures");
+          errs)
+    else []
 
 exception Failed of {
   pass : string;
@@ -71,14 +112,14 @@ let () =
    as still-failing when the pass either raises or produces IR the
    sanitizer rejects. Validity = the candidate input itself passes the
    same check the original input passed. *)
-let minimize_input ~(level : level) ~(run_pass : Modul.t -> Modul.t)
-    (input : Modul.t) : Modul.t =
-  let dom = level = Ssa in
+let minimize_input ~(level : level) ?(per_function = true)
+    ~(run_pass : Modul.t -> Modul.t) (input : Modul.t) : Modul.t =
+  let dom = wants_dom level in
   let valid c = Verifier.verify_module ~dom c = [] in
   let check c =
     match run_pass c with
     | exception _ -> true
-    | out -> Verifier.verify_module ~dom out <> []
+    | out -> check_transform level ~per_function ~before:c out <> []
   in
   Obs.Span.with_ "posetrl.analysis.sanitize.minimize" (fun sp ->
       let minimized = Delta.minimize ~valid ~check input in
@@ -126,10 +167,10 @@ let write_repro ~(dir : string) ~(pass : string) ~(level : level)
 (* Full failure protocol used by the pass manager: the output of [pass]
    on [input] failed the [level] check — minimize, write the repro (when
    a directory is given) and raise [Failed]. *)
-let fail ~(pass : string) ~(level : level) ~(repro_dir : string option)
-    ~(run_pass : Modul.t -> Modul.t) ~(errors : Verifier.error list)
-    (input : Modul.t) : 'a =
-  let repro = minimize_input ~level ~run_pass input in
+let fail ~(pass : string) ~(level : level) ?(per_function = true)
+    ~(repro_dir : string option) ~(run_pass : Modul.t -> Modul.t)
+    ~(errors : Verifier.error list) (input : Modul.t) : 'a =
+  let repro = minimize_input ~level ~per_function ~run_pass input in
   let repro_path =
     Option.map (fun dir -> write_repro ~dir ~pass ~level ~errors repro) repro_dir
   in

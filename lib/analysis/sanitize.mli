@@ -1,0 +1,65 @@
+(* The semantic sanitizer: structural verification, SSA dominance
+   checking and (at [Equiv]) translation validation, run after every
+   pass when the pass manager's [~sanitize] level asks for it, with a
+   minimized repro written out on failure.
+
+   Levels:
+     - [Off]        — no checking (production default)
+     - [Structural] — the structural verifier only
+     - [Ssa]        — structural + dominance
+     - [Equiv]      — Ssa plus translation validation: every pass
+                      application is differentially simulated against
+                      its input on seeded concrete inputs
+                      ([Equiv.validate]); a behavioural divergence fails
+                      the pass exactly like a verifier error. *)
+
+open Posetrl_ir
+
+type level = Off | Structural | Ssa | Equiv
+
+val level_to_string : level -> string
+
+(* Accepts "off", "structural", "ssa"/"full", "equiv"/"tv". *)
+val level_of_string : string -> (level, string) result
+
+val wants_dom : level -> bool
+
+(* Verifier errors for [m] at [level]; [] at [Off]. [Equiv] checks the
+   same well-formedness as [Ssa] here — behavioural validation needs
+   the pre-pass module too and lives in [check_transform]. *)
+val check_module : level -> Modul.t -> Verifier.error list
+
+(* Check one pass application at [level]: well-formedness of the after
+   module, plus (at [Equiv], when it is well-formed) differential
+   simulation against [before]. [per_function] should be false for
+   module-scope passes (inlining/IPO), whose per-function behaviour may
+   legitimately change. *)
+val check_transform :
+  level -> ?per_function:bool -> before:Modul.t -> Modul.t ->
+  Verifier.error list
+
+exception Failed of {
+  pass : string;
+  errors : Verifier.error list;
+  repro_path : string option;
+}
+
+(* Shrink a failing input with the greedy delta debugger; [run_pass]
+   re-runs the offending pass on each candidate, and a candidate counts
+   as still-failing when [check_transform] rejects the application. *)
+val minimize_input :
+  level:level -> ?per_function:bool -> run_pass:(Modul.t -> Modul.t) ->
+  Modul.t -> Modul.t
+
+(* Write the repro module as a .mir next to a .json describing the
+   failure; returns the .mir path. [dir] is created if missing. *)
+val write_repro :
+  dir:string -> pass:string -> level:level ->
+  errors:Verifier.error list -> Modul.t -> string
+
+(* Full failure protocol used by the pass manager: minimize, write the
+   repro (when a directory is given) and raise [Failed]. *)
+val fail :
+  pass:string -> level:level -> ?per_function:bool ->
+  repro_dir:string option -> run_pass:(Modul.t -> Modul.t) ->
+  errors:Verifier.error list -> Modul.t -> 'a

@@ -190,6 +190,11 @@ type state = {
   mutable fuel : int;
   out : Buffer.t;
   mutable depth : int;
+  (* observation hook: called after every register assignment with the
+     enclosing function's name — lets differential tests (e.g. the
+     abstract-interpretation soundness property) see concrete values
+     without rerunning the program *)
+  on_assign : (fname:string -> int -> value -> unit) option;
 }
 
 let as_int = function
@@ -284,7 +289,14 @@ let rec call_function (st : state) (f : Func.t) (args : value list) : value =
             | Some a -> VPtr a
             | None -> trap "unknown global @%s" g))
     in
-    let set r v = if r >= 0 then Hashtbl.replace regs r v in
+    let set r v =
+      if r >= 0 then begin
+        Hashtbl.replace regs r v;
+        match st.on_assign with
+        | Some h -> h ~fname:f.Func.name r v
+        | None -> ()
+      end
+    in
     let exec_insn (i : Instr.t) : unit =
       st.dyn_insns <- st.dyn_insns + 1;
       st.cycles <- st.cycles + op_cost i.Instr.op;
@@ -435,9 +447,13 @@ let rec call_function (st : state) (f : Func.t) (args : value list) : value =
 
 let default_fuel = 200_000_000
 
-let run ?(fuel = default_fuel) ?(entry = "main") ?(args = []) (m : Modul.t) : outcome =
+let run ?(fuel = default_fuel) ?(entry = "main") ?(args = []) ?on_assign
+    (m : Modul.t) : outcome =
   let mem = init_mem m in
-  let st = { m; mem; cycles = 0; dyn_insns = 0; fuel; out = Buffer.create 64; depth = 0 } in
+  let st =
+    { m; mem; cycles = 0; dyn_insns = 0; fuel; out = Buffer.create 64;
+      depth = 0; on_assign }
+  in
   let f = Modul.find_func_exn m entry in
   let ret = call_function st f args in
   { ret; cycles = st.cycles; dyn_insns = st.dyn_insns; output = Buffer.contents st.out }

@@ -6,17 +6,28 @@
 
 open Posetrl_ir
 
+(* Scope drives what the Equiv sanitizer tier may assume: a
+   [Function_scope] pass transforms each definition independently, so its
+   output functions can be validated one by one against their inputs; a
+   [Module_scope] pass (inlining, IPO, global DCE) may change individual
+   function behaviour while preserving whole-program behaviour, so only
+   the entry point is compared. *)
+type scope = Function_scope | Module_scope
+
 type t = {
   name : string;
   description : string;
+  scope : scope;
   run : Config.t -> Modul.t -> Modul.t;
 }
 
-let mk name ~description run = { name; description; run }
+let mk ?(scope = Module_scope) name ~description run =
+  { name; description; scope; run }
 
 (* Lift a per-function transform to a module pass over definitions. *)
 let function_pass name ~description f =
-  mk name ~description (fun cfg m -> Modul.map_defined (f cfg) m)
+  mk ~scope:Function_scope name ~description
+    (fun cfg m -> Modul.map_defined (f cfg) m)
 
 (* A pass that only has out-of-IR effects in real LLVM (barriers,
    instrumentation bookkeeping); here it is the identity on the IR. *)

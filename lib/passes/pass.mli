@@ -6,13 +6,27 @@
 
 open Posetrl_ir
 
+type scope = Function_scope | Module_scope
+(** What the Equiv sanitizer tier may assume about a pass: a
+    [Function_scope] pass transforms each definition independently (its
+    functions can be validated one by one), a [Module_scope] pass may
+    move behaviour between functions and is judged through the entry
+    point only. *)
+
 type t = {
   name : string;
   description : string;
+  scope : scope;
   run : Config.t -> Modul.t -> Modul.t;
 }
 
-val mk : string -> description:string -> (Config.t -> Modul.t -> Modul.t) -> t
+val mk :
+  ?scope:scope ->
+  string ->
+  description:string ->
+  (Config.t -> Modul.t -> Modul.t) ->
+  t
+(** [mk] defaults to [Module_scope] — the conservative choice. *)
 
 val function_pass :
   string -> description:string -> (Config.t -> Func.t -> Func.t) -> t

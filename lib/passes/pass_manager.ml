@@ -5,7 +5,8 @@
    [~verify] keeps its historical meaning — the structural check inside
    [Pass.run]. [~sanitize] layers the Posetrl_analysis sanitizer on top:
    after every pass the output is re-verified at the requested level
-   (structural, or structural + SSA dominance); on failure the failing
+   (structural, structural + SSA dominance, or — at [equiv] — also
+   translation-validated against the pass input); on failure the failing
    input is delta-minimized by re-running just that pass, the repro is
    written to [~repro_dir] (a run ledger's repros/ directory in the
    CLI), and [Posetrl_analysis.Sanitize.Failed] is raised. When the
@@ -32,10 +33,11 @@ let run_pass ?(verify = false) ?(sanitize = Sanitize.Off) ?repro_dir
     (p : Pass.t) (cfg : Config.t) (m : Modul.t) : Modul.t =
   let verify = verify && sanitize = Sanitize.Off in
   let out = Pass.run ~verify p cfg m in
-  (match Sanitize.check_module sanitize out with
+  let per_function = p.Pass.scope = Pass.Function_scope in
+  (match Sanitize.check_transform sanitize ~per_function ~before:m out with
    | [] -> ()
    | errors ->
-     Sanitize.fail ~pass:p.Pass.name ~level:sanitize ~repro_dir
+     Sanitize.fail ~pass:p.Pass.name ~level:sanitize ~per_function ~repro_dir
        ~run_pass:(fun m -> Pass.run p cfg m) ~errors m);
   out
 

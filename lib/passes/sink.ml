@@ -1,0 +1,39 @@
+(* A deliberately miscompiling pass, NOT in the registry.
+
+   Flips the first interesting integer add in each function to a sub —
+   a transform that keeps the module perfectly well-formed (the
+   [Structural] and [Ssa] sanitizer tiers accept it) while changing
+   behaviour, so only the [Equiv] translation-validation tier can catch
+   it. Used by `posetrl opt --inject-bug` and the CI seeded-miscompile
+   smoke to prove that tier actually bites. *)
+
+open Posetrl_ir
+
+let is_zero = function
+  | Value.Const (Value.Cint (_, k)) -> Int64.equal k 0L
+  | _ -> false
+
+(* x + 0 and x - 0 agree, so require a second operand that is not a
+   literal zero; the flip is then a genuine semantic change whenever the
+   result is observable. *)
+let flip_first_add (f : Func.t) : Func.t =
+  let flipped = ref false in
+  Func.map_blocks
+    (fun (b : Block.t) ->
+      { b with
+        Block.insns =
+          List.map
+            (fun (i : Instr.t) ->
+              match i.Instr.op with
+              | Instr.Binop (Instr.Add, ty, x, y)
+                when (not !flipped) && not (is_zero y) ->
+                flipped := true;
+                { i with Instr.op = Instr.Binop (Instr.Sub, ty, x, y) }
+              | _ -> i)
+            b.Block.insns })
+    f
+
+let pass =
+  Pass.function_pass "sink"
+    ~description:"deliberate add->sub miscompile (sanitizer testing only)"
+    (fun _cfg f -> flip_first_add f)

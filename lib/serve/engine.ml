@@ -148,7 +148,7 @@ let rollout_batch (t : t) (ms : Modul.t list) : (int list * Modul.t) list =
                (fun m ->
                  let env =
                    C.Environment.create ~max_steps:t.max_steps
-                     ~target:t.target ~actions:t.actions ()
+                     ~sanitize:t.sanitize ~target:t.target ~actions:t.actions ()
                  in
                  let state = C.Environment.reset env m in
                  { env; state; taken = []; terminal = false })

@@ -489,6 +489,246 @@ let test_solver_rejects_non_monotone () =
     Alcotest.(check bool) "diagnostic names the solver" true
       (String.length msg > 0)
 
+(* --- alias analysis -------------------------------------------------------- *)
+
+let test_alias_facts () =
+  let m =
+    Testutil.wrap_main (fun b ->
+        Builder.block b "entry";
+        let a = Builder.alloca b Types.I64 1 in
+        let c = Builder.alloca b Types.I64 1 in
+        Builder.store b Types.I64 (Value.ci64 1) a;
+        Builder.store b Types.I64 (Value.ci64 2) c;
+        let v = Builder.load b Types.I64 a in
+        Builder.ret b Types.I64 v)
+  in
+  let f = Testutil.main_func m in
+  let fi = A.Alias.of_func f in
+  Alcotest.(check bool) "distinct allocas do not alias" false
+    (let p, q =
+       match (List.hd f.Func.blocks).Block.insns with
+       | a :: c :: _ -> (Value.Reg a.Instr.id, Value.Reg c.Instr.id)
+       | _ -> Alcotest.fail "expected two allocas"
+     in
+     A.Alias.may_alias fi p q);
+  Alcotest.(check bool) "a pointer always may-alias itself" true
+    (let p = Value.Reg (List.hd (List.hd f.Func.blocks).Block.insns).Instr.id in
+     A.Alias.may_alias fi p p);
+  Alcotest.(check bool) "non-escaping allocas are invisible to calls" false
+    (let p = Value.Reg (List.hd (List.hd f.Func.blocks).Block.insns).Instr.id in
+     A.Alias.call_may_touch fi p)
+
+let test_alias_modref () =
+  (* @main stores through an escaped pointer it passed to @ext *)
+  let t = A.Alias.summarize (Testutil.sum_squares_module ()) in
+  let mr = A.Alias.modref_of t "square" in
+  Alcotest.(check bool) "pure callee neither reads nor writes unknown memory"
+    false
+    (mr.A.Alias.mod_unknown || mr.A.Alias.ref_unknown);
+  Alcotest.(check bool) "unknown function gets the top summary" true
+    (A.Alias.modref_equal (A.Alias.modref_of t "no_such_fn") A.Alias.modref_top)
+
+(* Alias-aware dse/licm/gvn are opt-in and must be byte-identical to the
+   legacy fact providers on real programs (sampled here; the full
+   suites-times-levels sweep runs in CI via `posetrl validate`). *)
+let test_alias_pipelines_byte_identical () =
+  let progs =
+    List.filteri (fun i _ -> i < 6) (W.Suites.all_programs ())
+  in
+  List.iter
+    (fun level ->
+      let cfg = P.Pipelines.config_of level in
+      let seq = P.Pipelines.sequence_of level in
+      let acfg = { cfg with P.Config.use_alias = true } in
+      List.iter
+        (fun (name, m) ->
+          let legacy = Printer.module_to_string (P.Pass_manager.run cfg seq m) in
+          let aliased = Printer.module_to_string (P.Pass_manager.run acfg seq m) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at %s: alias-aware = legacy" name
+               (P.Pipelines.level_to_string level))
+            true (String.equal legacy aliased))
+        progs)
+    [ P.Pipelines.O2; P.Pipelines.Oz ]
+
+(* --- abstract interpretation ---------------------------------------------- *)
+
+(* constant condition: the else arm is provably dead *)
+let const_branch_module () : Modul.t =
+  Testutil.wrap_main (fun b ->
+      Builder.block b "entry";
+      let x = Builder.add b Types.I64 (Value.ci64 3) (Value.ci64 4) in
+      let c = Builder.icmp b Instr.Slt Types.I64 x (Value.ci64 100) in
+      Builder.cbr b c "then" "else";
+      Builder.block b "then";
+      let l = Builder.add b Types.I64 x (Value.ci64 1) in
+      Builder.br b "join";
+      Builder.block b "else";
+      let r = Builder.mul b Types.I64 x (Value.ci64 2) in
+      Builder.br b "join";
+      Builder.block b "join";
+      let p = Builder.phi b Types.I64 [ ("then", l); ("else", r) ] in
+      Builder.ret b Types.I64 p)
+
+let test_absint_constant_branch () =
+  let f = Testutil.main_func (const_branch_module ()) in
+  let ai = A.Absint.of_func f in
+  Alcotest.(check bool) "else arm is unreachable" false
+    (A.Absint.reachable ai "else");
+  Alcotest.(check bool) "then arm is reachable" true
+    (A.Absint.reachable ai "then");
+  (match (List.hd f.Func.blocks).Block.insns with
+   | x :: _ ->
+     Alcotest.(check bool) "3 + 4 evaluates to the singleton [7, 7]" true
+       (match A.Absint.val_of ai x.Instr.id with
+        | A.Absint.Range (lo, hi) -> Int64.equal lo 7L && Int64.equal hi 7L
+        | _ -> false)
+   | [] -> Alcotest.fail "empty entry")
+
+let test_absint_lint_rules () =
+  let f = Testutil.main_func (const_branch_module ()) in
+  let fs = A.Lint.absint_findings f in
+  let has rule = List.exists (fun (g : A.Lint.finding) -> g.A.Lint.rule = rule) fs in
+  Alcotest.(check bool) "dead-branch fires on a constant condition" true
+    (has "dead-branch");
+  Alcotest.(check bool) "contradicted-range flags the dead arm" true
+    (has "contradicted-range");
+  List.iter
+    (fun (g : A.Lint.finding) ->
+      Alcotest.(check bool) "range rules never reach error severity" true
+        (g.A.Lint.severity <> A.Lint.Error))
+    fs
+
+(* Soundness: every concrete integer value a register takes during a
+   real execution must be contained in its abstract value. Checked by
+   hooking the interpreter's register assignments on generated
+   programs. *)
+let absint_sound (m : Modul.t) : bool =
+  let ais =
+    List.fold_left
+      (fun acc (f : Func.t) -> SMap.add f.Func.name (A.Absint.of_func f) acc)
+      SMap.empty (Modul.defined_funcs m)
+  in
+  let module I = Posetrl_interp.Interp in
+  let bad = ref None in
+  let on_assign ~fname r v =
+    match v, !bad with
+    | I.VInt k, None -> (
+      match SMap.find_opt fname ais with
+      | None -> ()
+      | Some ai -> (
+        match A.Absint.val_of ai r with
+        | A.Absint.Bot ->
+          bad := Some (Printf.sprintf "@%s %%%d: concrete %Ld but Bot" fname r k)
+        | av ->
+          if not (A.Absint.contains_int av k) then
+            bad :=
+              Some
+                (Printf.sprintf "@%s %%%d: concrete %Ld outside %s" fname r k
+                   (A.Absint.aval_to_string av))))
+    | _ -> ()
+  in
+  (try ignore (I.run ~fuel:200_000 ~on_assign m) with I.Trap _ -> ());
+  match !bad with
+  | None -> true
+  | Some msg ->
+    QCheck2.Test.fail_reportf "absint unsound on %s: %s" m.Modul.name msg
+
+let prop_absint_sound =
+  QCheck2.Test.make ~count:60
+    ~name:"absint over-approximates every concrete register value"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let m =
+        if seed mod 2 = 0 then W.Templates.generate ~seed
+        else W.Genprog.generate ~seed
+      in
+      absint_sound m)
+
+let test_absint_sound_on_suites () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check bool) (name ^ ": absint sound on concrete run") true
+        (absint_sound m))
+    (List.filteri (fun i _ -> i < 8) (W.Suites.all_programs ()))
+
+(* --- translation validation (equiv tier) ----------------------------------- *)
+
+(* [P.Sink.pass] miscompiles (add -> sub) while keeping the module
+   perfectly well-formed: the Ssa tier must accept it, the Equiv tier
+   must reject it and write a behavioural repro. *)
+let test_equiv_catches_semantic_miscompile () =
+  let m = diamond_module () in
+  (match
+     P.Pass_manager.run_pass ~sanitize:A.Sanitize.Ssa P.Sink.pass P.Config.oz m
+   with
+  | _ -> ()
+  | exception A.Sanitize.Failed _ ->
+    Alcotest.fail "ssa tier should be blind to a semantic-only bug");
+  let repro_dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "posetrl-test-equiv-repros"
+  in
+  match
+    P.Pass_manager.run_pass ~sanitize:A.Sanitize.Equiv ~repro_dir P.Sink.pass
+      P.Config.oz m
+  with
+  | _ -> Alcotest.fail "equiv tier missed the miscompile"
+  | exception A.Sanitize.Failed { pass; errors; repro_path } ->
+    Alcotest.(check string) "failure names the pass" "sink" pass;
+    Alcotest.(check bool) "errors mention translation validation" true
+      (List.exists
+         (fun (e : Verifier.error) ->
+           String.length e.Verifier.message >= 22
+           && String.sub e.Verifier.message 0 22 = "translation validation")
+         errors);
+    let path =
+      match repro_path with
+      | Some p -> p
+      | None -> Alcotest.fail "no repro written"
+    in
+    let repro = Parser.parse_module (read_file path) in
+    (* the minimized repro still diverges under the pass *)
+    let out = P.Sink.pass.P.Pass.run P.Config.oz repro in
+    Alcotest.(check bool) "repro re-fails translation validation" true
+      (A.Sanitize.check_transform A.Sanitize.Equiv ~before:repro out <> [])
+
+let test_equiv_accepts_behavior_preserving_pipeline () =
+  (* smallest two suite programs through full pipelines under the equiv
+     tier; the whole-suite sweep is the CI `posetrl validate` job *)
+  let progs =
+    List.sort
+      (fun (_, a) (_, b) -> compare (Modul.insn_count a) (Modul.insn_count b))
+      (W.Suites.all_programs ())
+  in
+  let progs = List.filteri (fun i _ -> i < 2) progs in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (name, m) ->
+          match P.Pass_manager.run_level ~sanitize:A.Sanitize.Equiv level m with
+          | _ -> ()
+          | exception A.Sanitize.Failed { pass; _ } ->
+            Alcotest.fail
+              (Printf.sprintf "%s at %s: pass %s flagged by equiv tier" name
+                 (P.Pipelines.level_to_string level)
+                 pass))
+        progs)
+    [ P.Pipelines.O2; P.Pipelines.Oz ]
+
+(* --- lint json golden ------------------------------------------------------ *)
+
+let test_lint_json_golden () =
+  let m =
+    { (const_branch_module ()) with Modul.name = "golden" }
+  in
+  let got =
+    Posetrl_obs.Json.to_string (A.Lint.to_json ~name:"golden" (A.Lint.lint_module m))
+  in
+  let expected =
+    "{\"kind\":\"lint-report\",\"module\":\"golden\",\"errors\":0,\"warnings\":2,\"infos\":1,\"findings\":[{\"severity\":\"warning\",\"rule\":\"contradicted-range\",\"func\":\"main\",\"block\":\"else\",\"message\":\"value ranges prove the path conditions contradict: block cannot execute\"},{\"severity\":\"warning\",\"rule\":\"dead-branch\",\"func\":\"main\",\"block\":\"entry\",\"message\":\"condition %1 is always true: the edge to else is dead\"},{\"severity\":\"info\",\"rule\":\"missing-purity-attr\",\"func\":\"main\",\"block\":null,\"message\":\"body is pure but carries no purity attribute\"}]}"
+  in
+  Alcotest.(check string) "lint --json output is byte-stable" expected got
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_liveness_eq_brute;
     Alcotest.test_case "liveness = brute force on all suites" `Quick
@@ -513,4 +753,21 @@ let suite =
     Alcotest.test_case "sanitized evaluation is pool-deterministic" `Slow
       test_parallel_sanitize_deterministic;
     Alcotest.test_case "solver budget rejects non-monotone transfers" `Quick
-      test_solver_rejects_non_monotone ]
+      test_solver_rejects_non_monotone;
+    Alcotest.test_case "alias: points-to facts on allocas" `Quick test_alias_facts;
+    Alcotest.test_case "alias: mod/ref summaries" `Quick test_alias_modref;
+    Alcotest.test_case "alias-aware pipelines byte-identical (sampled)" `Slow
+      test_alias_pipelines_byte_identical;
+    Alcotest.test_case "absint: constant branch folds to a singleton" `Quick
+      test_absint_constant_branch;
+    Alcotest.test_case "lint: range rules fire on a constant branch" `Quick
+      test_absint_lint_rules;
+    QCheck_alcotest.to_alcotest prop_absint_sound;
+    Alcotest.test_case "absint sound on suite programs (sampled)" `Slow
+      test_absint_sound_on_suites;
+    Alcotest.test_case "equiv tier catches a semantic miscompile" `Quick
+      test_equiv_catches_semantic_miscompile;
+    Alcotest.test_case "equiv tier accepts real pipelines (sampled)" `Slow
+      test_equiv_accepts_behavior_preserving_pipeline;
+    Alcotest.test_case "lint --json golden is byte-stable" `Quick
+      test_lint_json_golden ]
